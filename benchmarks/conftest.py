@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark (a) regenerates one paper table/figure via
+:mod:`repro.bench.experiments`, printing it and writing it under
+``benchmark_results/``, and (b) times a representative fused/unfused run
+pair with pytest-benchmark so `--benchmark-only` output shows the
+wall-clock comparison too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """report(name, text): print and persist one experiment report."""
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,40 @@
+"""Fig. 12 — kd-tree equation 1 across tree depths.
+
+Paper shape: 83% fewer node visits, ~90% fewer L2 misses, runtime
+improving from ~15% (small trees) to ~66% (large)."""
+
+from repro.bench.experiments import fig12_kdtree_scaling
+from repro.bench.metrics import measure_run
+from repro.bench.runner import fused_for
+from repro.workloads.kdtree import (
+    EQ1_SCHEDULE,
+    KD_DEFAULT_GLOBALS,
+    build_balanced_tree,
+    equation_program,
+)
+
+DEPTHS = (4, 6, 8, 10, 12)
+
+
+def test_fig12_series(report, benchmark):
+    text, data = fig12_kdtree_scaling(depths=DEPTHS, cache_scale=64)
+    report("fig12_kdtree_scaling", text)
+    series = data["series"]
+    # the leaf-algebra schedule fuses almost totally (paper: 0.17)
+    assert all(0.1 <= v <= 0.35 for v in series["node_visits"])
+    assert all(v <= 1.05 for v in series["instructions"])
+    # runtime improves more as depth grows (crossover shape)
+    assert series["runtime"][-1] <= series["runtime"][0]
+    assert series["runtime"][-1] <= 0.7
+    assert series["L2_misses"][-1] <= 0.4
+    program = equation_program(EQ1_SCHEDULE, "eq1-bench")
+    fused = fused_for(program)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program,
+            lambda p, h: build_balanced_tree(p, h, depth=9),
+            KD_DEFAULT_GLOBALS,
+            fused=fused,
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Fig. 13 — FMM traversals across particle counts.
+
+Paper shape: the two downward passes fuse fully; gains are modest
+(runtime 0.78-0.92, instructions slightly below 1) and grow with input
+size."""
+
+from repro.bench.experiments import fig13_fmm
+from repro.bench.metrics import measure_run
+from repro.bench.runner import fused_for
+from repro.workloads.fmm import (
+    FMM_DEFAULT_GLOBALS,
+    build_fmm_tree,
+    fmm_program,
+    random_particles,
+)
+
+SIZES = (1_000, 4_000, 16_000)
+
+
+def test_fig13_series(report, benchmark):
+    text, data = fig13_fmm(sizes=SIZES, cache_scale=64)
+    report("fig13_fmm", text)
+    series = data["series"]
+    # two of three passes fuse -> visits 2/3
+    assert all(0.6 <= v <= 0.75 for v in series["node_visits"])
+    # modest instruction change either way
+    assert all(0.85 <= v <= 1.15 for v in series["instructions"])
+    # runtime improves, more for larger inputs
+    assert series["runtime"][-1] <= 0.95
+    assert series["runtime"][-1] <= series["runtime"][0] + 0.05
+    program = fmm_program()
+    fused = fused_for(program)
+    particles = random_particles(4_000)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program,
+            lambda p, h: build_fmm_tree(p, h, particles),
+            FMM_DEFAULT_GLOBALS,
+            fused=fused,
+        ),
+        rounds=3, iterations=1,
+    )

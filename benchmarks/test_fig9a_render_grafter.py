@@ -1,0 +1,52 @@
+"""Fig. 9a — render tree, Grafter fused vs unfused across document sizes.
+
+Paper shape: ~60% fewer node visits, no instruction overhead, large L2/L3
+miss reductions once the tree exceeds the cache, runtime improvements from
+~20% (single page) to ~60%+ (large documents).
+"""
+
+from repro.bench.experiments import fig9a_render_grafter
+from repro.bench.runner import fused_for
+from repro.bench.metrics import measure_run
+from repro.workloads.render import build_document, render_program, replicated_pages_spec
+from repro.workloads.render.schema import DEFAULT_GLOBALS
+
+SIZES = (1, 4, 16, 64, 256)
+
+
+def test_fig9a_series(report, benchmark):
+    text, data = fig9a_render_grafter(sizes=SIZES, cache_scale=64)
+    report("fig9a_render_grafter", text)
+    series = data["series"]
+    # paper shapes
+    assert all(0.2 <= v <= 0.5 for v in series["node_visits"])
+    assert all(v <= 1.05 for v in series["instructions"])
+    assert series["runtime"][0] <= 0.95  # wins even on one page
+    assert series["runtime"][-1] <= 0.5  # big win once L3 spills
+    assert series["L3_misses"][-1] <= 0.5
+    # monotone-ish: larger documents benefit at least as much
+    assert series["runtime"][-1] <= series["runtime"][0]
+    # time the fused run on a mid-size document
+    program = render_program()
+    fused = fused_for(program)
+    spec = replicated_pages_spec(16)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program, lambda p, h: build_document(p, h, spec),
+            DEFAULT_GLOBALS, fused=fused,
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig9a_unfused_timing(benchmark):
+    """Wall-clock baseline for the same document (pairs with the fused
+    timing above in the pytest-benchmark table)."""
+    program = render_program()
+    spec = replicated_pages_spec(16)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program, lambda p, h: build_document(p, h, spec), DEFAULT_GLOBALS
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,46 @@
+"""Fig. 9b — render tree, TreeFuser fused vs TreeFuser unfused.
+
+Paper shape: fewer node visits and cache misses than its own baseline,
+but 30-40% *more* instructions — so runtime does not improve until deep
+into cache-bound territory (and the paper's TreeFuser never wins).
+"""
+
+from repro.bench.experiments import fig9b_render_treefuser
+from repro.bench.runner import lowered_fused_for, lowered_for
+from repro.bench.metrics import measure_run
+from repro.treefuser import lower_tree
+from repro.workloads.render import build_document, render_program, replicated_pages_spec
+from repro.workloads.render.schema import DEFAULT_GLOBALS
+
+SIZES = (1, 4, 16, 64)
+
+
+def test_fig9b_series(report, benchmark):
+    text, data = fig9b_render_treefuser(sizes=SIZES, cache_scale=64)
+    report("fig9b_render_treefuser", text)
+    series = data["series"]
+    # TreeFuser pays instruction overhead (paper: 30-40%)
+    assert all(1.1 <= v <= 1.9 for v in series["instructions"])
+    # it still reduces node visits and (eventually) L2 misses
+    assert all(v < 1.0 for v in series["node_visits"])
+    assert series["L2_misses"][-1] < 0.7
+    # the instruction overhead keeps small-input runtime wins marginal
+    # (our grouping engine fuses the lowered program's visits harder than
+    # the original TreeFuser, so unlike the paper it ekes out a small
+    # gain — see EXPERIMENTS.md; the overhead effect is still visible)
+    assert series["runtime"][0] >= 0.8
+    program = render_program()
+    lowered = lowered_for(program)
+    fused = lowered_fused_for(program)
+    spec = replicated_pages_spec(8)
+
+    def build(p, h):
+        from repro.runtime import Heap
+
+        src = Heap(program)
+        return lower_tree(program, lowered, h, build_document(program, src, spec))
+
+    benchmark.pedantic(
+        lambda: measure_run(lowered.program, build, DEFAULT_GLOBALS, fused=fused),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,22 @@
+"""§5.1 programmability report: many small functions vs one per traversal."""
+
+from repro.bench.experiments import lloc_report
+from repro.bench.metrics import measure_run
+from repro.workloads.render import build_document, render_program, replicated_pages_spec
+from repro.workloads.render.schema import DEFAULT_GLOBALS
+
+
+def test_lloc(report, benchmark):
+    text, data = lloc_report()
+    report("lloc_report", text)
+    # paper: ~55 simple functions in Grafter vs one per traversal (5)
+    assert data["grafter_functions"] >= 55
+    assert data["treefuser_functions"] == 5
+    program = render_program()
+    spec = replicated_pages_spec(8)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program, lambda p, h: build_document(p, h, spec), DEFAULT_GLOBALS
+        ),
+        rounds=3, iterations=1,
+    )

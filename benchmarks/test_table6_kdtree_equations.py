@@ -1,0 +1,34 @@
+"""Table 6 — the three equation schedules on a deep kd-tree.
+
+Paper (depth 20; ours scaled down): runtime 0.66/0.49/0.88, node visits
+0.17/0.20/0.33 — every schedule fuses substantially, each differently.
+"""
+
+from repro.bench.experiments import table6_kdtree_equations
+from repro.bench.metrics import measure_run
+from repro.bench.runner import fused_for
+from repro.workloads.kdtree import (
+    EQ2_SCHEDULE,
+    KD_DEFAULT_GLOBALS,
+    build_balanced_tree,
+    equation_program,
+)
+
+
+def test_table6(report, benchmark):
+    text, data = table6_kdtree_equations(depth=10, cache_scale=64)
+    report("table6_kdtree_equations", text)
+    for label, normalized in data.items():
+        assert normalized["node_visits"] <= 0.6, label
+        assert normalized["runtime"] <= 1.0, label
+    program = equation_program(EQ2_SCHEDULE, "eq2-bench")
+    fused = fused_for(program)
+    benchmark.pedantic(
+        lambda: measure_run(
+            program,
+            lambda p, h: build_balanced_tree(p, h, depth=9),
+            KD_DEFAULT_GLOBALS,
+            fused=fused,
+        ),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Dependence analysis (paper §3.2).
+
+Pipeline:
+
+1. :mod:`repro.analysis.accesses` — abstract interpretation over a method
+   body collecting, per top-level statement, the raw read/write access
+   paths (with aliases inlined and whole-object accesses flagged).
+2. :mod:`repro.analysis.summaries` — turns raw accesses into the paper's
+   access automata and provides the pairwise interference test.
+3. :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.call_automata` —
+   the labeled call graph and Algorithm 1: automata summarizing everything
+   a traversing call may touch, relative to the caller's ``this``, under
+   dynamic dispatch and (mutual/unbounded) recursion.
+4. :mod:`repro.analysis.dependence` — the dependence graph for a sequence
+   of traversals inlined at a common node; drives fusion.
+"""
+
+from repro.analysis.accesses import AccessInfo, StatementAccesses, collect_method_accesses
+from repro.analysis.summaries import ROOT_LABEL, StatementSummary, interferes, merge_summaries
+from repro.analysis.callgraph import CallGraph, build_call_graph, call_targets, dispatch_targets
+from repro.analysis.call_automata import AnalysisContext, build_call_summary
+from repro.analysis.dependence import DependenceGraph, Vertex, build_dependence_graph
+
+__all__ = [
+    "AccessInfo",
+    "StatementAccesses",
+    "collect_method_accesses",
+    "ROOT_LABEL",
+    "StatementSummary",
+    "interferes",
+    "merge_summaries",
+    "CallGraph",
+    "build_call_graph",
+    "call_targets",
+    "dispatch_targets",
+    "AnalysisContext",
+    "build_call_summary",
+    "DependenceGraph",
+    "Vertex",
+    "build_dependence_graph",
+]

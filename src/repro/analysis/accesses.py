@@ -1,0 +1,224 @@
+"""Per-statement access-path extraction (paper §3.2.1, first half).
+
+For every *top-level* statement of a traversal method we compute the raw
+access paths it may read or write. This is the "simple abstract
+interpretation" the paper describes: alias locals are inlined into the
+paths they denote, conditional branches are unioned, and accesses are
+classified into on-tree (rooted at the traversed node) and environment
+(globals and frame locals).
+
+The output feeds :mod:`repro.analysis.summaries`, which turns raw paths
+into automata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.ir.access import AccessPath
+from repro.ir.exprs import DataAccess, Expr, PureCall, walk_expr
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One raw access: label sequence + whether every deeper location is
+    also touched (whole objects, (de)allocated subtrees)."""
+
+    labels: tuple[str, ...]
+    any_suffix: bool = False
+    on_tree: bool = True
+
+
+@dataclass
+class StatementAccesses:
+    """Raw read/write access paths of one top-level statement.
+
+    ``tree_*`` label sequences are relative to the traversed node (no root
+    marker yet); ``env_*`` sequences start with a ``local:NAME`` or
+    ``::GLOBAL`` label.
+    """
+
+    stmt: Stmt
+    tree_reads: list[AccessInfo] = field(default_factory=list)
+    tree_writes: list[AccessInfo] = field(default_factory=list)
+    env_reads: list[AccessInfo] = field(default_factory=list)
+    env_writes: list[AccessInfo] = field(default_factory=list)
+
+    def merge(self, other: "StatementAccesses") -> None:
+        self.tree_reads.extend(other.tree_reads)
+        self.tree_writes.extend(other.tree_writes)
+        self.env_reads.extend(other.env_reads)
+        self.env_writes.extend(other.env_writes)
+
+
+def collect_method_accesses(
+    program: Program, method: TraversalMethod
+) -> list[StatementAccesses]:
+    """Raw accesses for each top-level statement of *method*.
+
+    Aliases are inlined: a path based on an alias local contributes the
+    access paths of the alias target prefixed to its own steps. Alias
+    *definitions* contribute pointer-chain reads at the defining statement.
+    """
+    collector = _Collector(program)
+    return [collector.collect_top_level(stmt) for stmt in method.body]
+
+
+class _Collector:
+    def __init__(self, program: Program):
+        self.program = program
+        self.alias_targets: dict[str, AccessPath] = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _is_opaque_valued(self, path: AccessPath) -> bool:
+        """True when the path denotes a whole opaque object (so accessing
+        it touches every member — modeled with an ANY suffix)."""
+        if not path.steps:
+            if path.is_global:
+                var = self.program.globals[path.base_name]
+                return var.type_name in self.program.opaque_classes
+            return False
+        last = path.steps[-1].field
+        if last.is_child:
+            return False
+        return last.type_name in self.program.opaque_classes
+
+    def _inline_aliases(self, path: AccessPath) -> AccessPath:
+        if path.is_local and path.base_name in self.alias_targets:
+            target = self.alias_targets[path.base_name]
+            return path.with_base_path(target)
+        return path
+
+    def _classify(self, path: AccessPath) -> tuple[tuple[str, ...], bool]:
+        """Return (label sequence, on_tree) for a resolved, alias-inlined
+        path."""
+        if path.is_on_tree:
+            return tuple(path.labels()), True
+        if path.is_global:
+            return (f"::{path.base_name}",) + tuple(path.labels()), False
+        # a plain data local (aliases were inlined already)
+        return (f"local:{path.base_name}",) + tuple(path.labels()), False
+
+    def _add_read(self, acc: StatementAccesses, path: AccessPath) -> None:
+        path = self._inline_aliases(path)
+        labels, on_tree = self._classify(path)
+        info = AccessInfo(
+            labels=labels,
+            any_suffix=self._is_opaque_valued(path),
+            on_tree=on_tree,
+        )
+        (acc.tree_reads if on_tree else acc.env_reads).append(info)
+
+    def _add_write(
+        self, acc: StatementAccesses, path: AccessPath, whole_subtree: bool = False
+    ) -> None:
+        path = self._inline_aliases(path)
+        labels, on_tree = self._classify(path)
+        info = AccessInfo(
+            labels=labels,
+            any_suffix=whole_subtree or self._is_opaque_valued(path),
+            on_tree=on_tree,
+        )
+        (acc.tree_writes if on_tree else acc.env_writes).append(info)
+        # Writing through a path reads its proper prefixes (pointer chain).
+        if len(labels) > 1:
+            prefix = AccessInfo(labels=labels[:-1], any_suffix=False, on_tree=on_tree)
+            (acc.tree_reads if on_tree else acc.env_reads).append(prefix)
+
+    def _add_expr_reads(self, acc: StatementAccesses, expr: Expr) -> None:
+        for sub in walk_expr(expr):
+            if isinstance(sub, DataAccess):
+                self._add_read(acc, sub.path)
+            elif isinstance(sub, PureCall):
+                func = self.program.pure_functions.get(sub.func_name)
+                if func is not None:
+                    for global_name in sorted(func.reads_globals):
+                        acc.env_reads.append(
+                            AccessInfo(
+                                labels=(f"::{global_name}",),
+                                any_suffix=True,
+                                on_tree=False,
+                            )
+                        )
+
+    # -- statement dispatch -------------------------------------------------
+
+    def collect_top_level(self, stmt: Stmt) -> StatementAccesses:
+        acc = StatementAccesses(stmt=stmt)
+        self._collect_into(acc, stmt)
+        return acc
+
+    def _collect_into(self, acc: StatementAccesses, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._add_expr_reads(acc, stmt.value)
+            self._add_write(acc, stmt.target)
+        elif isinstance(stmt, LocalDef):
+            if stmt.init is not None:
+                self._add_expr_reads(acc, stmt.init)
+            acc.env_writes.append(
+                AccessInfo(
+                    labels=(f"local:{stmt.name}",),
+                    any_suffix=stmt.type_name in self.program.opaque_classes,
+                    on_tree=False,
+                )
+            )
+        elif isinstance(stmt, AliasDef):
+            target = self._inline_aliases(stmt.target)
+            if target.is_local:
+                raise AnalysisError(
+                    f"alias {stmt.name!r} target {target} did not inline"
+                )
+            self.alias_targets[stmt.name] = target
+            # navigating to the aliased node reads the pointer chain
+            self._add_read(acc, target)
+        elif isinstance(stmt, If):
+            self._add_expr_reads(acc, stmt.cond)
+            for sub in stmt.then_body:
+                self._collect_into(acc, sub)
+            for sub in stmt.else_body:
+                self._collect_into(acc, sub)
+        elif isinstance(stmt, While):
+            # a loop's access *set* is the union of one iteration's
+            # accesses — paths are trip-count independent (§3.5)
+            self._add_expr_reads(acc, stmt.cond)
+            for sub in stmt.body:
+                self._collect_into(acc, sub)
+        elif isinstance(stmt, Return):
+            pass
+        elif isinstance(stmt, (New, Delete)):
+            self._add_write(acc, stmt.target, whole_subtree=True)
+        elif isinstance(stmt, PureStmt):
+            self._add_expr_reads(acc, stmt.call)
+        elif isinstance(stmt, TraverseStmt):
+            # Argument expressions are evaluated at the call site, in the
+            # caller's frame; the callee's own accesses are summarized by
+            # Algorithm 1 (call_automata), not here.
+            for arg in stmt.args:
+                self._add_expr_reads(acc, arg)
+            if stmt.receiver.child is not None:
+                acc.tree_reads.append(
+                    AccessInfo(
+                        labels=(stmt.receiver.child.label,),
+                        any_suffix=False,
+                        on_tree=True,
+                    )
+                )
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown statement {type(stmt).__name__}")

@@ -1,0 +1,93 @@
+"""Labeled call graphs (paper §3.2.1, Fig. 5a).
+
+Nodes are *concrete* traversal methods; an edge ``F --c--> G`` means F
+contains a traverse statement on child field ``c`` that may dispatch to G
+(label ``None`` for calls on ``this``). Dispatch is resolved
+conservatively, exactly like Algorithm 1: the possible dynamic types of a
+receiver are all concrete subtypes of its static type (for ``this``, of
+the method's owner).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import TraverseStmt, walk_stmts
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    src: str  # qualified method name
+    label: Optional[str]  # child field label, or None for `this`
+    dst: str
+
+
+@dataclass
+class CallGraph:
+    methods: dict[str, TraversalMethod] = field(default_factory=dict)
+    edges: set[CallEdge] = field(default_factory=set)
+
+    def successors(self, qualified_name: str) -> list[CallEdge]:
+        return sorted(
+            (e for e in self.edges if e.src == qualified_name),
+            key=lambda e: (e.label or "", e.dst),
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.methods)
+
+
+def dispatch_targets(
+    program: Program, static_type: str, method_name: str
+) -> list[TraversalMethod]:
+    """The concrete methods a virtual call may reach, one per possible
+    dynamic type (deduplicated, deterministic order)."""
+    targets: dict[str, TraversalMethod] = {}
+    for type_name in program.concrete_subtypes(static_type):
+        if program.has_method(type_name, method_name):
+            method = program.resolve_method(type_name, method_name)
+            targets.setdefault(method.qualified_name, method)
+    return [targets[name] for name in sorted(targets)]
+
+
+def call_targets(
+    program: Program, caller: TraversalMethod, stmt: TraverseStmt
+) -> list[TraversalMethod]:
+    """Dispatch targets of one traverse statement inside *caller*."""
+    if stmt.receiver.is_this:
+        static_type = caller.owner
+    else:
+        static_type = stmt.receiver.child.type_name
+    return dispatch_targets(program, static_type, stmt.method_name)
+
+
+def build_call_graph(
+    program: Program, roots: list[TraversalMethod]
+) -> CallGraph:
+    """All methods transitively reachable from *roots*, with labeled edges."""
+    graph = CallGraph()
+    queue: deque[TraversalMethod] = deque(roots)
+    for root in roots:
+        graph.methods[root.qualified_name] = root
+    while queue:
+        method = queue.popleft()
+        for stmt in walk_stmts(method.body):
+            if not isinstance(stmt, TraverseStmt):
+                continue
+            label = None if stmt.receiver.is_this else stmt.receiver.child.label
+            for target in call_targets(program, method, stmt):
+                edge = CallEdge(
+                    src=method.qualified_name,
+                    label=label,
+                    dst=target.qualified_name,
+                )
+                graph.edges.add(edge)
+                if target.qualified_name not in graph.methods:
+                    graph.methods[target.qualified_name] = target
+                    queue.append(target)
+    return graph

@@ -1,0 +1,110 @@
+"""Access summaries: raw access paths -> automata + interference test.
+
+Implements the second half of paper §3.2.1. Each dependence-graph vertex
+carries a :class:`StatementSummary` holding four automata:
+
+* ``tree_reads`` / ``tree_writes`` — languages over
+  ``ROOT · (field label)*``, rooted at the traversed node. The special
+  first label :data:`ROOT_LABEL` is the paper's *traversed-node*
+  transition; both sides of every dependence test are rooted at the same
+  node, so the markers line up.
+* ``env_reads`` / ``env_writes`` — languages over ``::global`` /
+  ``local:NAME`` labels followed by member labels.
+
+Two statements interfere (need an edge) iff some write automaton of one
+intersects a read or write automaton of the other, on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata import Automaton, from_path, intersects, union
+from repro.analysis.accesses import AccessInfo
+
+ROOT_LABEL = "⟨root⟩"
+
+
+@dataclass
+class StatementSummary:
+    """The four access automata of one dependence-graph vertex."""
+
+    tree_reads: Automaton
+    tree_writes: Automaton
+    env_reads: Automaton
+    env_writes: Automaton
+
+    @staticmethod
+    def from_accesses(
+        tree_reads: list[AccessInfo],
+        tree_writes: list[AccessInfo],
+        env_reads: list[AccessInfo],
+        env_writes: list[AccessInfo],
+    ) -> "StatementSummary":
+        return StatementSummary(
+            tree_reads=_tree_automaton(tree_reads, is_write=False),
+            tree_writes=_tree_automaton(tree_writes, is_write=True),
+            env_reads=env_automaton(env_reads, is_write=False),
+            env_writes=env_automaton(env_writes, is_write=True),
+        )
+
+
+def _tree_automaton(accesses: list[AccessInfo], is_write: bool) -> Automaton:
+    """Union of primitive automata, each prefixed by the ROOT transition.
+
+    Read automata accept the bare ``[ROOT]`` prefix (reading ``this``);
+    this is harmless because no write automaton ever accepts it — every
+    write path has at least one member label after ROOT.
+    """
+    parts = []
+    for info in accesses:
+        parts.append(
+            from_path(
+                [ROOT_LABEL, *info.labels],
+                accept_prefixes=not is_write,
+                any_suffix=info.any_suffix,
+            )
+        )
+    return union(parts)
+
+
+def env_automaton(accesses: list[AccessInfo], is_write: bool) -> Automaton:
+    parts = []
+    for info in accesses:
+        parts.append(
+            from_path(
+                list(info.labels),
+                accept_prefixes=not is_write,
+                any_suffix=info.any_suffix,
+            )
+        )
+    return union(parts)
+
+
+def interferes(a: StatementSummary, b: StatementSummary) -> bool:
+    """The paper's dependence test: write/read or write/write overlap on
+    either the tree or the environment automata."""
+    if intersects(a.tree_writes, b.tree_reads):
+        return True
+    if intersects(a.tree_writes, b.tree_writes):
+        return True
+    if intersects(b.tree_writes, a.tree_reads):
+        return True
+    if intersects(a.env_writes, b.env_reads):
+        return True
+    if intersects(a.env_writes, b.env_writes):
+        return True
+    if intersects(b.env_writes, a.env_reads):
+        return True
+    return False
+
+
+def merge_summaries(parts: list[StatementSummary]) -> StatementSummary:
+    """Union several summaries into one (used for conditional call blocks
+    in TreeFuser mode and for whole-call summaries)."""
+    return StatementSummary(
+        tree_reads=union([p.tree_reads for p in parts]),
+        tree_writes=union([p.tree_writes for p in parts]),
+        env_reads=union([p.env_reads for p in parts]),
+        env_writes=union([p.env_writes for p in parts]),
+    )

@@ -1,0 +1,41 @@
+"""Finite-automata substrate for access summaries.
+
+The original Grafter prototype uses OpenFST to represent the sets of access
+paths a statement (or a transitively-reachable traversal call) may touch, and
+decides dependences by intersecting those automata and testing for emptiness
+(paper §3.2). This package is a small, dependency-free replacement providing
+exactly the operations Grafter needs:
+
+* :class:`Automaton` — a nondeterministic finite automaton over string
+  labels, with two special labels: :data:`EPSILON` (silent transition) and
+  :data:`ANY` (wildcard that matches every concrete label, used for
+  whole-object and whole-subtree accesses, paper §3.2.1).
+* :func:`union` — language union (used to combine primitive access-path
+  automata into statement summaries).
+* :func:`intersect` / :func:`intersects` — product construction respecting
+  the ``ANY`` wildcard; :func:`intersects` is the emptiness test that
+  implements the paper's dependence check.
+* :func:`enumerate_paths` — bounded language enumeration, used by the test
+  suite to cross-check automaton algebra against brute force.
+"""
+
+from repro.automata.fsa import ANY, EPSILON, Automaton, from_path
+from repro.automata.ops import (
+    enumerate_paths,
+    intersect,
+    intersects,
+    prune,
+    union,
+)
+
+__all__ = [
+    "ANY",
+    "EPSILON",
+    "Automaton",
+    "from_path",
+    "union",
+    "intersect",
+    "intersects",
+    "prune",
+    "enumerate_paths",
+]

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table and figure of paper §5.
+
+* :mod:`repro.bench.metrics` — run one configuration and collect the
+  paper's four quantities (node visits, instructions, cache misses,
+  runtime-as-modeled-cycles plus wall seconds).
+* :mod:`repro.bench.runner`  — fused-vs-unfused comparisons (Grafter and
+  the TreeFuser baseline) with normalization.
+* :mod:`repro.bench.tables`  — plain-text rendering of figure series and
+  tables.
+* :mod:`repro.bench.experiments` — one entry point per paper artifact
+  (Fig. 9a/9b/11/12/13, Tables 1/2/3/4/6, the §5.1 LLOC comparison).
+"""
+
+from repro.bench.metrics import Measurement, measure_run
+from repro.bench.runner import CompareResult, compare_fused_unfused
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "Measurement",
+    "measure_run",
+    "CompareResult",
+    "compare_fused_unfused",
+    "format_series",
+    "format_table",
+]

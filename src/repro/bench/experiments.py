@@ -1,0 +1,400 @@
+"""One entry point per paper artifact (figures as series, tables as rows).
+
+Every function returns ``(text, data)``: a printable report and the
+structured numbers, so benchmark tests can both display and assert on
+shapes (who wins, by roughly what factor, where crossovers fall).
+
+Scales default to sizes a pure-Python simulator handles in CI time; the
+``sizes=``/``depths=`` parameters accept larger values for longer runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.runner import (
+    CompareResult,
+    compare_fused_unfused,
+    compare_treefuser,
+    fused_for,
+)
+from repro.bench.tables import format_series, format_table
+from repro.workloads.astlang import ast_program
+from repro.workloads.astlang.programs import (
+    prog1_spec,
+    prog2_spec,
+    prog3_spec,
+    replicated_functions,
+)
+from repro.workloads.fmm import (
+    FMM_DEFAULT_GLOBALS,
+    build_fmm_tree,
+    fmm_program,
+    random_particles,
+)
+from repro.workloads.kdtree import (
+    EQ1_SCHEDULE,
+    EQ2_SCHEDULE,
+    EQ3_SCHEDULE,
+    KD_DEFAULT_GLOBALS,
+    build_balanced_tree,
+    equation_program,
+)
+from repro.workloads.render import (
+    build_document,
+    doc1_spec,
+    doc2_spec,
+    doc3_spec,
+    render_program,
+    replicated_pages_spec,
+)
+from repro.workloads.render.schema import DEFAULT_GLOBALS as RENDER_GLOBALS
+
+_FIG_METRICS = ["runtime", "L2_misses", "L3_misses", "instructions", "node_visits"]
+
+
+def _series_from(results: list[CompareResult], metrics=None) -> dict[str, list[float]]:
+    metrics = metrics or _FIG_METRICS
+    series: dict[str, list[float]] = {name: [] for name in metrics}
+    for result in results:
+        normalized = result.normalized
+        for name in metrics:
+            series[name].append(normalized.get(name, float("nan")))
+    series["baseline_cycles"] = [r.unfused.modeled_cycles for r in results]
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 2 — qualitative artifacts
+# ---------------------------------------------------------------------------
+
+
+def table1_capabilities() -> tuple[str, list]:
+    """The capability matrix (paper Table 1), with this reproduction's
+    row derived from what the engine actually supports."""
+    rows = [
+        ("Stream fusion [7]", "yes", "no", "no", "n/a"),
+        ("Attribute grammars [20]", "yes", "no", "no", "yes"),
+        ("Miniphases [21]", "yes", "no", "no", "no"),
+        ("Rajbhandari et al. [23]", "no", "no", "no", "no"),
+        ("TreeFuser [25]", "no", "yes", "yes", "yes"),
+        ("Grafter (this reproduction)", "yes", "yes", "yes", "yes"),
+    ]
+    text = format_table(
+        "Table 1 — capabilities vs prior work",
+        ["approach", "heterogeneous", "fine-grained", "general", "dep. analysis"],
+        rows,
+    )
+    return text, rows
+
+
+def table2_passes() -> tuple[str, list]:
+    render = render_program()
+    ast = ast_program()
+    render_passes = [c.method_name for c in render.entry]
+    ast_passes = sorted({m.name for m in ast.all_methods()})
+    rows = list(zip(
+        render_passes + [""] * max(0, len(ast_passes) - len(render_passes)),
+        ast_passes + [""] * max(0, len(render_passes) - len(ast_passes)),
+    ))
+    text = format_table(
+        "Table 2 — render-tree and AST passes",
+        ["render-tree traversals", "AST traversals"],
+        rows,
+    )
+    return text, rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9a / 9b + Table 3 — render tree
+# ---------------------------------------------------------------------------
+
+
+def fig9a_render_grafter(
+    sizes: Sequence[int] = (1, 4, 16, 64),
+    cache_scale: Optional[int] = 64,
+) -> tuple[str, dict]:
+    program = render_program()
+    results = []
+    for pages in sizes:
+        spec = replicated_pages_spec(pages)
+        results.append(
+            compare_fused_unfused(
+                f"pages{pages}",
+                program,
+                lambda p, h, s=spec: build_document(p, h, s),
+                RENDER_GLOBALS,
+                cache_scale=cache_scale,
+            )
+        )
+    series = _series_from(results)
+    text = format_series(
+        "Fig 9a — render tree, Grafter fused normalized to unfused",
+        "pages", list(sizes), series,
+        note="cache geometry = paper's Xeon divided by "
+             f"{cache_scale} (trees scaled likewise)",
+    )
+    return text, {"sizes": list(sizes), "series": series}
+
+
+def fig9b_render_treefuser(
+    sizes: Sequence[int] = (1, 4, 16, 64),
+    cache_scale: Optional[int] = 64,
+) -> tuple[str, dict]:
+    program = render_program()
+    results = []
+    for pages in sizes:
+        spec = replicated_pages_spec(pages)
+        results.append(
+            compare_treefuser(
+                f"pages{pages}",
+                program,
+                lambda p, h, s=spec: build_document(p, h, s),
+                RENDER_GLOBALS,
+                cache_scale=cache_scale,
+            )
+        )
+    series = _series_from(results)
+    text = format_series(
+        "Fig 9b — render tree, TreeFuser fused normalized to TreeFuser unfused",
+        "pages", list(sizes), series,
+    )
+    return text, {"sizes": list(sizes), "series": series}
+
+
+def table3_render_configs(
+    cache_scale: Optional[int] = 64,
+    doc1_pages: int = 384,
+    doc2_rows: int = 192,
+    doc3_pages: int = 144,
+) -> tuple[str, dict]:
+    program = render_program()
+    specs = {
+        "Doc1 (many simple pages)": doc1_spec(num_pages=doc1_pages),
+        "Doc2 (one dense page)": doc2_spec(rows=doc2_rows),
+        "Doc3 (mixed page sizes)": doc3_spec(num_pages=doc3_pages),
+    }
+    rows = []
+    data = {}
+    for label, spec in specs.items():
+        result = compare_fused_unfused(
+            label,
+            program,
+            lambda p, h, s=spec: build_document(p, h, s),
+            RENDER_GLOBALS,
+            cache_scale=cache_scale,
+        )
+        normalized = result.normalized
+        rows.append(
+            (
+                label,
+                normalized["runtime"],
+                normalized.get("L2_misses", float("nan")),
+                normalized.get("L3_misses", float("nan")),
+                normalized["node_visits"],
+                f"{result.unfused.tree_bytes >> 10}KB",
+            )
+        )
+        data[label] = normalized
+    text = format_table(
+        "Table 3 — render configurations (fused / unfused)",
+        ["document", "runtime", "L2 misses", "L3 misses", "node visits", "tree size"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 + Table 4 — AST
+# ---------------------------------------------------------------------------
+
+
+def fig11_ast_scaling(
+    sizes: Sequence[int] = (4, 16, 64, 128),
+    cache_scale: Optional[int] = 64,
+) -> tuple[str, dict]:
+    program = ast_program()
+    results = []
+    for functions in sizes:
+        results.append(
+            compare_fused_unfused(
+                f"fns{functions}",
+                program,
+                lambda p, h, n=functions: replicated_functions(p, h, n),
+                None,
+                cache_scale=cache_scale,
+            )
+        )
+    series = _series_from(results)
+    text = format_series(
+        "Fig 11 — AST passes, fused normalized to unfused",
+        "functions", list(sizes), series,
+    )
+    return text, {"sizes": list(sizes), "series": series}
+
+
+def table4_ast_configs(cache_scale: Optional[int] = 64) -> tuple[str, dict]:
+    program = ast_program()
+    configs = {
+        "Prog1 (small functions)": lambda p, h: prog1_spec(p, h, num_functions=96),
+        "Prog2 (one large function)": lambda p, h: prog2_spec(p, h, num_stmts=320),
+        "Prog3 (long live ranges)": lambda p, h: prog3_spec(
+            p, h, num_functions=48, stmts_per_function=72
+        ),
+    }
+    rows = []
+    data = {}
+    for label, build in configs.items():
+        result = compare_fused_unfused(
+            label, program, build, None, cache_scale=cache_scale
+        )
+        normalized = result.normalized
+        rows.append(
+            (
+                label,
+                normalized["runtime"],
+                normalized.get("L2_misses", float("nan")),
+                normalized["node_visits"],
+                f"{result.unfused.tree_bytes >> 10}KB",
+            )
+        )
+        data[label] = normalized
+    text = format_table(
+        "Table 4 — AST configurations (fused / unfused)",
+        ["program", "runtime", "L2 misses", "node visits", "tree size"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 + Table 6 — kd-tree piecewise functions
+# ---------------------------------------------------------------------------
+
+
+def fig12_kdtree_scaling(
+    depths: Sequence[int] = (4, 6, 8, 10, 12),
+    cache_scale: Optional[int] = 64,
+) -> tuple[str, dict]:
+    program = equation_program(EQ1_SCHEDULE, "eq1")
+    results = []
+    for depth in depths:
+        results.append(
+            compare_fused_unfused(
+                f"depth{depth}",
+                program,
+                lambda p, h, d=depth: build_balanced_tree(p, h, depth=d),
+                KD_DEFAULT_GLOBALS,
+                cache_scale=cache_scale,
+            )
+        )
+    series = _series_from(results)
+    text = format_series(
+        "Fig 12 — kd-tree equation 1, fused normalized to unfused",
+        "depth", list(depths), series,
+    )
+    return text, {"depths": list(depths), "series": series}
+
+
+def table6_kdtree_equations(
+    depth: int = 10, cache_scale: Optional[int] = 64
+) -> tuple[str, dict]:
+    schedules = {
+        "x^4 (f''(x))^2 + sum x^i": EQ1_SCHEDULE,
+        "f^(5)(x) at x=0": EQ2_SCHEDULE,
+        "int x^3 (f+.5)^2 u(0)": EQ3_SCHEDULE,
+    }
+    rows = []
+    data = {}
+    for label, schedule in schedules.items():
+        program = equation_program(schedule, label)
+        result = compare_fused_unfused(
+            label,
+            program,
+            lambda p, h: build_balanced_tree(p, h, depth=depth),
+            KD_DEFAULT_GLOBALS,
+            cache_scale=cache_scale,
+        )
+        normalized = result.normalized
+        rows.append(
+            (
+                label,
+                normalized["runtime"],
+                normalized.get("L2_misses", float("nan")),
+                normalized.get("L3_misses", float("nan")),
+                normalized["node_visits"],
+            )
+        )
+        data[label] = normalized
+    text = format_table(
+        f"Table 6 — equation schedules on a depth-{depth} kd-tree "
+        "(fused / unfused)",
+        ["equation", "runtime", "L2 misses", "L3 misses", "node visits"],
+        rows,
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — FMM
+# ---------------------------------------------------------------------------
+
+
+def fig13_fmm(
+    sizes: Sequence[int] = (1_000, 4_000, 16_000),
+    cache_scale: Optional[int] = 64,
+) -> tuple[str, dict]:
+    program = fmm_program()
+    results = []
+    for count in sizes:
+        particles = random_particles(count)
+        results.append(
+            compare_fused_unfused(
+                f"n{count}",
+                program,
+                lambda p, h, pts=particles: build_fmm_tree(p, h, pts),
+                FMM_DEFAULT_GLOBALS,
+                cache_scale=cache_scale,
+            )
+        )
+    series = _series_from(results)
+    text = format_series(
+        "Fig 13 — FMM traversals, fused normalized to unfused",
+        "points", list(sizes), series,
+    )
+    return text, {"sizes": list(sizes), "series": series}
+
+
+# ---------------------------------------------------------------------------
+# §5.1 LLOC report
+# ---------------------------------------------------------------------------
+
+
+def lloc_report() -> tuple[str, dict]:
+    """Programmability comparison (§5.1): Grafter spreads the same logic
+    over many small per-type functions; the tagged union concentrates it
+    into one function per traversal."""
+    from repro.bench.runner import lowered_for
+
+    program = render_program()
+    lowered = lowered_for(program)
+    grafter_functions = sum(1 for _ in program.all_methods())
+    grafter_stmts = sum(len(m.body) for m in program.all_methods())
+    lowered_methods = list(lowered.program.tree_types["TNode"].methods.values())
+    rows = [
+        ("Grafter", grafter_functions, grafter_stmts),
+        (
+            "TreeFuser (tagged union)",
+            len(lowered_methods),
+            sum(len(m.body) for m in lowered_methods),
+        ),
+    ]
+    text = format_table(
+        "LLOC report — render passes (§5.1)",
+        ["system", "functions", "top-level statements"],
+        rows,
+    )
+    return text, {
+        "grafter_functions": grafter_functions,
+        "treefuser_functions": len(lowered_methods),
+    }

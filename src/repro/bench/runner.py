@@ -1,0 +1,104 @@
+"""Fused-vs-unfused comparison driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.metrics import Measurement, measure_run
+from repro.fusion import FusionLimits, fuse_program
+from repro.fusion.fused_ir import FusedProgram
+from repro.ir.program import Program
+from repro.treefuser import LoweredProgram, lower_program, lower_tree
+
+_FUSED_CACHE: dict[int, FusedProgram] = {}
+_LOWERED_CACHE: dict[int, LoweredProgram] = {}
+_LOWERED_FUSED_CACHE: dict[int, FusedProgram] = {}
+
+
+def fused_for(program: Program, limits: Optional[FusionLimits] = None) -> FusedProgram:
+    """Fuse once per program object (synthesis is compile-time work)."""
+    key = id(program)
+    if limits is not None:
+        return fuse_program(program, limits=limits)
+    if key not in _FUSED_CACHE:
+        _FUSED_CACHE[key] = fuse_program(program)
+    return _FUSED_CACHE[key]
+
+
+def lowered_for(program: Program) -> LoweredProgram:
+    key = id(program)
+    if key not in _LOWERED_CACHE:
+        _LOWERED_CACHE[key] = lower_program(program)
+    return _LOWERED_CACHE[key]
+
+
+def lowered_fused_for(program: Program) -> FusedProgram:
+    key = id(program)
+    if key not in _LOWERED_FUSED_CACHE:
+        _LOWERED_FUSED_CACHE[key] = fuse_program(lowered_for(program).program)
+    return _LOWERED_FUSED_CACHE[key]
+
+
+@dataclass
+class CompareResult:
+    label: str
+    unfused: Measurement
+    fused: Measurement
+
+    @property
+    def normalized(self) -> dict[str, float]:
+        return self.fused.normalized_to(self.unfused)
+
+
+def compare_fused_unfused(
+    label: str,
+    program: Program,
+    build_tree: Callable,
+    globals_map: Optional[dict] = None,
+    cache_scale: Optional[int] = None,
+) -> CompareResult:
+    """Grafter experiment: the same input, unfused then fused."""
+    unfused = measure_run(
+        program, build_tree, globals_map, fused=None, cache_scale=cache_scale
+    )
+    fused = measure_run(
+        program,
+        build_tree,
+        globals_map,
+        fused=fused_for(program),
+        cache_scale=cache_scale,
+    )
+    return CompareResult(label=label, unfused=unfused, fused=fused)
+
+
+def compare_treefuser(
+    label: str,
+    program: Program,
+    build_tree: Callable,
+    globals_map: Optional[dict] = None,
+    cache_scale: Optional[int] = None,
+) -> CompareResult:
+    """TreeFuser experiment: lower the program and the input, then run
+    the lowered baseline and the lowered-fused version (Fig. 9b is
+    normalized to the TreeFuser baseline, not the Grafter one)."""
+    lowered = lowered_for(program)
+
+    def build_lowered(lowered_program: Program, heap):
+        from repro.runtime import Heap
+
+        source_heap = Heap(program)
+        source_root = build_tree(program, source_heap)
+        return lower_tree(program, lowered, heap, source_root)
+
+    unfused = measure_run(
+        lowered.program, build_lowered, globals_map, cache_scale=cache_scale
+    )
+    fused = measure_run(
+        lowered.program,
+        build_lowered,
+        globals_map,
+        fused=lowered_fused_for(program),
+        cache_scale=cache_scale,
+    )
+    return CompareResult(label=label, unfused=unfused, fused=fused)

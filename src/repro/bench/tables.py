@@ -1,0 +1,49 @@
+"""Plain-text table/series rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: str = "",
+) -> str:
+    """Fixed-width table with a title line, like the paper's tables."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = [title, line(headers), line(["-" * w for w in widths])]
+    parts.extend(line(row) for row in rendered_rows)
+    if note:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    note: str = "",
+) -> str:
+    """A figure as a table: one row per x, one column per metric."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [series[name][index] for name in series])
+    return format_table(title, headers, rows, note=note)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""Cache simulation substrate.
+
+The paper evaluates on an Intel Xeon with 32 KB 8-way L1, 256 KB 8-way L2,
+20 MB 20-way L3 and 64 B lines (§5, *Experimental platform*), reporting L2
+and L3 miss counts from hardware counters. The reproduction replaces the
+hardware with a deterministic set-associative LRU simulator fed by the
+interpreter's address trace, configured with the same geometry, plus a
+simple additive latency model that converts (instructions, misses) into
+"modeled cycles" — the reproduction's *runtime* metric.
+"""
+
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.hierarchy import CacheHierarchy, LatencyModel, paper_hierarchy
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "LatencyModel",
+    "paper_hierarchy",
+]

@@ -1,0 +1,77 @@
+"""A set-associative LRU cache model."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class SetAssociativeCache:
+    """Classic set-associative cache with LRU replacement.
+
+    Addresses are byte addresses; the cache tracks lines of ``line_size``
+    bytes. ``access`` returns True on hit. Writes are modeled as
+    write-allocate / write-back (a store to a missing line fetches it), so
+    reads and writes behave identically for miss counting, matching how
+    the paper's hardware counters see traffic.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_size: int = 64):
+        if not _is_power_of_two(line_size):
+            raise ReproError(f"{name}: line size must be a power of two")
+        num_lines = size_bytes // line_size
+        if num_lines % ways != 0:
+            raise ReproError(f"{name}: {num_lines} lines not divisible by {ways} ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = num_lines // ways
+        self._line_shift = line_size.bit_length() - 1
+        # per-set: dict tag -> recency counter (dicts preserve insertion
+        # order; we track recency with a monotonic counter for O(1) hits)
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch the line containing *address*; returns True on hit."""
+        line = address >> self._line_shift
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[set_index]
+        self._tick += 1
+        if tag in cache_set:
+            cache_set[tag] = self._tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.ways:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[tag] = self._tick
+        return False
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Empty the cache (used between experiment repetitions)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.reset_counters()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.name}: {self.size_bytes >> 10}KB {self.ways}-way, "
+            f"{self.hits} hits / {self.misses} misses"
+        )

@@ -1,0 +1,72 @@
+"""Multi-level cache hierarchy + latency model (the paper's testbed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.cache import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Additional cycles paid per miss at each level.
+
+    An L1 hit is folded into the instruction cost (1 unit per access in
+    the cost model); each deeper miss adds latency on top. Values are in
+    the ballpark of the paper's Xeon (L2 ~12, L3 ~40, DRAM ~200 cycles).
+    """
+
+    l1_miss: int = 12
+    l2_miss: int = 28  # additional on top of the L2 latency already paid
+    l3_miss: int = 160
+
+
+class CacheHierarchy:
+    """Inclusive-enough three-level hierarchy: an access missing a level
+    is forwarded to the next one."""
+
+    def __init__(self, levels: list[SetAssociativeCache], latency: LatencyModel):
+        self.levels = levels
+        self.latency = latency
+
+    def access(self, address: int) -> None:
+        for level in self.levels:
+            if level.access(address):
+                return
+
+    def miss_counts(self) -> dict[str, int]:
+        return {level.name: level.misses for level in self.levels}
+
+    def penalty_cycles(self) -> int:
+        """Total extra cycles implied by the recorded miss counts."""
+        penalties = (self.latency.l1_miss, self.latency.l2_miss, self.latency.l3_miss)
+        total = 0
+        for level, penalty in zip(self.levels, penalties):
+            total += level.misses * penalty
+        return total
+
+    def reset_counters(self) -> None:
+        for level in self.levels:
+            level.reset_counters()
+
+    def flush(self) -> None:
+        for level in self.levels:
+            level.flush()
+
+
+def paper_hierarchy(scale: int = 1, latency: LatencyModel | None = None) -> CacheHierarchy:
+    """The evaluation platform's hierarchy (paper §5): 32 KB 8-way L1,
+    256 KB 8-way L2, 20 MB 20-way L3, 64 B lines.
+
+    ``scale`` divides every capacity by a power-of-two factor. Because the
+    pure-Python interpreter cannot run the paper's 90 MB–1 GB trees in CI
+    time, experiments optionally shrink the caches together with the trees
+    — preserving the tree-size : cache-size ratios where the paper's
+    crossovers live. ``scale=1`` is the faithful configuration.
+    """
+    if latency is None:
+        latency = LatencyModel()
+    l1 = SetAssociativeCache("L1", 32 * 1024 // scale, 8)
+    l2 = SetAssociativeCache("L2", 256 * 1024 // scale, 8)
+    l3 = SetAssociativeCache("L3", 20 * 1024 * 1024 // scale, 20)
+    return CacheHierarchy([l1, l2, l3], latency)

@@ -1,0 +1,35 @@
+"""Code generation: emit executable Python from traversal programs.
+
+The original Grafter is a source-to-source tool — its output is C++ that
+gets compiled and run. This package is the reproduction's equivalent
+backend: it emits a self-contained Python module for a program (and for
+its fused form), with dynamic dispatch precomputed into dictionaries and
+access paths compiled to direct field operations.
+
+Two uses:
+
+* **deployment** — compiled traversals run an order of magnitude faster
+  than the metering interpreter (no per-access instrumentation), which is
+  what a downstream user wants once they trust the numbers;
+* **verification** — the test suite runs the interpreter and the
+  generated code on identical inputs and asserts identical final states,
+  cross-checking both executions *and* the printed code generator.
+"""
+
+from repro.codegen.python_backend import (
+    CompiledFused,
+    CompiledProgram,
+    compile_fused,
+    compile_program,
+    emit_fused_module,
+    emit_module,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "CompiledFused",
+    "compile_program",
+    "compile_fused",
+    "emit_module",
+    "emit_fused_module",
+]

@@ -1,0 +1,602 @@
+"""Python emission for traversal programs and fused programs.
+
+Generated module layout (unfused)::
+
+    def m_TextBox_computeWidth(RT, this):
+        _f = this.fields
+        _D_computeWidth[_f['Next'].type_name](RT, _f['Next'])
+        _f['Width'] = _f['Text'].members['Length']
+        ...
+    _D_computeWidth = {'TextBox': m_TextBox_computeWidth, ...}
+    def run_entry(RT, root): ...
+
+Generated module layout (fused)::
+
+    def u__fuse__TextBox_computeWidth__TextBox_computeHeight(RT, this, flags, args):
+        if flags & 0b1:
+            ...
+        cf = 0; ca = []
+        ...
+        if cf: _G0[child.type_name](RT, child, cf, ca)
+    _G0 = {...}
+    def run_fused(RT, root): ...
+
+Member truncation (``return;`` under ``active_flags``) compiles to a
+``_Trunc`` exception caught at the guarded statement, clearing the
+member's bit — truncations are rare, so the exception cost is paid only
+when the paper's semantics actually need it.
+"""
+
+from __future__ import annotations
+
+import keyword
+
+from repro.errors import ReproError
+from repro.fusion.fused_ir import (
+    FusedProgram,
+    FusedUnit,
+    GroupCall,
+    GuardedStmt,
+)
+from repro.ir.access import AccessPath
+from repro.ir.exprs import BinOp, Const, DataAccess, Expr, PureCall, UnaryOp
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+from repro.ir.types import is_primitive
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+
+_PRELUDE = '''\
+from repro.runtime.interpreter import _cxx_div as _div, _cxx_mod as _mod
+from repro.runtime.values import copy_value as _copy
+
+
+class _Trunc(Exception):
+    """Member truncation inside a fused unit."""
+
+
+_TRUNC = _Trunc()
+'''
+
+
+class _Namer:
+    """Collision-free Python identifiers for methods/units/locals."""
+
+    @staticmethod
+    def method(method: TraversalMethod) -> str:
+        return f"m_{_sanitize(method.owner)}_{_sanitize(method.name)}"
+
+    @staticmethod
+    def unit(unit: FusedUnit) -> str:
+        return f"u_{_sanitize(unit.label)}"
+
+    @staticmethod
+    def local(name: str, prefix: str = "") -> str:
+        base = f"{prefix}v_{_sanitize(name)}"
+        if keyword.iskeyword(base):  # pragma: no cover - v_ prefix prevents
+            base += "_"
+        return base
+
+
+def _sanitize(text: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
+
+
+class RuntimeContext:
+    """What generated code needs at run time: globals, pure functions and
+    a node allocator. Deliberately tiny — no metering."""
+
+    def __init__(self, program: Program, heap: Heap, globals_map=None):
+        self.program = program
+        self.heap = heap
+        self.globals: dict[str, object] = {}
+        from repro.runtime.values import default_value
+
+        for var in program.globals.values():
+            self.globals[var.name] = default_value(program, var.type_name)
+        for name, value in (globals_map or {}).items():
+            self.globals[name] = value
+        self.pure = {
+            name: func for name, func in program.pure_functions.items()
+        }
+
+    def new_node(self, type_name: str) -> Node:
+        return Node.new(self.program, self.heap, type_name)
+
+    def new_opaque(self, class_name: str):
+        from repro.runtime.values import default_value
+
+        return default_value(self.program, class_name)
+
+
+# ===========================================================================
+# expressions
+# ===========================================================================
+
+
+class _ExprCompiler:
+    def __init__(self, program: Program, local_prefix: str = ""):
+        self.program = program
+        self.prefix = local_prefix
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return repr(node.value)
+        if isinstance(node, DataAccess):
+            return self.read_path(node.path)
+        if isinstance(node, BinOp):
+            return self._binop(node)
+        if isinstance(node, UnaryOp):
+            operand = self.expr(node.operand)
+            if node.op == "-":
+                return f"(-{operand})"
+            return f"(not {operand})"
+        if isinstance(node, PureCall):
+            args = ", ".join(f"_copy({self.expr(a)})" for a in node.args)
+            return f"RT.pure[{node.func_name!r}]({args})"
+        raise ReproError(f"cannot compile expression {node!r}")
+
+    def _binop(self, node: BinOp) -> str:
+        lhs = self.expr(node.lhs)
+        rhs = self.expr(node.rhs)
+        if node.op == "&&":
+            return f"bool({lhs} and {rhs})"
+        if node.op == "||":
+            return f"bool({lhs} or {rhs})"
+        if node.op == "/":
+            return f"_div({lhs}, {rhs})"
+        if node.op == "%":
+            return f"_mod({lhs}, {rhs})"
+        return f"({lhs} {node.op} {rhs})"
+
+    # -- paths ----------------------------------------------------------
+
+    def base(self, path: AccessPath) -> str:
+        if path.base == "this":
+            return "this"
+        if path.is_local:
+            return _Namer.local(path.base_name, self.prefix)
+        raise ReproError(f"path {path} has no node base")
+
+    def read_path(self, path: AccessPath) -> str:
+        if path.is_global:
+            if not path.steps:
+                return f"RT.globals[{path.base_name!r}]"
+            member = path.steps[0].field.name
+            return f"RT.globals[{path.base_name!r}].members[{member!r}]"
+        if path.is_local and not self._local_is_node(path):
+            text = _Namer.local(path.base_name, self.prefix)
+            for step in path.steps:
+                text += f".members[{step.field.name!r}]"
+            return text
+        return self._path_text(path)
+
+    def _path_text(self, path: AccessPath) -> str:
+        text = self.base(path)
+        steps = path.steps
+        for index, step in enumerate(steps):
+            if step.field.is_child:
+                text += f".fields[{step.field.name!r}]"
+            elif index > 0 and not steps[index - 1].field.is_child:
+                # member of an opaque object value
+                text += f".members[{step.field.name!r}]"
+            else:
+                text += f".fields[{step.field.name!r}]"
+        return text
+
+    def _local_is_node(self, path: AccessPath) -> bool:
+        """Aliases hold nodes; data locals hold values. A path whose first
+        step is a child or tree-owned data field came from an alias."""
+        if not path.steps:
+            return False
+        first = path.steps[0].field
+        return first.is_child or first.owner in self.program.tree_types
+
+    def write_target(self, path: AccessPath) -> str:
+        if path.is_global:
+            if not path.steps:
+                return f"RT.globals[{path.base_name!r}]"
+            member = path.steps[0].field.name
+            return f"RT.globals[{path.base_name!r}].members[{member!r}]"
+        if path.is_local and not self._local_is_node(path):
+            text = _Namer.local(path.base_name, self.prefix)
+            for step in path.steps:
+                text += f".members[{step.field.name!r}]"
+            return text
+        return self._path_text(path)
+
+
+# ===========================================================================
+# statements
+# ===========================================================================
+
+
+class _StmtCompiler:
+    def __init__(
+        self,
+        program: Program,
+        exprc: _ExprCompiler,
+        call_line,
+        return_line: str,
+    ):
+        self.program = program
+        self.exprc = exprc
+        self.call_line = call_line  # (stmt: TraverseStmt, pad: str) -> list[str]
+        self.return_line = return_line
+
+    def block(self, body: list[Stmt], pad: str) -> list[str]:
+        lines: list[str] = []
+        for stmt in body:
+            lines.extend(self.stmt(stmt, pad))
+        if not lines:
+            lines.append(f"{pad}pass")
+        return lines
+
+    def stmt(self, stmt: Stmt, pad: str) -> list[str]:
+        exprc = self.exprc
+        if isinstance(stmt, Assign):
+            value = exprc.expr(stmt.value)
+            if self._assign_copies(stmt):
+                value = f"_copy({value})"
+            return [f"{pad}{exprc.write_target(stmt.target)} = {value}"]
+        if isinstance(stmt, LocalDef):
+            name = _Namer.local(stmt.name, exprc.prefix)
+            if stmt.init is None:
+                if stmt.type_name in self.program.opaque_classes:
+                    return [
+                        f"{pad}{name} = RT.new_opaque({stmt.type_name!r})"
+                    ]
+                return [f"{pad}{name} = 0"]
+            return [f"{pad}{name} = _copy({exprc.expr(stmt.init)})"]
+        if isinstance(stmt, AliasDef):
+            name = _Namer.local(stmt.name, exprc.prefix)
+            return [f"{pad}{name} = {exprc._path_text(stmt.target)}"]
+        if isinstance(stmt, If):
+            lines = [f"{pad}if {exprc.expr(stmt.cond)}:"]
+            lines.extend(self.block(stmt.then_body, pad + "    "))
+            if stmt.else_body:
+                lines.append(f"{pad}else:")
+                lines.extend(self.block(stmt.else_body, pad + "    "))
+            return lines
+        if isinstance(stmt, While):
+            lines = [f"{pad}while {exprc.expr(stmt.cond)}:"]
+            lines.extend(self.block(stmt.body, pad + "    "))
+            return lines
+        if isinstance(stmt, Return):
+            return [f"{pad}{self.return_line}"]
+        if isinstance(stmt, New):
+            target = exprc._path_text(stmt.target)
+            return [f"{pad}{target} = RT.new_node({stmt.type_name!r})"]
+        if isinstance(stmt, Delete):
+            target = exprc._path_text(stmt.target)
+            return [f"{pad}{target} = None"]
+        if isinstance(stmt, PureStmt):
+            return [f"{pad}{exprc.expr(stmt.call)}"]
+        if isinstance(stmt, TraverseStmt):
+            return self.call_line(stmt, pad)
+        raise ReproError(f"cannot compile statement {stmt!r}")
+
+    def _assign_copies(self, stmt: Assign) -> bool:
+        """Opaque values are copied on assignment (value semantics)."""
+        if not stmt.target.steps:
+            return True  # whole local/global, may be an object
+        last = stmt.target.steps[-1].field
+        return not last.is_child and not is_primitive(last.type_name)
+
+
+# ===========================================================================
+# unfused emission
+# ===========================================================================
+
+
+def emit_module(program: Program) -> str:
+    """Python source for the original (unfused) program."""
+    program.finalize()
+    lines = [f'"""Generated from program {program.name!r} (unfused)."""']
+    lines.append(_PRELUDE)
+    method_names: dict[str, TraversalMethod] = {}
+    for method in program.all_methods():
+        method_names[method.qualified_name] = method
+    for method in method_names.values():
+        lines.extend(_emit_method(program, method))
+        lines.append("")
+    # dispatch dictionaries per traversal name
+    by_name: dict[str, dict[str, TraversalMethod]] = {}
+    for type_name in program.concrete_subtypes_all():
+        for name in {m.name for m in program.all_methods()}:
+            if program.has_method(type_name, name):
+                target = program.resolve_method(type_name, name)
+                by_name.setdefault(name, {})[type_name] = target
+    for name, table in sorted(by_name.items()):
+        entries = ", ".join(
+            f"{t!r}: {_Namer.method(m)}" for t, m in sorted(table.items())
+        )
+        lines.append(f"_D_{_sanitize(name)} = {{{entries}}}")
+    lines.append("")
+    lines.append("def run_entry(RT, root):")
+    if program.entry:
+        exprc = _ExprCompiler(program)
+        for call in program.entry:
+            args = "".join(f", {exprc.expr(a)}" for a in call.args)
+            lines.append(
+                f"    _D_{_sanitize(call.method_name)}[root.type_name]"
+                f"(RT, root{args})"
+            )
+    else:
+        lines.append("    pass")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _compiled_args(program, method_owner, method_name, args, exprc) -> str:
+    """Render call arguments, copying opaque values (by-value semantics)."""
+    target = program.resolve_method(method_owner, method_name)
+    rendered = []
+    for param, arg in zip(target.params, args):
+        text = exprc.expr(arg)
+        if not is_primitive(param.type_name):
+            text = f"_copy({text})"
+        rendered.append(f", {text}")
+    return "".join(rendered)
+
+
+def _emit_method(program: Program, method: TraversalMethod) -> list[str]:
+    exprc = _ExprCompiler(program)
+    params = "".join(
+        f", {_Namer.local(p.name)}" for p in method.params
+    )
+    lines = [f"def {_Namer.method(method)}(RT, this{params}):"]
+
+    def call_line(stmt: TraverseStmt, pad: str) -> list[str]:
+        if stmt.receiver.is_this:
+            receiver = "this"
+            static_type = method.owner
+        else:
+            receiver = f"this.fields[{stmt.receiver.child.name!r}]"
+            static_type = stmt.receiver.child.type_name
+        args = _compiled_args(
+            program, static_type, stmt.method_name, stmt.args, exprc
+        )
+        dispatch = f"_D_{_sanitize(stmt.method_name)}"
+        return [
+            f"{pad}_r = {receiver}",
+            f"{pad}{dispatch}[_r.type_name](RT, _r{args})",
+        ]
+
+    compiler = _StmtCompiler(program, exprc, call_line, return_line="return")
+    lines.extend(compiler.block(method.body, "    "))
+    return lines
+
+
+# ===========================================================================
+# fused emission
+# ===========================================================================
+
+
+def emit_fused_module(fused: FusedProgram) -> str:
+    """Python source for a fused program (units + stub dispatch)."""
+    program = fused.program
+    lines = [f'"""Generated from program {program.name!r} (fused)."""']
+    lines.append(_PRELUDE)
+    group_tables: list[str] = []
+    for key in sorted(fused.units):
+        unit = fused.units[key]
+        lines.extend(_emit_unit(program, unit, group_tables))
+        lines.append("")
+    lines.extend(group_tables)
+    lines.append("")
+    lines.append("def run_fused(RT, root):")
+    exprc = _ExprCompiler(program)
+    if not fused.entry_groups:
+        lines.append("    pass")
+    for index, group in enumerate(fused.entry_groups):
+        table = ", ".join(
+            f"{t!r}: {_Namer.unit(u)}" for t, u in sorted(group.dispatch.items())
+        )
+        lines.append(f"    _e = {{{table}}}")
+        flat_args = "".join(
+            f", {exprc.expr(a)}"
+            for args in group.args_per_member
+            for a in args
+        )
+        width = len(group.method_names)
+        lines.append(
+            f"    _e[root.type_name](RT, root, {(1 << width) - 1}{flat_args})"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _unit_param_names(unit: FusedUnit) -> list[str]:
+    """The flattened member parameters, in member order. Every dispatch
+    target of a group shares this layout (overrides keep signatures)."""
+    names: list[str] = []
+    for member, method in enumerate(unit.members):
+        for param in method.params:
+            names.append(_Namer.local(param.name, f"m{member}_"))
+    return names
+
+
+def _emit_unit(
+    program: Program, unit: FusedUnit, group_tables: list[str]
+) -> list[str]:
+    name = _Namer.unit(unit)
+    params = "".join(f", {p}=0" for p in _unit_param_names(unit))
+    lines = [f"def {name}(RT, this, flags{params}):"]
+    body_lines: list[str] = []
+    group_index = 0
+    for item in unit.body:
+        if isinstance(item, GuardedStmt):
+            body_lines.extend(_emit_guarded(program, item))
+        elif isinstance(item, GroupCall):
+            body_lines.extend(
+                _emit_group_call(program, unit, item, group_index, group_tables)
+            )
+            group_index += 1
+    if not body_lines:
+        body_lines = ["    pass"]
+    lines.extend(body_lines)
+    return lines
+
+
+def _emit_guarded(program: Program, item: GuardedStmt) -> list[str]:
+    prefix = f"m{item.member}_"
+    exprc = _ExprCompiler(program, local_prefix=prefix)
+
+    def call_line(stmt: TraverseStmt, pad: str) -> list[str]:
+        # unfusable leftover calls fall back to the unfused dispatch —
+        # the generated fused module also carries the plain tables
+        raise ReproError(
+            "fused units must not contain bare traverse statements; "
+            f"got {stmt}"
+        )
+
+    compiler = _StmtCompiler(
+        program, exprc, call_line, return_line="raise _TRUNC"
+    )
+    mask = 1 << item.member
+    from repro.ir.stmts import contains_return, contains_traverse
+
+    if contains_traverse(item.stmt):
+        # a conditional call block survived ungrouped (TreeFuser mode);
+        # compile its calls through the unfused dispatch tables
+        def fallback_call(stmt: TraverseStmt, pad: str) -> list[str]:
+            exprc_local = compiler.exprc
+            args = "".join(f", {exprc_local.expr(a)}" for a in stmt.args)
+            if stmt.receiver.is_this:
+                receiver = "this"
+            else:
+                receiver = f"this.fields[{stmt.receiver.child.name!r}]"
+            return [
+                f"{pad}_r = {receiver}",
+                f"{pad}_D_{_sanitize(stmt.method_name)}"
+                f"[_r.type_name](RT, _r{args})",
+            ]
+
+        compiler.call_line = fallback_call
+    lines = [f"    if flags & {mask}:"]
+    if contains_return(item.stmt):
+        lines.append("        try:")
+        lines.extend(compiler.block([item.stmt], "            "))
+        lines.append("        except _Trunc:")
+        lines.append(f"            flags &= ~{mask}")
+    else:
+        lines.extend(compiler.block([item.stmt], "        "))
+    return lines
+
+
+def _emit_group_call(
+    program: Program,
+    unit: FusedUnit,
+    group: GroupCall,
+    group_index: int,
+    group_tables: list[str],
+) -> list[str]:
+    table_name = f"_G_{_Namer.unit(unit)}_{group_index}"
+    entries = ", ".join(
+        f"{t!r}: {_Namer.unit(u)}" for t, u in sorted(group.dispatch.items())
+    )
+    group_tables.append(f"{table_name} = {{{entries}}}")
+    # the child units all share one flattened parameter layout; compute
+    # the slot arguments into locals (0 when the slot is inactive) and
+    # pass them positionally — no per-call tuple/list churn
+    target_unit = next(iter(group.dispatch.values()))
+    target_params = _unit_param_names(target_unit)
+    lines = ["    _cf = 0"]
+    arg_locals: list[str] = []
+    cursor = 0
+    for slot, call in enumerate(group.calls):
+        prefix = f"m{call.member}_"
+        exprc = _ExprCompiler(program, local_prefix=prefix)
+        target = target_unit.members[slot]
+        slot_locals = [
+            f"_ga{cursor + offset}" for offset in range(len(target.params))
+        ]
+        cursor += len(target.params)
+        arg_locals.extend(slot_locals)
+        cond = f"flags & {1 << call.member}"
+        if call.guard is not None:
+            cond += f" and {exprc.expr(call.guard)}"
+        lines.append(f"    if {cond}:")
+        lines.append(f"        _cf |= {1 << slot}")
+        for local, param, arg in zip(slot_locals, target.params, call.args):
+            value = exprc.expr(arg)
+            if not is_primitive(param.type_name):
+                value = f"_copy({value})"
+            lines.append(f"        {local} = {value}")
+        if not slot_locals:
+            lines[-1] = lines[-1]  # keep structure; nothing to bind
+        else:
+            lines.append("    else:")
+            for local in slot_locals:
+                lines.append(f"        {local} = 0")
+    assert len(arg_locals) == len(target_params)
+    call_args = "".join(f", {local}" for local in arg_locals)
+    lines.append("    if _cf:")
+    if group.receiver.is_this:
+        lines.append("        _r = this")
+    else:
+        lines.append(
+            f"        _r = this.fields[{group.receiver.child.name!r}]"
+        )
+    lines.append(
+        f"        {table_name}[_r.type_name](RT, _r, _cf{call_args})"
+    )
+    return lines
+
+
+# ===========================================================================
+# public API
+# ===========================================================================
+
+
+class CompiledProgram:
+    def __init__(self, program: Program):
+        self.program = program
+        self.source = emit_module(program)
+        self.namespace: dict = {}
+        exec(compile(self.source, f"<repro:{program.name}>", "exec"),
+             self.namespace)
+
+    def run_entry(self, heap: Heap, root: Node, globals_map=None) -> RuntimeContext:
+        context = RuntimeContext(self.program, heap, globals_map)
+        self.namespace["run_entry"](context, root)
+        return context
+
+
+class CompiledFused:
+    def __init__(self, fused: FusedProgram):
+        self.fused = fused
+        self.program = fused.program
+        # fused modules may fall back to unfused dispatch for leftover
+        # conditional calls, so include the plain tables too
+        self.source = emit_module(self.program) + "\n" + emit_fused_module(fused)
+        self.namespace: dict = {}
+        exec(compile(self.source, f"<repro:{self.program.name}:fused>", "exec"),
+             self.namespace)
+
+    def run_fused(self, heap: Heap, root: Node, globals_map=None) -> RuntimeContext:
+        context = RuntimeContext(self.program, heap, globals_map)
+        self.namespace["run_fused"](context, root)
+        return context
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    return CompiledProgram(program)
+
+
+def compile_fused(fused: FusedProgram) -> CompiledFused:
+    return CompiledFused(fused)

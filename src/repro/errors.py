@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Grafter reproduction.
+
+Every error raised by the package derives from :class:`ReproError`, so
+applications embedding the library can catch one type. The sub-hierarchy
+mirrors the pipeline stages: frontend (parsing), validation (language
+restrictions of Fig. 3 in the paper), analysis, fusion and runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FrontendError(ReproError):
+    """Lexing or parsing failure in the Grafter surface syntax."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """The program violates Grafter's language restrictions (paper Fig. 3)."""
+
+
+class AnalysisError(ReproError):
+    """Dependence/access analysis failure (internal invariant violations)."""
+
+
+class FusionError(ReproError):
+    """The fusion engine could not synthesize a fused traversal."""
+
+
+class RuntimeFailure(ReproError):
+    """The interpreter hit an error while executing a traversal program."""
+
+
+class WorkloadError(ReproError):
+    """A case-study workload was configured inconsistently."""

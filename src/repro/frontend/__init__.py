@@ -1,0 +1,37 @@
+"""Textual frontend for the Grafter surface syntax.
+
+The original Grafter is a Clang tool operating on annotated C++ (paper §4).
+This frontend accepts the same surface style — ``_tree_`` classes with
+``_child_`` pointers, ``_traversal_`` methods, ``_pure_`` declarations, a
+``main`` with the entry traversal sequence — and produces the resolved IR.
+
+Example (paper Fig. 2, abbreviated)::
+
+    from repro.frontend import parse_program
+
+    program = parse_program('''
+        int CHAR_WIDTH;
+        class String { int Length; };
+        _tree_ class Element {
+            _child_ Element* Next;
+            int Width = 0;
+            _traversal_ virtual void computeWidth() {}
+        };
+        _tree_ class TextBox : public Element {
+            String Text;
+            _traversal_ void computeWidth() {
+                this->Next->computeWidth();
+                this->Width = this->Text.Length;
+            }
+        };
+        int main() {
+            Element* root = ...;
+            root->computeWidth();
+        }
+    ''')
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_program
+
+__all__ = ["Token", "tokenize", "parse_program"]

@@ -1,0 +1,121 @@
+"""Tokenizer for the Grafter surface syntax (a small C++ subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+
+KEYWORDS = {
+    "class", "public", "virtual", "void", "if", "else", "while", "return",
+    "delete", "new", "static_cast", "const", "true", "false", "this",
+    "_tree_", "_child_", "_traversal_", "_pure_", "_abstract_",
+}
+
+# Multi-character punctuation, longest first so maximal munch works.
+_PUNCT = [
+    "...", "->", "::", "==", "!=", "<=", ">=", "&&", "||",
+    "{", "}", "(", ")", ";", ",", "*", "<", ">", "=", ".",
+    "+", "-", "/", "%", "!", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'number', 'char', 'punct', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; raises FrontendError with position on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message: str) -> FrontendError:
+        return FrontendError(message, line, column)
+
+    while index < length:
+        ch = source[index]
+        # whitespace
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        # comments
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        # numbers (ints and floats; leading digit or .5 not supported)
+        if ch.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            if index < length and source[index] == "." and not source.startswith("...", index):
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            if index < length and source[index] in "eE":
+                index += 1
+                if index < length and source[index] in "+-":
+                    index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            text = source[start:index]
+            tokens.append(Token("number", text, line, column))
+            column += index - start
+            continue
+        # char literal
+        if ch == "'":
+            if index + 2 < length and source[index + 2] == "'":
+                tokens.append(Token("char", source[index + 1], line, column))
+                index += 3
+                column += 3
+                continue
+            raise error("malformed character literal")
+        # punctuation
+        for punct in _PUNCT:
+            if source.startswith(punct, index):
+                tokens.append(Token("punct", punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,35 @@
+"""Traversal fusion (paper §3.3–3.4).
+
+* :mod:`repro.fusion.fused_ir` — the synthesized program form: fused
+  units (the paper's ``_fuse__F...`` functions) with active-flag-guarded
+  statements and grouped, dispatch-table calls (the ``__stub`` methods).
+* :mod:`repro.fusion.grouping` — greedy grouping of call vertices on the
+  same receiver, with the contraction-acyclicity safety check.
+* :mod:`repro.fusion.scheduling` — dependence-respecting topological
+  ordering of the (contracted) dependence graph.
+* :mod:`repro.fusion.engine` — the fixpoint driver: outline/inline,
+  reorder, recurse on new sequences, memoize by sequence label, stop at
+  the termination cutoffs.
+"""
+
+from repro.fusion.fused_ir import (
+    EntryGroup,
+    FusedProgram,
+    FusedUnit,
+    GroupCall,
+    GuardedStmt,
+    MemberCall,
+)
+from repro.fusion.engine import FusionEngine, FusionLimits, fuse_program
+
+__all__ = [
+    "EntryGroup",
+    "FusedProgram",
+    "FusedUnit",
+    "GroupCall",
+    "GuardedStmt",
+    "MemberCall",
+    "FusionEngine",
+    "FusionLimits",
+    "fuse_program",
+]

@@ -1,0 +1,153 @@
+"""The synthesized (fused) program representation.
+
+Mirrors the paper's generated code (Fig. 6):
+
+* a :class:`FusedUnit` is one ``_fuse__F...`` function: it carries several
+  *member* traversals executing together on one node;
+* :class:`GuardedStmt` is a statement of member *i*, executed only while
+  bit *i* of ``active_flags`` is set (a member's ``return`` clears its
+  bit — traversals truncate independently);
+* :class:`GroupCall` is a group of member calls on the same receiver,
+  lowered to one virtual ``__stub`` dispatch: the runtime reads the
+  child's dynamic type, picks the fused unit for the *concrete* member
+  sequence (type-specific fusion), packs ``call_flags`` from the members'
+  active bits, and performs a single fused invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.access import Receiver
+from repro.ir.exprs import Expr
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import Stmt
+
+
+@dataclass
+class GuardedStmt:
+    """Execute ``stmt`` in member ``member``'s frame if its bit is set."""
+
+    member: int
+    stmt: Stmt
+
+    def __str__(self) -> str:
+        return f"[m{self.member}] {self.stmt}"
+
+
+@dataclass
+class MemberCall:
+    """One original traversal call bundled into a group.
+
+    ``guard`` is only used by the TreeFuser baseline mode, whose language
+    allows conditionally-invoked traversals: the member's call fires only
+    if the guard (evaluated in the member's frame) is true.
+    """
+
+    member: int
+    method_name: str
+    args: tuple[Expr, ...] = ()
+    guard: Optional[Expr] = None
+
+
+@dataclass
+class GroupCall:
+    """A fused call: members' traversals continue together on a child."""
+
+    receiver: Receiver
+    calls: list[MemberCall]
+    dispatch: dict[str, "FusedUnit"] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        names = "+".join(f"m{c.member}:{c.method_name}" for c in self.calls)
+        return f"{self.receiver}->__stub[{names}]"
+
+
+BodyItem = GuardedStmt | GroupCall
+
+
+@dataclass
+class FusedUnit:
+    """One synthesized fused traversal function."""
+
+    label: str
+    key: tuple[str, ...]  # qualified member names (the sequence label L)
+    members: list[TraversalMethod]
+    this_type: str  # common supertype of member owners (paper §3.4)
+    body: list[BodyItem] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Number of member traversals (bits in active_flags)."""
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FusedUnit({self.label}, width={self.width})"
+
+
+@dataclass
+class EntryGroup:
+    """One chunk of the entry sequence, dispatched on the root's type."""
+
+    method_names: list[str]
+    args_per_member: list[tuple[Expr, ...]]
+    dispatch: dict[str, FusedUnit] = field(default_factory=dict)
+
+
+@dataclass
+class FusedProgram:
+    """The output of fusion: entry dispatch plus all reachable units."""
+
+    program: Program
+    root_type: str
+    entry_groups: list[EntryGroup]
+    units: dict[tuple[str, ...], FusedUnit]
+
+    @property
+    def unit_count(self) -> int:
+        return len(self.units)
+
+    def stats(self) -> dict:
+        """Static synthesis statistics (useful in reports)."""
+        widths = [unit.width for unit in self.units.values()]
+        return {
+            "units": len(widths),
+            "max_width": max(widths, default=0),
+            "group_calls": sum(
+                1
+                for unit in self.units.values()
+                for item in unit.body
+                if isinstance(item, GroupCall)
+            ),
+        }
+
+
+def print_fused_unit(unit: FusedUnit) -> str:
+    """Human-readable rendering of a fused unit (the reproduction's
+    analogue of the paper's Fig. 6 output)."""
+    lines = [f"void {unit.label}({unit.this_type}* _r, int active_flags) {{"]
+    for item in unit.body:
+        if isinstance(item, GuardedStmt):
+            lines.append(f"  if (active_flags & {1 << item.member:#b}) "
+                         f"{{ {item.stmt} }}")
+        else:
+            mask = 0
+            for call in item.calls:
+                mask |= 1 << call.member
+            targets = ", ".join(
+                f"{t}→{u.label}" for t, u in sorted(item.dispatch.items())
+            )
+            lines.append(
+                f"  if (active_flags & {mask:#b}) {{ {item} }}  // {targets}"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_fused_program(fused: FusedProgram) -> str:
+    chunks = []
+    for key in sorted(fused.units):
+        chunks.append(print_fused_unit(fused.units[key]))
+    return "\n\n".join(chunks)

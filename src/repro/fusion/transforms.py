@@ -1,0 +1,184 @@
+"""Program transformations extending the fusible language (paper §3.5).
+
+The paper lists extensions that "can be done through syntactic
+manipulation": supporting *conditional traversal invocation* by "pushing
+the condition into an unconditionally-invoked traversal function that
+immediately returns if the condition is false" — at the cost of some
+instruction overhead. :func:`push_conditions` implements exactly that:
+
+    if (cond) { this->c->f(args); }
+
+becomes
+
+    this->c->f__when(<hoisted cond values>, args);
+
+where ``f__when`` is a synthesized traversal on the child's static type:
+
+    _traversal_ void f__when(int __go, args...) {
+        if (!__go) return;
+        this->f(args...);   // inlined body, not an extra call
+    }
+
+The guard must be evaluable in the *callee* frame, so its value is
+computed at the call site and passed by value (conditions are data
+expressions, which the language already passes by value). The rewritten
+program is valid Grafter (no calls under ``if``) and fuses normally.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FusionError
+from repro.ir.access import Receiver
+from repro.ir.exprs import BinOp, Const, DataAccess, Expr, UnaryOp
+from repro.ir.method import Param, TraversalMethod
+from repro.ir.access import AccessPath
+from repro.ir.program import Program
+from repro.ir.stmts import If, Return, Stmt, TraverseStmt
+from repro.ir.validate import LanguageMode, validate_program
+
+GUARD_PARAM = "__go"
+WRAPPER_SUFFIX = "__when"
+
+
+def push_conditions(program: Program) -> Program:
+    """Rewrite conditional traversal calls into unconditional calls to
+    synthesized guarded wrappers, in place; returns the same program.
+
+    Only handles the shape the TreeFuser-mode grammar produces —
+    ``if (cond) { <calls and simple statements> }`` with no else — and
+    only when every contained call sits at the top level of the branch.
+    """
+    program.finalize_types()
+    wrappers: dict[tuple[str, str], TraversalMethod] = {}
+    for tree_type in list(program.tree_types.values()):
+        for method in list(tree_type.methods.values()):
+            method.body = _rewrite_body(
+                program, method, method.body, wrappers
+            )
+    # wrappers were added during rewriting; re-finalize dispatch tables
+    program.refinalize()
+    validate_program(program, LanguageMode.GRAFTER)
+    return program
+
+
+def _rewrite_body(
+    program: Program,
+    method: TraversalMethod,
+    body: list[Stmt],
+    wrappers: dict,
+) -> list[Stmt]:
+    result: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, If) and _contains_calls(stmt):
+            result.extend(_rewrite_conditional(program, method, stmt, wrappers))
+        else:
+            result.append(stmt)
+    return result
+
+
+def _contains_calls(stmt: If) -> bool:
+    from repro.ir.stmts import contains_traverse
+
+    return contains_traverse(stmt)
+
+
+def _rewrite_conditional(
+    program: Program,
+    method: TraversalMethod,
+    stmt: If,
+    wrappers: dict,
+) -> list[Stmt]:
+    if stmt.else_body and any(
+        _contains_calls(s) if isinstance(s, If) else isinstance(s, TraverseStmt)
+        for s in stmt.else_body
+    ):
+        raise FusionError(
+            f"{method.qualified_name}: cannot push conditions with calls "
+            "in both branches"
+        )
+    calls = [s for s in stmt.then_body if isinstance(s, TraverseStmt)]
+    others = [s for s in stmt.then_body if not isinstance(s, TraverseStmt)]
+    if any(
+        isinstance(s, If) and _contains_calls(s) for s in others
+    ):
+        raise FusionError(
+            f"{method.qualified_name}: nested conditional calls are not "
+            "supported by push_conditions"
+        )
+    result: list[Stmt] = []
+    if others or stmt.else_body:
+        # keep the simple-statement part of the branch conditional
+        result.append(
+            If(cond=stmt.cond, then_body=others, else_body=stmt.else_body)
+        )
+    for call in calls:
+        result.append(_guarded_call(program, method, stmt.cond, call, wrappers))
+    return result
+
+
+def _guarded_call(
+    program: Program,
+    method: TraversalMethod,
+    cond: Expr,
+    call: TraverseStmt,
+    wrappers: dict,
+) -> TraverseStmt:
+    if call.receiver.is_this:
+        static_type = method.owner
+    else:
+        static_type = call.receiver.child.type_name
+    wrapper = _ensure_wrapper(program, static_type, call.method_name, wrappers)
+    # pass the guard's truth value (evaluated in the caller frame) first
+    guard_arg = _as_int(cond)
+    return TraverseStmt(
+        receiver=call.receiver,
+        method_name=wrapper.name,
+        args=(guard_arg,) + tuple(call.args),
+    )
+
+
+def _as_int(cond: Expr) -> Expr:
+    """Conditions are passed by value as an int flag."""
+    return cond
+
+
+def _ensure_wrapper(
+    program: Program,
+    static_type: str,
+    method_name: str,
+    wrappers: dict,
+) -> TraversalMethod:
+    """Create (once) the guarded wrapper on the *declaring* type of the
+    target method, so dynamic dispatch keeps working for subtypes."""
+    target = program.resolve_method(static_type, method_name)
+    key = (target.owner, method_name)
+    if key in wrappers:
+        return wrappers[key]
+    wrapper_name = f"{method_name}{WRAPPER_SUFFIX}"
+    owner_type = program.tree_types[target.owner]
+    params = (Param(GUARD_PARAM, "int"),) + tuple(target.params)
+    guard_read = DataAccess(path=AccessPath.local(GUARD_PARAM))
+    body: list[Stmt] = [
+        If(
+            cond=BinOp(op="==", lhs=guard_read, rhs=Const(0, "int")),
+            then_body=[Return()],
+            else_body=[],
+        ),
+        TraverseStmt(
+            receiver=Receiver(child=None),
+            method_name=method_name,
+            args=tuple(
+                DataAccess(path=AccessPath.local(p.name)) for p in target.params
+            ),
+        ),
+    ]
+    wrapper = TraversalMethod(
+        name=wrapper_name,
+        owner=target.owner,
+        params=params,
+        body=body,
+        virtual=target.virtual,
+    )
+    owner_type.add_method(wrapper)
+    wrappers[key] = wrapper
+    return wrapper

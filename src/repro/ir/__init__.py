@@ -1,0 +1,83 @@
+"""Grafter language IR.
+
+The intermediate representation mirrors the paper's Fig. 3 grammar: tree
+types with child/data fields (:mod:`repro.ir.types`), access paths
+(:mod:`repro.ir.access`), expressions (:mod:`repro.ir.exprs`), statements
+(:mod:`repro.ir.stmts`), traversal methods (:mod:`repro.ir.method`), the
+whole-program container (:mod:`repro.ir.program`), grammar validation
+(:mod:`repro.ir.validate`) and the pretty printer (:mod:`repro.ir.printer`).
+"""
+
+from repro.ir.access import AccessPath, Receiver, Step
+from repro.ir.builder import ProgramBuilder, RawStep, resolve_member_chain
+from repro.ir.exprs import (
+    BinOp,
+    Const,
+    DataAccess,
+    Expr,
+    PureCall,
+    UnaryOp,
+    expr_data_accesses,
+)
+from repro.ir.method import Param, PureFunction, TraversalMethod
+from repro.ir.program import EntryCall, Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+)
+from repro.ir.types import (
+    ChildField,
+    DataField,
+    GlobalVar,
+    OpaqueClass,
+    TreeType,
+    is_primitive,
+)
+from repro.ir.validate import LanguageMode, validate_program
+
+__all__ = [
+    "AccessPath",
+    "Receiver",
+    "Step",
+    "ProgramBuilder",
+    "RawStep",
+    "resolve_member_chain",
+    "BinOp",
+    "Const",
+    "DataAccess",
+    "Expr",
+    "PureCall",
+    "UnaryOp",
+    "expr_data_accesses",
+    "Param",
+    "PureFunction",
+    "TraversalMethod",
+    "EntryCall",
+    "Program",
+    "AliasDef",
+    "Assign",
+    "Delete",
+    "If",
+    "LocalDef",
+    "New",
+    "PureStmt",
+    "Return",
+    "Stmt",
+    "TraverseStmt",
+    "ChildField",
+    "DataField",
+    "GlobalVar",
+    "OpaqueClass",
+    "TreeType",
+    "is_primitive",
+    "LanguageMode",
+    "validate_program",
+]

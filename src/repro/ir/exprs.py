@@ -1,0 +1,116 @@
+"""Expression IR (paper Fig. 3c).
+
+Expressions are side-effect-free: constants, data accesses, binary/unary
+operators, and calls to ``_pure_`` functions (whose bodies are opaque and
+treated as read-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.ir.access import AccessPath
+
+BINARY_OPS = {
+    "+", "-", "*", "/", "%",
+    "<", "<=", ">", ">=", "==", "!=",
+    "&&", "||",
+}
+
+UNARY_OPS = {"-", "!"}
+
+
+@dataclass(frozen=True)
+class Const:
+    value: Union[int, float, bool, str]
+    type_name: str = "int"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """Read of a data location through an access path (on-tree or off-tree)."""
+
+    path: AccessPath
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class PureCall:
+    """Call to a pure function. Bodies are unanalyzed Python callables;
+    the ``pure`` annotation promises read-only behaviour (paper rule 15)."""
+
+    func_name: str
+    args: tuple["Expr", ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.func_name}({rendered})"
+
+
+Expr = Union[Const, DataAccess, BinOp, UnaryOp, PureCall]
+
+
+def walk_expr(expr: Expr):
+    """Yield every sub-expression (preorder)."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, PureCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def expr_data_accesses(expr: Expr) -> list[AccessPath]:
+    """All data access paths read by the expression."""
+    return [sub.path for sub in walk_expr(expr) if isinstance(sub, DataAccess)]
+
+
+def expr_cost(expr: Expr) -> int:
+    """Static instruction-cost estimate of evaluating the expression.
+
+    Used by the runtime cost model: one unit per operator, per constant
+    materialization, per memory access step, and a small fixed cost per
+    pure-function invocation (their bodies execute natively in both the
+    fused and unfused programs, so a symmetric constant suffices).
+    """
+    total = 0
+    for sub in walk_expr(expr):
+        if isinstance(sub, (BinOp, UnaryOp)):
+            total += 1
+        elif isinstance(sub, Const):
+            total += 1
+        elif isinstance(sub, DataAccess):
+            total += max(1, len(sub.path.steps))
+        elif isinstance(sub, PureCall):
+            total += 3
+    return total

@@ -1,0 +1,69 @@
+"""Traversal methods and pure functions (paper Fig. 3b, rules 4 and 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.ir.stmts import Stmt
+
+
+@dataclass(frozen=True)
+class Param:
+    """A by-value traversal parameter (primitive or opaque object)."""
+
+    name: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.type_name} {self.name}"
+
+
+@dataclass
+class TraversalMethod:
+    """A traversal member method of a tree type.
+
+    ``owner`` is the declaring tree type name; dynamic dispatch resolves a
+    call through the hierarchy to the most-derived override (``virtual``).
+    The interpreter treats non-virtual methods identically except that the
+    cost model does not charge a dispatch for them.
+    """
+
+    name: str
+    owner: str
+    params: tuple[Param, ...] = ()
+    body: list[Stmt] = field(default_factory=list)
+    virtual: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}::{self.name}"
+
+    def signature_key(self) -> tuple:
+        """Used to check that overrides match the overridden signature."""
+        return (self.name, tuple((p.type_name) for p in self.params))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraversalMethod({self.qualified_name})"
+
+
+@dataclass
+class PureFunction:
+    """A ``_pure_`` function: unanalyzed body, promised read-only.
+
+    The reproduction binds each pure function to a Python callable. Pure
+    functions may declare ``reads_globals`` for extra conservatism; by
+    default they only read their (by-value) arguments, which matches the
+    paper's treatment of them as read-only helpers.
+    """
+
+    name: str
+    params: tuple[Param, ...] = ()
+    return_type: str = "int"
+    impl: Optional[Callable] = None
+    reads_globals: frozenset[str] = frozenset()
+
+    def __call__(self, *args):
+        if self.impl is None:
+            raise TypeError(f"pure function {self.name!r} has no bound impl")
+        return self.impl(*args)

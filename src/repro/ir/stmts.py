@@ -1,0 +1,209 @@
+"""Statement IR (paper Fig. 3b).
+
+A traversal body is a sequence of *top-level statements*; each becomes one
+vertex in the dependence graph. Simple statements never recurse; traverse
+statements are the (possibly virtual) calls that continue the traversal on
+``this`` or a direct child.
+
+``If`` bodies may contain only simple statements in Grafter mode (rule 12).
+The TreeFuser baseline mode relaxes this — TreeFuser's language permitted
+guarded recursion, and the relaxation is what forces its coarser dependence
+summaries (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Optional, Union
+
+from repro.ir.access import AccessPath, Receiver
+from repro.ir.exprs import Expr, PureCall
+
+_uid_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+@dataclass
+class _StmtBase:
+    uid: int = dc_field(default_factory=_next_uid, init=False, repr=False)
+
+
+@dataclass
+class Assign(_StmtBase):
+    """``<data-access> = <expr>;`` — only data fields are assignable."""
+
+    target: AccessPath
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass
+class LocalDef(_StmtBase):
+    """``<prim|class> name = <expr>;`` — a by-value local."""
+
+    name: str
+    type_name: str
+    init: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        if self.init is None:
+            return f"{self.type_name} {self.name};"
+        return f"{self.type_name} {self.name} = {self.init};"
+
+
+@dataclass
+class AliasDef(_StmtBase):
+    """``t* const name = <tree-node>;`` — a constant alias to a descendant."""
+
+    name: str
+    type_name: str
+    target: AccessPath
+
+    def __str__(self) -> str:
+        return f"{self.type_name}* const {self.name} = {self.target};"
+
+
+@dataclass
+class If(_StmtBase):
+    cond: Expr
+    then_body: list["Stmt"] = dc_field(default_factory=list)
+    else_body: list["Stmt"] = dc_field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) {{...}}" + (" else {...}" if self.else_body else "")
+
+
+@dataclass
+class Return(_StmtBase):
+    """``return;`` — truncates the current traversal at this subtree."""
+
+    def __str__(self) -> str:
+        return "return;"
+
+
+@dataclass
+class While(_StmtBase):
+    """``while (cond) { <simple stmts> }`` — §3.5 extension.
+
+    The paper: "The dependence analysis can similarly be extended to
+    support loops within traversal functions (that do not themselves
+    invoke additional traversal functions)". Access-wise a loop is the
+    union of its body's accesses (the same location *set* regardless of
+    trip count), so the automaton machinery needs no changes; the
+    validator rejects traverse statements inside loops in every mode.
+    """
+
+    cond: Expr
+    body: list["Stmt"] = dc_field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{...}}"
+
+
+@dataclass
+class New(_StmtBase):
+    """``<tree-node> = new T();`` — leaf topology mutation (trivial ctor)."""
+
+    target: AccessPath  # a tree-node path (all child steps)
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = new {self.type_name}();"
+
+
+@dataclass
+class Delete(_StmtBase):
+    """``delete <tree-node>;`` — removes a subtree (trivial dtor)."""
+
+    target: AccessPath
+
+    def __str__(self) -> str:
+        return f"delete {self.target};"
+
+
+@dataclass
+class PureStmt(_StmtBase):
+    """A pure call in statement position (result discarded)."""
+
+    call: PureCall
+
+    def __str__(self) -> str:
+        return f"{self.call};"
+
+
+@dataclass
+class TraverseStmt(_StmtBase):
+    """``this[->c]->f(args);`` — continues the traversal (rule 7)."""
+
+    receiver: Receiver
+    method_name: str
+    args: tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.receiver}->{self.method_name}({rendered});"
+
+
+SimpleStmt = Union[
+    Assign, LocalDef, AliasDef, If, While, Return, New, Delete, PureStmt
+]
+Stmt = Union[SimpleStmt, TraverseStmt]
+
+
+def contains_return(stmt: Stmt) -> bool:
+    """Whether executing the statement may return from the enclosing
+    traversal — the paper's control-dependence trigger (§3.2)."""
+    if isinstance(stmt, Return):
+        return True
+    if isinstance(stmt, If):
+        return any(contains_return(s) for s in stmt.then_body) or any(
+            contains_return(s) for s in stmt.else_body
+        )
+    if isinstance(stmt, While):
+        return any(contains_return(s) for s in stmt.body)
+    return False
+
+
+def contains_traverse(stmt: Stmt) -> bool:
+    """Whether the statement contains a traversal call (possibly guarded —
+    only legal in TreeFuser mode, and never inside loops)."""
+    if isinstance(stmt, TraverseStmt):
+        return True
+    if isinstance(stmt, If):
+        return any(contains_traverse(s) for s in stmt.then_body) or any(
+            contains_traverse(s) for s in stmt.else_body
+        )
+    if isinstance(stmt, While):
+        return any(contains_traverse(s) for s in stmt.body)
+    return False
+
+
+def nested_traversals(stmt: Stmt) -> list[TraverseStmt]:
+    """All traverse statements syntactically inside *stmt* (incl. itself)."""
+    if isinstance(stmt, TraverseStmt):
+        return [stmt]
+    result: list[TraverseStmt] = []
+    if isinstance(stmt, If):
+        for sub in list(stmt.then_body) + list(stmt.else_body):
+            result.extend(nested_traversals(sub))
+    elif isinstance(stmt, While):
+        for sub in stmt.body:
+            result.extend(nested_traversals(sub))
+    return result
+
+
+def walk_stmts(body: list[Stmt]):
+    """Yield every statement in a body, recursing into branches/loops."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)

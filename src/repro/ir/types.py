@@ -1,0 +1,158 @@
+"""Type-level IR: tree classes, fields, opaque data classes, globals.
+
+Mirrors the paper's Fig. 3a: a *tree type* is an annotated class whose
+instances are tree nodes; its fields are either *child fields* (pointers to
+other tree types — the tree topology) or *data fields* (primitives or opaque
+C++ objects). Tree types may inherit fields and virtual traversal methods
+from other tree types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.method import TraversalMethod
+
+PRIMITIVE_TYPES = ("int", "float", "bool", "double", "char")
+
+
+def is_primitive(type_name: str) -> bool:
+    return type_name in PRIMITIVE_TYPES
+
+
+def default_primitive(type_name: str):
+    """The zero value used when a node or object is default-constructed."""
+    if type_name in ("int",):
+        return 0
+    if type_name in ("float", "double"):
+        return 0.0
+    if type_name == "bool":
+        return False
+    if type_name == "char":
+        return "\0"
+    raise ValidationError(f"unknown primitive type {type_name!r}")
+
+
+@dataclass(frozen=True)
+class DataField:
+    """A non-child member: a primitive or an opaque object (paper: data field)."""
+
+    name: str
+    owner: str  # declaring tree type (or opaque class) name
+    type_name: str  # a primitive name or an OpaqueClass name
+
+    @property
+    def label(self) -> str:
+        """Automaton transition label; declaring-class-qualified for identity."""
+        return f"{self.owner}.{self.name}"
+
+    @property
+    def is_child(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ChildField:
+    """A recursive member: a pointer to a node of some tree type."""
+
+    name: str
+    owner: str  # declaring tree type name
+    type_name: str  # declared (static) tree type of the child
+
+    @property
+    def label(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    @property
+    def is_child(self) -> bool:
+        return True
+
+
+Field = DataField | ChildField
+
+
+@dataclass
+class OpaqueClass:
+    """A non-tree C++ class stored by value in a data field (e.g. BorderInfo).
+
+    Opaque objects are plain bags of primitive fields. Accessing the object
+    as a whole (passing it to a pure function, assigning it) touches every
+    member, which the access analysis models with an ``ANY`` suffix.
+    """
+
+    name: str
+    fields: dict[str, DataField] = field(default_factory=dict)
+
+    def add_field(self, name: str, type_name: str) -> DataField:
+        if name in self.fields:
+            raise ValidationError(f"duplicate field {name!r} in class {self.name}")
+        if not is_primitive(type_name):
+            raise ValidationError(
+                f"opaque class {self.name} field {name!r} must be primitive, "
+                f"got {type_name!r}"
+            )
+        data_field = DataField(name=name, owner=self.name, type_name=type_name)
+        self.fields[name] = data_field
+        return data_field
+
+
+@dataclass
+class GlobalVar:
+    """A global variable (an *off-tree* location in the paper's terms)."""
+
+    name: str
+    type_name: str  # primitive or opaque class
+
+    @property
+    def label(self) -> str:
+        return f"::{self.name}"
+
+
+class TreeType:
+    """An annotated tree class: children, data fields, traversal methods."""
+
+    def __init__(self, name: str, bases: Optional[list[str]] = None,
+                 abstract: bool = False):
+        self.name = name
+        self.bases: list[str] = list(bases or [])
+        self.abstract = abstract
+        self.children: dict[str, ChildField] = {}
+        self.data: dict[str, DataField] = {}
+        self.data_defaults: dict[str, object] = {}
+        self.methods: dict[str, "TraversalMethod"] = {}
+
+    def add_child(self, name: str, type_name: str) -> ChildField:
+        self._check_fresh(name)
+        child = ChildField(name=name, owner=self.name, type_name=type_name)
+        self.children[name] = child
+        return child
+
+    def add_data(self, name: str, type_name: str, default=None) -> DataField:
+        self._check_fresh(name)
+        data_field = DataField(name=name, owner=self.name, type_name=type_name)
+        self.data[name] = data_field
+        if default is not None:
+            self.data_defaults[name] = default
+        return data_field
+
+    def add_method(self, method: "TraversalMethod") -> None:
+        if method.name in self.methods:
+            raise ValidationError(
+                f"duplicate traversal {method.name!r} on {self.name}"
+            )
+        self.methods[method.name] = method
+
+    def own_fields(self) -> Iterable[Field]:
+        yield from self.children.values()
+        yield from self.data.values()
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.children or name in self.data:
+            raise ValidationError(f"duplicate field {name!r} on {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeType({self.name!r}, bases={self.bases})"

@@ -1,0 +1,280 @@
+"""Language-restriction validation (paper Fig. 3 and §3.1).
+
+Any traversal that does not adhere to Grafter's language must be excluded
+from fusion (paper §4); here we validate whole programs up front and raise
+:class:`~repro.errors.ValidationError` with a precise message instead.
+
+Two modes:
+
+* ``LanguageMode.GRAFTER`` — the paper's grammar. In particular, ``if``
+  bodies contain only *simple* statements (rule 12): traversal calls are
+  unconditional, so truncation is expressed with conditional ``return``.
+* ``LanguageMode.TREEFUSER`` — the relaxed grammar used by the TreeFuser
+  baseline (its OOPSLA'17 language allowed guarded recursion). Conditional
+  traverse statements are allowed; the analysis pays for it with coarser
+  (branch-unioned) dependence summaries.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ValidationError
+from repro.ir.access import AccessPath
+from repro.ir.exprs import (
+    BinOp,
+    Const,
+    DataAccess,
+    Expr,
+    PureCall,
+    UnaryOp,
+    walk_expr,
+)
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+    contains_traverse,
+)
+from repro.ir.types import is_primitive
+
+
+class LanguageMode(enum.Enum):
+    GRAFTER = "grafter"
+    TREEFUSER = "treefuser"
+
+
+def validate_program(program: Program, mode: LanguageMode = LanguageMode.GRAFTER) -> None:
+    """Validate every traversal method in the program; raise on violation."""
+    program.finalize()
+    for tree_type in program.tree_types.values():
+        for method in tree_type.methods.values():
+            _MethodValidator(program, method, mode).run()
+    _validate_entry(program)
+
+
+def _validate_entry(program: Program) -> None:
+    if program.root_type_name is None:
+        return
+    if program.root_type_name not in program.tree_types:
+        raise ValidationError(
+            f"entry root type {program.root_type_name!r} is not a tree type"
+        )
+    for call in program.entry:
+        if not program.has_method(program.root_type_name, call.method_name):
+            raise ValidationError(
+                f"entry calls unknown traversal "
+                f"{program.root_type_name}::{call.method_name}"
+            )
+
+
+class _MethodValidator:
+    """Validates one traversal method body against the grammar rules."""
+
+    def __init__(self, program: Program, method: TraversalMethod, mode: LanguageMode):
+        self.program = program
+        self.method = method
+        self.mode = mode
+        self.locals: dict[str, str] = {p.name: p.type_name for p in method.params}
+        self.aliases: dict[str, str] = {}  # alias name -> tree type
+
+    def error(self, message: str) -> ValidationError:
+        return ValidationError(f"{self.method.qualified_name}: {message}")
+
+    def run(self) -> None:
+        for param in self.method.params:
+            if not is_primitive(param.type_name) and (
+                param.type_name not in self.program.opaque_classes
+            ):
+                raise self.error(
+                    f"parameter {param.name!r} must be primitive or an opaque "
+                    f"class (by value), got {param.type_name!r}"
+                )
+        self._validate_body(self.method.body, inside_if=False)
+
+    # ------------------------------------------------------------------
+
+    def _validate_body(self, body: list[Stmt], inside_if: bool) -> None:
+        for stmt in body:
+            self._validate_stmt(stmt, inside_if)
+
+    def _validate_stmt(self, stmt: Stmt, inside_if: bool) -> None:
+        if isinstance(stmt, TraverseStmt):
+            if inside_if and self.mode is LanguageMode.GRAFTER:
+                raise self.error(
+                    "traverse statement inside `if` is not allowed in the "
+                    "Grafter language (rule 12); use a conditional return"
+                )
+            self._validate_traverse(stmt)
+        elif isinstance(stmt, Assign):
+            self._validate_assign(stmt)
+        elif isinstance(stmt, LocalDef):
+            self._validate_local_def(stmt)
+        elif isinstance(stmt, AliasDef):
+            self._validate_alias_def(stmt)
+        elif isinstance(stmt, If):
+            self._validate_expr(stmt.cond)
+            self._validate_body(stmt.then_body, inside_if=True)
+            self._validate_body(stmt.else_body, inside_if=True)
+        elif isinstance(stmt, While):
+            # §3.5 extension: loops are supported only when they do not
+            # invoke traversals (in any language mode)
+            if contains_traverse(stmt):
+                raise self.error(
+                    "traverse statement inside `while` is not supported "
+                    "(§3.5: loops may not invoke traversals)"
+                )
+            self._validate_expr(stmt.cond)
+            self._validate_body(stmt.body, inside_if=True)
+        elif isinstance(stmt, Return):
+            pass
+        elif isinstance(stmt, New):
+            self._validate_new(stmt)
+        elif isinstance(stmt, Delete):
+            self._validate_tree_node_path(stmt.target, "delete")
+        elif isinstance(stmt, PureStmt):
+            self._validate_expr(stmt.call)
+        else:  # pragma: no cover - defensive
+            raise self.error(f"unknown statement kind {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _validate_traverse(self, stmt: TraverseStmt) -> None:
+        if stmt.receiver.is_this:
+            receiver_type = self.method.owner
+        else:
+            child = stmt.receiver.child
+            receiver_type = child.type_name
+        if not self.program.has_method(receiver_type, stmt.method_name):
+            raise self.error(
+                f"receiver type {receiver_type} has no traversal "
+                f"{stmt.method_name!r}"
+            )
+        target = self.program.resolve_method(receiver_type, stmt.method_name)
+        if len(target.params) != len(stmt.args):
+            raise self.error(
+                f"call to {target.qualified_name} passes {len(stmt.args)} "
+                f"args, expected {len(target.params)}"
+            )
+        for arg in stmt.args:
+            self._validate_expr(arg)
+
+    def _validate_assign(self, stmt: Assign) -> None:
+        target = stmt.target
+        target.check_well_formed()
+        if not target.ends_in_data:
+            if target.is_global and not target.steps:
+                pass  # writing a whole global primitive/object
+            elif target.is_local and not target.steps:
+                if target.base_name in self.aliases:
+                    raise self.error(
+                        f"alias {target.base_name!r} cannot be reassigned"
+                    )
+                if target.base_name not in self.locals:
+                    raise self.error(f"unknown local {target.base_name!r}")
+            else:
+                raise self.error(
+                    f"assignment target {target} is a tree node; only data "
+                    "fields are assignable (tree mutation uses new/delete)"
+                )
+        self._check_path_scope(target)
+        self._validate_expr(stmt.value)
+
+    def _validate_local_def(self, stmt: LocalDef) -> None:
+        if not is_primitive(stmt.type_name) and (
+            stmt.type_name not in self.program.opaque_classes
+        ):
+            raise self.error(
+                f"local {stmt.name!r} must be primitive or opaque class"
+            )
+        if stmt.name in self.locals or stmt.name in self.aliases:
+            raise self.error(f"duplicate local {stmt.name!r}")
+        if stmt.init is not None:
+            self._validate_expr(stmt.init)
+        self.locals[stmt.name] = stmt.type_name
+
+    def _validate_alias_def(self, stmt: AliasDef) -> None:
+        if stmt.name in self.locals or stmt.name in self.aliases:
+            raise self.error(f"duplicate local {stmt.name!r}")
+        if stmt.type_name not in self.program.tree_types:
+            raise self.error(
+                f"alias {stmt.name!r} must have a tree type, got "
+                f"{stmt.type_name!r}"
+            )
+        self._validate_tree_node_path(stmt.target, "alias definition")
+        self.aliases[stmt.name] = stmt.type_name
+
+    def _validate_new(self, stmt: New) -> None:
+        self._validate_tree_node_path(stmt.target, "new")
+        if stmt.type_name not in self.program.tree_types:
+            raise self.error(f"new of non-tree type {stmt.type_name!r}")
+        target_field = stmt.target.steps[-1].field
+        declared = target_field.type_name
+        if not self.program.is_subtype(stmt.type_name, declared):
+            raise self.error(
+                f"new {stmt.type_name} assigned to child of type {declared}"
+            )
+
+    def _validate_tree_node_path(self, path: AccessPath, context: str) -> None:
+        path.check_well_formed()
+        if path.is_global:
+            raise self.error(f"{context}: tree-node path cannot be global")
+        if not path.steps:
+            raise self.error(f"{context}: must name a descendant, not this")
+        if not path.is_tree_node:
+            raise self.error(
+                f"{context}: {path} mixes data members into a tree-node path"
+            )
+        self._check_path_scope(path)
+
+    # ------------------------------------------------------------------
+
+    def _validate_expr(self, expr: Expr) -> None:
+        for sub in walk_expr(expr):
+            if isinstance(sub, DataAccess):
+                sub.path.check_well_formed()
+                self._check_path_scope(sub.path)
+                if sub.path.is_on_tree and not sub.path.ends_in_data:
+                    raise self.error(
+                        f"expression reads tree node {sub.path}; only data "
+                        "accesses are expressions"
+                    )
+            elif isinstance(sub, PureCall):
+                if sub.func_name not in self.program.pure_functions:
+                    raise self.error(
+                        f"call to unknown pure function {sub.func_name!r}"
+                    )
+                func = self.program.pure_functions[sub.func_name]
+                if len(func.params) != len(sub.args):
+                    raise self.error(
+                        f"pure call {sub.func_name} passes {len(sub.args)} "
+                        f"args, expected {len(func.params)}"
+                    )
+            elif isinstance(sub, BinOp):
+                if sub.op not in {"+", "-", "*", "/", "%", "<", "<=", ">",
+                                  ">=", "==", "!=", "&&", "||"}:
+                    raise self.error(f"unknown binary operator {sub.op!r}")
+            elif isinstance(sub, UnaryOp):
+                if sub.op not in {"-", "!"}:
+                    raise self.error(f"unknown unary operator {sub.op!r}")
+            elif isinstance(sub, Const):
+                pass
+
+    def _check_path_scope(self, path: AccessPath) -> None:
+        if path.is_local:
+            name = path.base_name
+            if name not in self.locals and name not in self.aliases:
+                raise self.error(f"use of undeclared local {name!r}")
+        elif path.is_global:
+            if path.base_name not in self.program.globals:
+                raise self.error(f"use of unknown global {path.base_name!r}")

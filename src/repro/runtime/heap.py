@@ -1,0 +1,117 @@
+"""Heap layout: node addresses and field offsets for the cache simulator.
+
+Nodes are laid out C++-style: an 8-byte header (vtable pointer) followed
+by the fields in inheritance order (base-most class first, declaration
+order within a class). Child pointers and primitives take 8 bytes; an
+opaque object field takes 8 bytes per member, inline. A bump allocator
+assigns addresses in construction order — matching how the paper's
+workload generators build trees and giving the allocation-order locality
+that makes the cache results meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeFailure
+from repro.ir.program import Program
+from repro.ir.types import is_primitive
+
+WORD = 8
+HEADER_BYTES = 8
+
+
+@dataclass
+class TypeLayout:
+    """Field offsets (bytes from node base) for one tree type."""
+
+    type_name: str
+    size: int
+    field_offsets: dict[str, int]
+    # member offsets within opaque object fields: (field, member) -> offset
+    member_offsets: dict[tuple[str, str], int]
+
+    def offset_of(self, field_name: str, member_name: str | None = None) -> int:
+        if member_name is None:
+            return self.field_offsets[field_name]
+        return self.member_offsets[(field_name, member_name)]
+
+
+def compute_layout(program: Program, type_name: str) -> TypeLayout:
+    offset = HEADER_BYTES
+    field_offsets: dict[str, int] = {}
+    member_offsets: dict[tuple[str, str], int] = {}
+    # base-most first: reverse MRO
+    for owner_name in reversed(program.mro(type_name)):
+        owner = program.tree_types[owner_name]
+        for field in owner.own_fields():
+            field_offsets[field.name] = offset
+            if field.is_child or is_primitive(field.type_name):
+                offset += WORD
+            else:
+                opaque = program.opaque_classes[field.type_name]
+                for member_name in opaque.fields:
+                    member_offsets[(field.name, member_name)] = offset
+                    offset += WORD
+    # round node size up to a 16-byte allocation boundary (glibc-like)
+    size = (offset + 15) & ~15
+    return TypeLayout(
+        type_name=type_name,
+        size=size,
+        field_offsets=field_offsets,
+        member_offsets=member_offsets,
+    )
+
+
+class Heap:
+    """Bump allocator handing out node and global addresses."""
+
+    GLOBALS_BASE = 0x1000
+    NODES_BASE = 0x100000
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._layouts: dict[str, TypeLayout] = {}
+        self._next = self.NODES_BASE
+        self.allocated_nodes = 0
+        self.allocated_bytes = 0
+        # globals live in their own segment
+        self.global_addresses: dict[str, int] = {}
+        offset = self.GLOBALS_BASE
+        for var in program.globals.values():
+            self.global_addresses[var.name] = offset
+            if is_primitive(var.type_name):
+                offset += WORD
+            else:
+                opaque = program.opaque_classes[var.type_name]
+                offset += WORD * max(1, len(opaque.fields))
+
+    def layout(self, type_name: str) -> TypeLayout:
+        layout = self._layouts.get(type_name)
+        if layout is None:
+            layout = compute_layout(self.program, type_name)
+            self._layouts[type_name] = layout
+        return layout
+
+    def allocate(self, type_name: str) -> int:
+        layout = self.layout(type_name)
+        address = self._next
+        self._next += layout.size
+        self.allocated_nodes += 1
+        self.allocated_bytes += layout.size
+        return address
+
+    def global_address(self, name: str, member: str | None = None) -> int:
+        base = self.global_addresses.get(name)
+        if base is None:
+            raise RuntimeFailure(f"unknown global {name!r}")
+        if member is None:
+            return base
+        opaque = self.program.opaque_classes[self.program.globals[name].type_name]
+        index = list(opaque.fields).index(member)
+        return base + WORD * index
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes of live tree data (the paper's 'tree size')."""
+        return self.allocated_bytes

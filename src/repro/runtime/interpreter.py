@@ -1,0 +1,506 @@
+"""The traversal interpreter.
+
+Executes both original programs (dynamic dispatch on tree nodes, one
+method invocation per node visit) and fused programs (fused units with
+active-flag semantics, paper §3.4) over the same runtime trees, charging
+the same instruction cost model and driving the same simulated cache —
+the reproduction's stand-in for "compile both versions with clang -O2 and
+read the hardware counters".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RuntimeFailure
+from repro.fusion.fused_ir import (
+    EntryGroup,
+    FusedProgram,
+    FusedUnit,
+    GroupCall,
+    GuardedStmt,
+)
+from repro.ir.access import AccessPath
+from repro.ir.exprs import (
+    BinOp,
+    Const,
+    DataAccess,
+    Expr,
+    PureCall,
+    UnaryOp,
+    expr_cost,
+)
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+from repro.runtime.stats import ExecStats
+from repro.runtime.values import ObjectValue, copy_value, default_value
+
+
+class _ReturnSignal(Exception):
+    """Raised by `return;` — truncates the current traversal frame."""
+
+
+_RETURN = _ReturnSignal()
+
+# Safety net for the §3.5 loop extension: traversal loops iterate over
+# bounded local computations, so a huge trip count is a non-termination
+# bug in the input program, not a workload.
+_LOOP_LIMIT = 1_000_000
+
+
+class Interpreter:
+    def __init__(
+        self,
+        program: Program,
+        heap: Heap,
+        stats: Optional[ExecStats] = None,
+    ):
+        self.program = program
+        self.heap = heap
+        self.stats = stats if stats is not None else ExecStats()
+        self.globals: dict[str, object] = {}
+        for var in program.globals.values():
+            self.globals[var.name] = default_value(program, var.type_name)
+
+    # ==================================================================
+    # entry points
+    # ==================================================================
+
+    def run_entry(self, root: Node) -> None:
+        """Execute the original (unfused) entry sequence on *root*."""
+        for call in self.program.entry:
+            args = [self.eval_expr(a, root, {}) for a in call.args]
+            self.call_method(root, call.method_name, args)
+
+    def run_fused(self, fused: FusedProgram, root: Node) -> None:
+        """Execute the fused program on *root*."""
+        for group in fused.entry_groups:
+            unit = group.dispatch.get(root.type_name)
+            if unit is None:
+                raise RuntimeFailure(
+                    f"no fused entry for root type {root.type_name}"
+                )
+            member_args = []
+            for arg_exprs in group.args_per_member:
+                member_args.append(
+                    tuple(self.eval_expr(a, root, {}) for a in arg_exprs)
+                )
+            self.call_fused(unit, root, member_args, (1 << unit.width) - 1)
+
+    # ==================================================================
+    # original (unfused) execution
+    # ==================================================================
+
+    def call_method(self, node: Node, method_name: str, args: list) -> None:
+        if node is None:
+            raise RuntimeFailure(f"traversal {method_name!r} called on null")
+        method = self.program.resolve_method(node.type_name, method_name)
+        stats = self.stats
+        stats.node_visits += 1
+        cost = stats.cost
+        stats.instructions += cost.call_overhead + cost.per_argument * len(args)
+        if method.virtual:
+            stats.instructions += cost.virtual_dispatch
+        frame: dict[str, object] = {}
+        for param, value in zip(method.params, args):
+            frame[param.name] = copy_value(value)
+        try:
+            for stmt in method.body:
+                self.exec_stmt(stmt, node, frame)
+        except _ReturnSignal:
+            stats.truncations += 1
+
+    # ==================================================================
+    # fused execution (paper §3.4 semantics)
+    # ==================================================================
+
+    def call_fused(
+        self,
+        unit: FusedUnit,
+        node: Node,
+        member_args: list[tuple],
+        active_flags: int,
+    ) -> None:
+        stats = self.stats
+        cost = stats.cost
+        stats.node_visits += 1
+        # one stub dispatch + one call for the whole group
+        stats.instructions += cost.call_overhead + cost.virtual_dispatch
+        frames: list[dict[str, object]] = []
+        for member, method in enumerate(unit.members):
+            frame: dict[str, object] = {}
+            args = member_args[member] if member < len(member_args) else ()
+            stats.instructions += cost.per_argument * len(args)
+            for param, value in zip(method.params, args):
+                frame[param.name] = copy_value(value)
+            frames.append(frame)
+        for item in unit.body:
+            if active_flags == 0:
+                break
+            stats.instructions += cost.flag_check
+            if isinstance(item, GuardedStmt):
+                if not active_flags & (1 << item.member):
+                    continue
+                try:
+                    self.exec_stmt(item.stmt, node, frames[item.member])
+                except _ReturnSignal:
+                    active_flags &= ~(1 << item.member)
+                    stats.truncations += 1
+                    stats.instructions += cost.return_stmt
+            else:
+                self._exec_group_call(item, node, frames, active_flags)
+
+    def _exec_group_call(
+        self,
+        group: GroupCall,
+        node: Node,
+        frames: list[dict],
+        active_flags: int,
+    ) -> None:
+        stats = self.stats
+        cost = stats.cost
+        call_flags = 0
+        child_args: list[tuple] = []
+        for slot, member_call in enumerate(group.calls):
+            stats.instructions += cost.call_flag_pack
+            if not active_flags & (1 << member_call.member):
+                child_args.append(())
+                continue
+            if member_call.guard is not None:
+                frame = frames[member_call.member]
+                stats.instructions += expr_cost(member_call.guard) + cost.branch
+                if not self.eval_expr(member_call.guard, node, frame):
+                    child_args.append(())
+                    continue
+            call_flags |= 1 << slot
+            frame = frames[member_call.member]
+            stats.instructions += expr_cost_of_args(member_call.args)
+            child_args.append(
+                tuple(self.eval_expr(a, node, frame) for a in member_call.args)
+            )
+        if call_flags == 0:
+            return
+        if group.receiver.is_this:
+            child = node
+        else:
+            child = self._read_child(node, group.receiver.child.name)
+            stats.instructions += cost.null_check
+            if child is None:
+                raise RuntimeFailure(
+                    f"fused group call on null child "
+                    f"{node.type_name}.{group.receiver.child.name}"
+                )
+        unit = group.dispatch.get(child.type_name)
+        if unit is None:
+            raise RuntimeFailure(
+                f"no fused unit for dynamic type {child.type_name} in "
+                f"group {group}"
+            )
+        self.call_fused(unit, child, child_args, call_flags)
+
+    # ==================================================================
+    # statements
+    # ==================================================================
+
+    def exec_stmt(self, stmt: Stmt, this: Node, frame: dict) -> None:
+        stats = self.stats
+        cost = stats.cost
+        if isinstance(stmt, Assign):
+            stats.instructions += expr_cost(stmt.value) + len(stmt.target.steps)
+            value = self.eval_expr(stmt.value, this, frame)
+            self.write_path(stmt.target, this, frame, value)
+        elif isinstance(stmt, If):
+            stats.instructions += expr_cost(stmt.cond) + cost.branch
+            branch = (
+                stmt.then_body
+                if self.eval_expr(stmt.cond, this, frame)
+                else stmt.else_body
+            )
+            for sub in branch:
+                self.exec_stmt(sub, this, frame)
+        elif isinstance(stmt, While):
+            iterations = 0
+            while True:
+                stats.instructions += expr_cost(stmt.cond) + cost.branch
+                if not self.eval_expr(stmt.cond, this, frame):
+                    break
+                for sub in stmt.body:
+                    self.exec_stmt(sub, this, frame)
+                iterations += 1
+                if iterations > _LOOP_LIMIT:
+                    raise RuntimeFailure(
+                        f"while loop exceeded {_LOOP_LIMIT} iterations "
+                        "(likely non-terminating)"
+                    )
+        elif isinstance(stmt, TraverseStmt):
+            stats.instructions += expr_cost_of_args(stmt.args)
+            args = [self.eval_expr(a, this, frame) for a in stmt.args]
+            if stmt.receiver.is_this:
+                target = this
+            else:
+                target = self._read_child(this, stmt.receiver.child.name)
+                stats.instructions += cost.null_check
+            self.call_method(target, stmt.method_name, args)
+        elif isinstance(stmt, LocalDef):
+            if stmt.init is not None:
+                stats.instructions += expr_cost(stmt.init)
+                frame[stmt.name] = copy_value(
+                    self.eval_expr(stmt.init, this, frame)
+                )
+            else:
+                frame[stmt.name] = default_value(self.program, stmt.type_name)
+        elif isinstance(stmt, AliasDef):
+            stats.instructions += len(stmt.target.steps)
+            frame[stmt.name] = self._walk_tree_node(stmt.target, this, frame)
+        elif isinstance(stmt, Return):
+            stats.instructions += cost.return_stmt
+            raise _RETURN
+        elif isinstance(stmt, New):
+            stats.instructions += cost.new_node + len(stmt.target.steps)
+            parent, field_name = self._locate_child_slot(stmt.target, this, frame)
+            fresh = Node.new(self.program, self.heap, stmt.type_name)
+            layout = self.heap.layout(parent.type_name)
+            stats.write(parent.address + layout.offset_of(field_name))
+            parent.set(field_name, fresh)
+        elif isinstance(stmt, Delete):
+            stats.instructions += cost.delete_node + len(stmt.target.steps)
+            parent, field_name = self._locate_child_slot(stmt.target, this, frame)
+            layout = self.heap.layout(parent.type_name)
+            stats.write(parent.address + layout.offset_of(field_name))
+            parent.set(field_name, None)
+        elif isinstance(stmt, PureStmt):
+            stats.instructions += expr_cost(stmt.call)
+            self.eval_expr(stmt.call, this, frame)
+        else:  # pragma: no cover - defensive
+            raise RuntimeFailure(f"unknown statement {type(stmt).__name__}")
+
+    # ==================================================================
+    # paths
+    # ==================================================================
+
+    def _read_child(self, node: Node, field_name: str):
+        layout = self.heap.layout(node.type_name)
+        self.stats.read(node.address + layout.offset_of(field_name))
+        return node.get(field_name)
+
+    def _walk_tree_node(self, path: AccessPath, this: Node, frame: dict) -> Node:
+        """Evaluate a tree-node path (all child steps) to a node."""
+        node = self._base_node(path, this, frame)
+        for step in path.steps:
+            node = self._read_child(node, step.field.name)
+            if node is None:
+                raise RuntimeFailure(f"null child in path {path}")
+        return node
+
+    def _locate_child_slot(
+        self, path: AccessPath, this: Node, frame: dict
+    ) -> tuple[Node, str]:
+        """The (parent node, field name) a new/delete statement targets."""
+        node = self._base_node(path, this, frame)
+        for step in path.steps[:-1]:
+            node = self._read_child(node, step.field.name)
+            if node is None:
+                raise RuntimeFailure(f"null child in path {path}")
+        return node, path.steps[-1].field.name
+
+    def _base_node(self, path: AccessPath, this: Node, frame: dict) -> Node:
+        if path.base == "this":
+            return this
+        if path.is_local:
+            value = frame.get(path.base_name)
+            if not isinstance(value, Node):
+                raise RuntimeFailure(
+                    f"local {path.base_name!r} is not a tree alias"
+                )
+            return value
+        raise RuntimeFailure(f"path {path} cannot start at a global")
+
+    def read_path(self, path: AccessPath, this: Node, frame: dict):
+        if path.is_global:
+            return self._read_global(path)
+        if path.is_local and (
+            not path.steps or not isinstance(frame.get(path.base_name), Node)
+        ):
+            # data local (possibly with opaque member steps); registers only
+            value = frame[path.base_name]
+            for step in path.steps:
+                value = value.get(step.field.name)
+            return value
+        # on-tree (this-based or via alias)
+        node = self._base_node(path, this, frame)
+        index = 0
+        steps = path.steps
+        while index < len(steps) and steps[index].field.is_child:
+            node = self._read_child(node, steps[index].field.name)
+            if node is None:
+                raise RuntimeFailure(f"null child in path {path}")
+            index += 1
+        remaining = steps[index:]
+        if not remaining:
+            return node
+        layout = self.heap.layout(node.type_name)
+        field_name = remaining[0].field.name
+        value = node.get(field_name)
+        if len(remaining) == 1:
+            self.stats.read(node.address + layout.offset_of(field_name))
+            return value
+        member_name = remaining[1].field.name
+        self.stats.read(node.address + layout.offset_of(field_name, member_name))
+        return value.get(member_name)
+
+    def write_path(self, path: AccessPath, this: Node, frame: dict, value) -> None:
+        if path.is_global:
+            self._write_global(path, value)
+            return
+        if path.is_local and (
+            not path.steps or not isinstance(frame.get(path.base_name), Node)
+        ):
+            if not path.steps:
+                frame[path.base_name] = copy_value(value)
+                return
+            container = frame[path.base_name]
+            for step in path.steps[:-1]:
+                container = container.get(step.field.name)
+            container.set(path.steps[-1].field.name, value)
+            return
+        node = self._base_node(path, this, frame)
+        index = 0
+        steps = path.steps
+        while index < len(steps) and steps[index].field.is_child:
+            # all-but-last child steps navigate; a final child step would
+            # be a tree-node write, which assignment forbids
+            if index == len(steps) - 1:
+                raise RuntimeFailure(f"assignment to tree node {path}")
+            node = self._read_child(node, steps[index].field.name)
+            if node is None:
+                raise RuntimeFailure(f"null child in path {path}")
+            index += 1
+        remaining = steps[index:]
+        layout = self.heap.layout(node.type_name)
+        field_name = remaining[0].field.name
+        if len(remaining) == 1:
+            self.stats.write(node.address + layout.offset_of(field_name))
+            node.set(field_name, copy_value(value))
+            return
+        member_name = remaining[1].field.name
+        self.stats.write(node.address + layout.offset_of(field_name, member_name))
+        node.get(field_name).set(member_name, value)
+
+    def _read_global(self, path: AccessPath):
+        name = path.base_name
+        if not path.steps:
+            self.stats.read(self.heap.global_address(name))
+            return self.globals[name]
+        member = path.steps[0].field.name
+        self.stats.read(self.heap.global_address(name, member))
+        return self.globals[name].get(member)
+
+    def _write_global(self, path: AccessPath, value) -> None:
+        name = path.base_name
+        if not path.steps:
+            self.stats.write(self.heap.global_address(name))
+            self.globals[name] = copy_value(value)
+            return
+        member = path.steps[0].field.name
+        self.stats.write(self.heap.global_address(name, member))
+        self.globals[name].set(member, value)
+
+    # ==================================================================
+    # expressions
+    # ==================================================================
+
+    def eval_expr(self, expr: Expr, this: Node, frame: dict):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, DataAccess):
+            return self.read_path(expr.path, this, frame)
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, this, frame)
+        if isinstance(expr, UnaryOp):
+            operand = self.eval_expr(expr.operand, this, frame)
+            if expr.op == "-":
+                return -operand
+            return not operand
+        if isinstance(expr, PureCall):
+            func = self.program.pure_functions[expr.func_name]
+            args = [
+                copy_value(self.eval_expr(a, this, frame)) for a in expr.args
+            ]
+            return func(*args)
+        raise RuntimeFailure(f"unknown expression {type(expr).__name__}")
+
+    def _eval_binop(self, expr: BinOp, this: Node, frame: dict):
+        op = expr.op
+        if op == "&&":
+            return bool(
+                self.eval_expr(expr.lhs, this, frame)
+                and self.eval_expr(expr.rhs, this, frame)
+            )
+        if op == "||":
+            return bool(
+                self.eval_expr(expr.lhs, this, frame)
+                or self.eval_expr(expr.rhs, this, frame)
+            )
+        lhs = self.eval_expr(expr.lhs, this, frame)
+        rhs = self.eval_expr(expr.rhs, this, frame)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return _cxx_div(lhs, rhs)
+        if op == "%":
+            return _cxx_mod(lhs, rhs)
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        raise RuntimeFailure(f"unknown operator {op!r}")
+
+
+def _cxx_div(lhs, rhs):
+    """C++ division: integer division truncates toward zero."""
+    if rhs == 0:
+        raise RuntimeFailure("division by zero")
+    if isinstance(lhs, bool) or isinstance(rhs, bool):
+        lhs, rhs = int(lhs), int(rhs)
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        quotient = abs(lhs) // abs(rhs)
+        return quotient if (lhs < 0) == (rhs < 0) else -quotient
+    return lhs / rhs
+
+
+def _cxx_mod(lhs, rhs):
+    """C++ %: result has the sign of the dividend."""
+    if rhs == 0:
+        raise RuntimeFailure("modulo by zero")
+    return lhs - rhs * _cxx_div(lhs, rhs)
+
+
+def expr_cost_of_args(args: tuple[Expr, ...]) -> int:
+    return sum(expr_cost(a) for a in args)

@@ -1,0 +1,106 @@
+"""Runtime tree nodes."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import RuntimeFailure
+from repro.ir.program import Program
+from repro.runtime.heap import Heap
+from repro.runtime.values import ObjectValue, default_value
+
+
+class Node:
+    """One tree node: dynamic type, field values, heap address.
+
+    Child fields hold ``Node`` or ``None``; data fields hold primitives or
+    :class:`ObjectValue`. Use :meth:`Node.new` so defaults and the address
+    come out consistent with the program's layouts.
+    """
+
+    __slots__ = ("type_name", "fields", "address")
+
+    def __init__(self, type_name: str, fields: dict, address: int):
+        self.type_name = type_name
+        self.fields = fields
+        self.address = address
+
+    @staticmethod
+    def new(program: Program, heap: Heap, type_name: str, **overrides) -> "Node":
+        if type_name not in program.tree_types:
+            raise RuntimeFailure(f"cannot instantiate unknown type {type_name!r}")
+        if program.tree_types[type_name].abstract:
+            raise RuntimeFailure(f"cannot instantiate abstract type {type_name}")
+        fields: dict = {}
+        for field_name, field in program.fields_of(type_name).items():
+            if field.is_child:
+                fields[field_name] = None
+            else:
+                declared_default = _declared_default(program, type_name, field_name)
+                if declared_default is not None:
+                    fields[field_name] = declared_default
+                else:
+                    fields[field_name] = default_value(program, field.type_name)
+        for key, value in overrides.items():
+            if key not in fields:
+                raise RuntimeFailure(f"{type_name} has no field {key!r}")
+            fields[key] = value
+        return Node(type_name, fields, heap.allocate(type_name))
+
+    def get(self, field_name: str):
+        try:
+            return self.fields[field_name]
+        except KeyError:
+            raise RuntimeFailure(
+                f"node of type {self.type_name} has no field {field_name!r}"
+            ) from None
+
+    def set(self, field_name: str, value) -> None:
+        if field_name not in self.fields:
+            raise RuntimeFailure(
+                f"node of type {self.type_name} has no field {field_name!r}"
+            )
+        self.fields[field_name] = value
+
+    # -- tree utilities (used by workloads/tests) -------------------------
+
+    def walk(self, program: Program) -> Iterator["Node"]:
+        """Preorder walk of the subtree under this node."""
+        yield self
+        for field_name, field in program.fields_of(self.type_name).items():
+            if field.is_child:
+                child = self.fields[field_name]
+                if child is not None:
+                    yield from child.walk(program)
+
+    def count_nodes(self, program: Program) -> int:
+        return sum(1 for _ in self.walk(program))
+
+    def snapshot(self, program: Program) -> dict:
+        """A structural copy of the subtree's data (for differential
+        testing of fused vs unfused executions)."""
+        data = {"__type__": self.type_name}
+        for field_name, field in program.fields_of(self.type_name).items():
+            value = self.fields[field_name]
+            if field.is_child:
+                data[field_name] = (
+                    None if value is None else value.snapshot(program)
+                )
+            elif isinstance(value, ObjectValue):
+                data[field_name] = (value.class_name, dict(value.members))
+            else:
+                data[field_name] = value
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.type_name}@{self.address:#x})"
+
+
+def _declared_default(program: Program, type_name: str, field_name: str) -> Optional[object]:
+    for owner_name in program.mro(type_name):
+        owner = program.tree_types[owner_name]
+        if field_name in owner.data_defaults:
+            return owner.data_defaults[field_name]
+        if field_name in owner.data or field_name in owner.children:
+            return None
+    return None

@@ -1,0 +1,90 @@
+"""Execution metrics and the instruction cost model.
+
+The paper measures four quantities per experiment (§5): node visits,
+instructions executed, cache misses and runtime. Here:
+
+* **node visits** — incremented once per traversal-function invocation on
+  a node; a fused function counts once however many member traversals it
+  carries (that is the point of fusion).
+* **instructions** — a deterministic cost model over executed IR
+  operations. The *same* table prices unfused and fused code, and the
+  fused overheads the paper describes (active-flag checks, call-flag
+  packing, stub dispatch) are charged explicitly, so the "instruction
+  overhead" effect is reproduced rather than assumed.
+* **cache misses** — from :mod:`repro.cachesim` over the address trace.
+* **runtime** — modeled cycles: instructions + miss penalties, plus
+  wall-clock seconds reported separately for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cachesim.hierarchy import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Instruction-cost table (units are nominal 'instructions')."""
+
+    call_overhead: int = 4        # frame setup + branch + ret
+    per_argument: int = 1
+    virtual_dispatch: int = 3     # vtable load + indirect branch
+    flag_check: int = 1           # `if (active_flags & mask)`
+    call_flag_pack: int = 2       # shift+or per member when forming call_flags
+    return_stmt: int = 1
+    new_node: int = 8             # allocation + header init
+    delete_node: int = 4
+    branch: int = 1               # if-statement overhead beyond its condition
+    null_check: int = 1
+
+
+@dataclass
+class ExecStats:
+    """Counters for one execution."""
+
+    node_visits: int = 0
+    instructions: int = 0
+    field_reads: int = 0
+    field_writes: int = 0
+    truncations: int = 0
+    cache: Optional[CacheHierarchy] = None
+    cost: CostModel = field(default_factory=CostModel)
+
+    # -- memory traffic ----------------------------------------------------
+
+    def read(self, address: int) -> None:
+        self.field_reads += 1
+        if self.cache is not None:
+            self.cache.access(address)
+
+    def write(self, address: int) -> None:
+        self.field_writes += 1
+        if self.cache is not None:
+            self.cache.access(address)
+
+    # -- derived metrics -----------------------------------------------------
+
+    def miss_counts(self) -> dict[str, int]:
+        if self.cache is None:
+            return {}
+        return self.cache.miss_counts()
+
+    def modeled_cycles(self) -> int:
+        """Runtime metric: instruction count plus cache-miss penalties."""
+        cycles = self.instructions
+        if self.cache is not None:
+            cycles += self.cache.penalty_cycles()
+        return cycles
+
+    def as_dict(self) -> dict:
+        result = {
+            "node_visits": self.node_visits,
+            "instructions": self.instructions,
+            "field_reads": self.field_reads,
+            "field_writes": self.field_writes,
+            "modeled_cycles": self.modeled_cycles(),
+        }
+        result.update(self.miss_counts())
+        return result

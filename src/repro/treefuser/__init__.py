@@ -1,0 +1,22 @@
+"""TreeFuser baseline (paper §5.1's comparison system).
+
+TreeFuser [Sakka et al., OOPSLA'17] fuses general recursive traversals but
+requires *homogeneous* trees: "TreeFuser requires programmers to unify all
+the subtypes of a class hierarchy into a single type — e.g., a tagged
+union — distinguishing between them with conditionals" (paper §1). Its
+language allows traverse calls under conditionals (guarded recursion), and
+its dependence analysis sees the union of all branches, which is where its
+spurious dependences and per-node conditional overhead come from.
+
+This package reproduces that baseline *automatically*: :func:`lower_program`
+converts any Grafter program into the tagged-union encoding (one ``TNode``
+type, a ``tag`` field, tag-guarded statements, guarded traversal calls);
+:func:`lower_tree` converts runtime trees. The lowered program runs on the
+same interpreter and fuses with the same engine — the conditional call
+blocks group only when their guards match, reproducing TreeFuser's
+coarser, type-blind fusion and its instruction overhead.
+"""
+
+from repro.treefuser.lowering import LoweredProgram, lower_program, lower_tree
+
+__all__ = ["LoweredProgram", "lower_program", "lower_tree"]

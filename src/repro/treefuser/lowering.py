@@ -1,0 +1,417 @@
+"""Heterogeneous -> homogeneous (tagged-union) program lowering.
+
+The transformation:
+
+* one tree type ``TNode`` holding the union of every child/data field in
+  the hierarchy (slot names are ``Owner_field``, so unrelated same-named
+  fields do not collide; inherited fields share their declaring owner's
+  slot) plus an integer ``tag``;
+* per traversal *name*, one non-virtual function whose body concatenates,
+  per concrete resolved method, the method's statements each wrapped in
+  ``if (this->tag == TAG || ...)`` — simple statements become guarded
+  simple statements, traverse calls become *conditional call blocks*
+  (TreeFuser-mode grammar);
+* ``new T()`` becomes ``new TNode()`` followed by a tag assignment.
+
+Guards use the disjunction of all concrete tags that resolve to the same
+method, ordered deterministically, so two traversals' guards for the same
+receiver compare equal exactly when their dispatch sets match — the
+condition under which the fusion engine may group their calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import WorkloadError
+from repro.ir.access import AccessPath, Receiver, Step
+from repro.ir.exprs import BinOp, Const, DataAccess, Expr, PureCall, UnaryOp
+from repro.ir.method import Param, TraversalMethod
+from repro.ir.program import EntryCall, Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+from repro.ir.types import TreeType
+from repro.ir.validate import LanguageMode, validate_program
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+
+TNODE = "TNode"
+TAG_FIELD = "tag"
+
+
+@dataclass
+class LoweredProgram:
+    """The homogeneous program plus the mapping metadata."""
+
+    program: Program
+    tags: dict[str, int]  # concrete source type -> tag value
+    slot_names: dict[str, str] = dc_field(default_factory=dict)  # field label -> slot
+
+    def tag_of(self, type_name: str) -> int:
+        return self.tags[type_name]
+
+
+def lower_program(source: Program) -> LoweredProgram:
+    source.finalize()
+    lowered = Program(f"{source.name}_treefuser")
+    tnode = TreeType(TNODE)
+    tnode.add_data(TAG_FIELD, "int")
+    # shared environment: opaque classes, globals, pure functions
+    for cls in source.opaque_classes.values():
+        lowered.add_opaque_class(cls)
+    for var in source.globals.values():
+        lowered.add_global(var.name, var.type_name)
+    for func in source.pure_functions.values():
+        lowered.add_pure_function(func)
+    # Field slots. A programmer writing the tagged union by hand unifies
+    # same-named *data* fields across the hierarchy (one Width, one
+    # Height for every node kind) — that unification is precisely where
+    # TreeFuser's spurious dependences come from, so we reproduce it.
+    # Child pointers keep their declaring-class identity: distinct
+    # recursive roles stay distinct fields even in a hand-written union
+    # (a list spine pointer is not the same slot as a content pointer),
+    # and same-named inherited children already share their declaring
+    # owner. Data fields with conflicting types fall back to
+    # owner-prefixed slots.
+    slot_names: dict[str, str] = {}
+    by_name: dict[str, list] = {}
+    for type_name in sorted(source.tree_types):
+        for field in source.tree_types[type_name].own_fields():
+            if not field.is_child:
+                by_name.setdefault(field.name, []).append(field)
+    unifiable: dict[str, bool] = {}
+    for name, fields in by_name.items():
+        data_types = {f.type_name for f in fields}
+        unifiable[name] = len(data_types) == 1
+    added: set[str] = set()
+    for type_name in sorted(source.tree_types):
+        tree_type = source.tree_types[type_name]
+        for field in tree_type.own_fields():
+            if field.is_child:
+                slot = f"{field.owner}_{field.name}"
+            elif unifiable[field.name] and field.name != TAG_FIELD:
+                slot = field.name
+            else:
+                slot = f"{field.owner}_{field.name}"
+            slot_names[field.label] = slot
+            if slot in added:
+                continue
+            added.add(slot)
+            if field.is_child:
+                tnode.add_child(slot, TNODE)
+            else:
+                default = tree_type.data_defaults.get(field.name)
+                tnode.add_data(slot, field.type_name, default=default)
+    lowered.add_tree_type(tnode)
+    lowered.finalize_types()
+    tags = {
+        name: index
+        for index, name in enumerate(sorted(source.concrete_subtypes_all()))
+    }
+    rewriter = _Rewriter(source, lowered, slot_names, tags)
+    for method_name in _traversal_names(source):
+        tnode.add_method(rewriter.lower_traversal(method_name))
+    if source.root_type_name is not None:
+        lowered.set_entry(
+            TNODE,
+            [
+                EntryCall(method_name=c.method_name, args=c.args)
+                for c in source.entry
+            ],
+        )
+    lowered.finalize()
+    validate_program(lowered, LanguageMode.TREEFUSER)
+    return LoweredProgram(program=lowered, tags=tags, slot_names=slot_names)
+
+
+def _traversal_names(source: Program) -> list[str]:
+    names: set[str] = set()
+    for method in source.all_methods():
+        names.add(method.name)
+    return sorted(names)
+
+
+def _declared_locals(body: list[Stmt]) -> set[str]:
+    from repro.ir.stmts import walk_stmts
+
+    names: set[str] = set()
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, (LocalDef, AliasDef)):
+            names.add(stmt.name)
+    return names
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        source: Program,
+        lowered: Program,
+        slot_names: dict[str, str],
+        tags: dict[str, int],
+    ):
+        self.source = source
+        self.lowered = lowered
+        self.slot_names = slot_names
+        self.tags = tags
+        self._local_renames: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def lower_traversal(self, method_name: str) -> TraversalMethod:
+        """One homogeneous function per traversal name."""
+        variants: dict[str, list[str]] = {}  # qualified impl -> [types]
+        impls: dict[str, TraversalMethod] = {}
+        for type_name in sorted(self.tags):
+            if not self.source.has_method(type_name, method_name):
+                continue
+            method = self.source.resolve_method(type_name, method_name)
+            variants.setdefault(method.qualified_name, []).append(type_name)
+            impls[method.qualified_name] = method
+        params: tuple[Param, ...] | None = None
+        body: list[Stmt] = []
+        for index, qualified in enumerate(sorted(variants)):
+            method = impls[qualified]
+            if params is None:
+                params = method.params
+            elif [p.type_name for p in params] != [
+                p.type_name for p in method.params
+            ]:
+                raise WorkloadError(
+                    f"traversal {method_name!r} has inconsistent signatures; "
+                    "the tagged-union lowering requires one signature"
+                )
+            guard = self._tag_guard(variants[qualified])
+            # variants share one flat function scope after lowering, so
+            # their locals must be renamed apart (parameters are shared
+            # by signature and stay as-is)
+            self._local_renames = {
+                name: f"{name}__v{index}"
+                for name in _declared_locals(method.body)
+            }
+            body.extend(self._guarded_variant(guard, method.body))
+            self._local_renames = {}
+        return TraversalMethod(
+            name=method_name,
+            owner=TNODE,
+            params=params or (),
+            body=body,
+            virtual=False,
+        )
+
+    def _tag_guard(self, type_names: list[str]) -> Expr:
+        tag_read = DataAccess(path=self._this_tag_path())
+        terms: list[Expr] = [
+            BinOp(op="==", lhs=tag_read, rhs=Const(self.tags[t], "int"))
+            for t in sorted(type_names)
+        ]
+        guard = terms[0]
+        for term in terms[1:]:
+            guard = BinOp(op="||", lhs=guard, rhs=term)
+        return guard
+
+    def _this_tag_path(self) -> AccessPath:
+        tag_field = self.lowered.resolve_field(TNODE, TAG_FIELD)
+        return AccessPath.this(Step(field=tag_field))
+
+    # ------------------------------------------------------------------
+    # statement rewriting
+    # ------------------------------------------------------------------
+
+    def _guarded_variant(self, guard: Expr, body: list[Stmt]) -> list[Stmt]:
+        """Wrap one variant's statements in tag guards.
+
+        Consecutive simple statements share a single guarded block — a
+        hand-written tagged union evaluates ``tag == T`` once and
+        branches, not once per statement — while every traverse call gets
+        its own guarded block so the fusion engine can still group calls
+        individually (TreeFuser's call-specific partial fusion). The
+        coarser simple blocks also union their accesses into one
+        dependence vertex, matching TreeFuser's statement granularity.
+        """
+        result: list[Stmt] = []
+        run: list[Stmt] = []
+
+        def flush() -> None:
+            if run:
+                result.append(If(cond=guard, then_body=list(run), else_body=[]))
+                run.clear()
+
+        for stmt in body:
+            lowered = self.lower_stmt(stmt)
+            if isinstance(stmt, TraverseStmt):
+                flush()
+                result.append(If(cond=guard, then_body=lowered, else_body=[]))
+            else:
+                run.extend(lowered)
+        flush()
+        return result
+
+    def lower_stmt(self, stmt: Stmt) -> list[Stmt]:
+        if isinstance(stmt, Assign):
+            return [
+                Assign(
+                    target=self.lower_path(stmt.target),
+                    value=self.lower_expr(stmt.value),
+                )
+            ]
+        if isinstance(stmt, LocalDef):
+            init = None if stmt.init is None else self.lower_expr(stmt.init)
+            name = self._local_renames.get(stmt.name, stmt.name)
+            return [LocalDef(name=name, type_name=stmt.type_name, init=init)]
+        if isinstance(stmt, AliasDef):
+            name = self._local_renames.get(stmt.name, stmt.name)
+            return [
+                AliasDef(
+                    name=name,
+                    type_name=TNODE,
+                    target=self.lower_path(stmt.target),
+                )
+            ]
+        if isinstance(stmt, If):
+            return [
+                If(
+                    cond=self.lower_expr(stmt.cond),
+                    then_body=[
+                        s for sub in stmt.then_body for s in self.lower_stmt(sub)
+                    ],
+                    else_body=[
+                        s for sub in stmt.else_body for s in self.lower_stmt(sub)
+                    ],
+                )
+            ]
+        if isinstance(stmt, While):
+            return [
+                While(
+                    cond=self.lower_expr(stmt.cond),
+                    body=[
+                        s for sub in stmt.body for s in self.lower_stmt(sub)
+                    ],
+                )
+            ]
+        if isinstance(stmt, Return):
+            return [Return()]
+        if isinstance(stmt, New):
+            target = self.lower_path(stmt.target)
+            tag_field = self.lowered.resolve_field(TNODE, TAG_FIELD)
+            tag_path = AccessPath(
+                target.base, target.steps + (Step(field=tag_field),)
+            )
+            return [
+                New(target=target, type_name=TNODE),
+                Assign(
+                    target=tag_path,
+                    value=Const(self.tags[stmt.type_name], "int"),
+                ),
+            ]
+        if isinstance(stmt, Delete):
+            return [Delete(target=self.lower_path(stmt.target))]
+        if isinstance(stmt, PureStmt):
+            return [PureStmt(call=self.lower_expr(stmt.call))]
+        if isinstance(stmt, TraverseStmt):
+            if stmt.receiver.is_this:
+                receiver = Receiver(child=None)
+            else:
+                slot = self.slot_names[stmt.receiver.child.label]
+                child_field = self.lowered.resolve_field(TNODE, slot)
+                receiver = Receiver(child=child_field)
+            return [
+                TraverseStmt(
+                    receiver=receiver,
+                    method_name=stmt.method_name,
+                    args=tuple(self.lower_expr(a) for a in stmt.args),
+                )
+            ]
+        raise WorkloadError(f"cannot lower statement {stmt!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # paths and expressions
+    # ------------------------------------------------------------------
+
+    def lower_path(self, path: AccessPath) -> AccessPath:
+        steps = []
+        for step in path.steps:
+            label = step.field.label
+            if label in self.slot_names:
+                lowered_field = self.lowered.resolve_field(
+                    TNODE, self.slot_names[label]
+                )
+            else:
+                # a member of an opaque class: unchanged
+                lowered_field = step.field
+            steps.append(Step(field=lowered_field, pre_cast=None))
+        base = path.base
+        if path.is_local and path.base_name in self._local_renames:
+            base = f"local:{self._local_renames[path.base_name]}"
+        return AccessPath(base, tuple(steps))
+
+    def lower_expr(self, expr: Expr):
+        if isinstance(expr, Const):
+            return expr
+        if isinstance(expr, DataAccess):
+            return DataAccess(path=self.lower_path(expr.path))
+        if isinstance(expr, BinOp):
+            return BinOp(
+                op=expr.op,
+                lhs=self.lower_expr(expr.lhs),
+                rhs=self.lower_expr(expr.rhs),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(op=expr.op, operand=self.lower_expr(expr.operand))
+        if isinstance(expr, PureCall):
+            return PureCall(
+                func_name=expr.func_name,
+                args=tuple(self.lower_expr(a) for a in expr.args),
+            )
+        raise WorkloadError(f"cannot lower expression {expr!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# runtime tree lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_tree(
+    source: Program,
+    lowered: LoweredProgram,
+    heap: Heap,
+    root: Node,
+) -> Node:
+    """Convert a heterogeneous runtime tree into its tagged-union twin.
+
+    Nodes are allocated in preorder, approximating the construction-order
+    locality of the original builders; data values are copied into their
+    slots (opaque objects are copied by value)."""
+    from repro.runtime.values import ObjectValue
+
+    program = lowered.program
+
+    def convert(node: Node) -> Node:
+        twin = Node.new(program, heap, TNODE)
+        twin.set(TAG_FIELD, lowered.tag_of(node.type_name))
+        children: list[tuple[str, Node]] = []
+        for field_name, field in source.fields_of(node.type_name).items():
+            slot = lowered.slot_names[field.label]
+            value = node.fields[field_name]
+            if field.is_child:
+                if value is not None:
+                    children.append((slot, value))
+            elif isinstance(value, ObjectValue):
+                twin.set(slot, value.copy())
+            else:
+                twin.set(slot, value)
+        for slot, child in children:
+            twin.set(slot, convert(child))
+        return twin
+
+    return convert(root)

@@ -1,0 +1,20 @@
+"""The paper's four case studies (§5), written in the Grafter language.
+
+* :mod:`repro.workloads.render`  — §5.1: render tree, 17 node types, the
+  five layout passes of Table 2, and the document generators behind
+  Fig. 9 and Table 3.
+* :mod:`repro.workloads.astlang` — §5.2: ASTs of a small imperative
+  language, 20 node types, the six passes of Table 2 (desugaring,
+  two-traversal constant propagation, folding, branch removal), and the
+  program generators behind Fig. 11 and Table 4.
+* :mod:`repro.workloads.kdtree`  — §5.3: piecewise functions on kd-trees,
+  the Table 5 traversals (including leaf-splitting range operations), and
+  the Table 6 equation schedules behind Fig. 12.
+* :mod:`repro.workloads.fmm`     — §5.4: a fast-multipole-method-shaped
+  workload with an upward multipole pass plus the two fusible downward
+  passes behind Fig. 13.
+
+Every workload module exposes ``program()`` (the parsed, validated
+Grafter program), input builders, and a pure-Python *oracle* used by the
+test suite to check that the traversals compute what they claim.
+"""

@@ -1,0 +1,64 @@
+"""Case study 2: AST traversals (paper §5.2).
+
+A small imperative language — functions containing assignments, ``if``
+statements and integer expressions with ``x++``/``x--`` sugar — is
+represented as a heterogeneous AST of 20 node types (Fig. 10). Six
+traversals (Table 2) run over it:
+
+1. ``desugarIncr``          — rewrite ``x++`` into ``x + 1`` (topology
+   mutation: the parent deletes the sugar node and builds the sum).
+2. ``desugarDecr``          — same for ``x--``.
+3. ``propagateConstants``   — finds ``x = <const>`` assignments and, for
+   each, *launches* a ``replaceVarRefs`` traversal over the following
+   statements (the paper's "written as two traversals").
+4. ``replaceVarRefs(v,c)``  — replaces reads of ``v`` by ``c``; truncates
+   dynamically when ``v`` is reassigned (the paper's §5.2 source of
+   fused-code instruction overhead).
+5. ``foldConstants``        — marks constant subexpressions bottom-up and
+   collapses them into literal nodes (mutation).
+6. ``removeUnusedBranches`` — deletes the dead arm of ``if`` statements
+   whose condition folded to a literal (mutation).
+"""
+
+from repro.workloads.astlang.schema import (
+    AST_SOURCE,
+    K_ADD,
+    K_CONST,
+    K_DECR,
+    K_INCR,
+    K_MUL,
+    K_SUB,
+    K_VAR,
+    S_ASSIGN,
+    S_IF,
+    ast_program,
+)
+from repro.workloads.astlang.programs import (
+    AstBuilder,
+    prog1_spec,
+    prog2_spec,
+    prog3_spec,
+    replicated_functions,
+)
+from repro.workloads.astlang.oracle import (
+    check_desugared,
+    check_folded,
+    check_pruned,
+    evaluate_program,
+)
+
+__all__ = [
+    "AST_SOURCE",
+    "ast_program",
+    "K_CONST", "K_VAR", "K_ADD", "K_SUB", "K_MUL", "K_INCR", "K_DECR",
+    "S_ASSIGN", "S_IF",
+    "AstBuilder",
+    "replicated_functions",
+    "prog1_spec",
+    "prog2_spec",
+    "prog3_spec",
+    "evaluate_program",
+    "check_desugared",
+    "check_folded",
+    "check_pruned",
+]

@@ -1,0 +1,220 @@
+"""AST input generators: the trees behind Fig. 11 and Table 4.
+
+``AstBuilder`` assembles runtime ASTs node-by-node (setting the ``kind``
+discriminator fields the traversals dispatch on). The three Table 4
+configurations:
+
+* Prog1 — a large number of normal-sized functions (most fusible).
+* Prog2 — one large function (fusion only inside one body).
+* Prog3 — functions with long live ranges: constants defined early and
+  used much later, so ``replaceVarRefs`` sub-traversals run long before
+  truncating.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.program import Program
+from repro.runtime import Heap, Node
+from repro.workloads.astlang.schema import (
+    K_ADD,
+    K_CONST,
+    K_DECR,
+    K_INCR,
+    K_MUL,
+    K_SUB,
+    K_VAR,
+    S_ASSIGN,
+    S_IF,
+)
+
+
+class AstBuilder:
+    """Convenience constructors for runtime AST nodes."""
+
+    def __init__(self, program: Program, heap: Heap):
+        self.program = program
+        self.heap = heap
+
+    # -- expressions -------------------------------------------------------
+
+    def const(self, value: int) -> Node:
+        return Node.new(
+            self.program, self.heap, "ConstExpr",
+            kind=K_CONST, value=value, isLit=1,
+        )
+
+    def var(self, var_id: int) -> Node:
+        return Node.new(
+            self.program, self.heap, "VarRef", kind=K_VAR, varId=var_id
+        )
+
+    def incr(self, var_id: int) -> Node:
+        return Node.new(
+            self.program, self.heap, "IncrExpr",
+            kind=K_INCR, Operand=self.var(var_id),
+        )
+
+    def decr(self, var_id: int) -> Node:
+        return Node.new(
+            self.program, self.heap, "DecrExpr",
+            kind=K_DECR, Operand=self.var(var_id),
+        )
+
+    def binop(self, op_kind: int, left: Node, right: Node) -> Node:
+        type_name = {K_ADD: "AddExpr", K_SUB: "SubExpr", K_MUL: "MulExpr"}[op_kind]
+        return Node.new(
+            self.program, self.heap, type_name,
+            kind=op_kind, Left=left, Right=right,
+        )
+
+    def add(self, left: Node, right: Node) -> Node:
+        return self.binop(K_ADD, left, right)
+
+    def sub(self, left: Node, right: Node) -> Node:
+        return self.binop(K_SUB, left, right)
+
+    def mul(self, left: Node, right: Node) -> Node:
+        return self.binop(K_MUL, left, right)
+
+    # -- statements ----------------------------------------------------------
+
+    def assign(self, var_id: int, rhs: Node) -> Node:
+        return Node.new(
+            self.program, self.heap, "AssignStmt",
+            kind=S_ASSIGN, varId=var_id, Rhs=rhs,
+        )
+
+    def if_stmt(self, cond: Node, then: list[Node], orelse: list[Node]) -> Node:
+        return Node.new(
+            self.program, self.heap, "IfStmt",
+            kind=S_IF,
+            Cond=cond,
+            Then=self.stmt_list(then),
+            Else=self.stmt_list(orelse),
+        )
+
+    def stmt_list(self, stmts: list[Node]) -> Node:
+        spine = []
+        for stmt in stmts:
+            inner = Node.new(self.program, self.heap, "StmtListInner")
+            inner.set("S", stmt)
+            spine.append(inner)
+        tail = Node.new(self.program, self.heap, "StmtListEnd")
+        for inner, nxt in zip(spine, spine[1:] + [tail]):
+            inner.set("Next", nxt)
+        return spine[0] if spine else tail
+
+    # -- functions / program ---------------------------------------------------
+
+    def function(self, stmts: list[Node]) -> Node:
+        return Node.new(
+            self.program, self.heap, "Function", Body=self.stmt_list(stmts)
+        )
+
+    def program_node(self, functions: list[Node]) -> Node:
+        root = Node.new(self.program, self.heap, "Program")
+        spine = []
+        for function in functions:
+            inner = Node.new(self.program, self.heap, "FunctionListInner")
+            inner.set("Fn", function)
+            spine.append(inner)
+        tail = Node.new(self.program, self.heap, "FunctionListEnd")
+        for inner, nxt in zip(spine, spine[1:] + [tail]):
+            inner.set("Next", nxt)
+        root.set("Functions", spine[0] if spine else tail)
+        return root
+
+
+def _template_function(builder: AstBuilder, rng: random.Random) -> Node:
+    """One function exercising every pass: sugar, constants to propagate,
+    foldable arithmetic, and a branch that folding makes dead."""
+    v0, v1, v2, v3 = 0, 1, 2, 3
+    stmts = [
+        builder.assign(v0, builder.const(rng.randint(1, 9))),
+        builder.assign(v1, builder.add(builder.var(v0), builder.const(3))),
+        builder.assign(v2, builder.incr(v1)),
+        builder.assign(v1, builder.decr(v1)),
+        builder.if_stmt(
+            builder.sub(builder.var(v0), builder.var(v0)),  # folds to 0
+            [builder.assign(v3, builder.const(rng.randint(10, 19)))],
+            [builder.assign(v3, builder.mul(builder.var(v0), builder.const(2)))],
+        ),
+        builder.assign(v2, builder.add(builder.var(v3), builder.incr(v2))),
+    ]
+    return builder.function(stmts)
+
+
+def replicated_functions(
+    program: Program, heap: Heap, num_functions: int, seed: int = 3
+) -> Node:
+    """Fig. 11 inputs: a representative function replicated (the paper:
+    'This function was replicated in order to obtain bigger trees')."""
+    rng = random.Random(seed)
+    builder = AstBuilder(program, heap)
+    functions = [
+        _template_function(builder, rng) for _ in range(num_functions)
+    ]
+    return builder.program_node(functions)
+
+
+def prog1_spec(program: Program, heap: Heap, num_functions: int = 120,
+               seed: int = 5) -> Node:
+    """Table 4 Prog1: many normal-sized functions."""
+    return replicated_functions(program, heap, num_functions, seed)
+
+
+def prog2_spec(program: Program, heap: Heap, num_stmts: int = 400,
+               seed: int = 7) -> Node:
+    """Table 4 Prog2: one large function."""
+    rng = random.Random(seed)
+    builder = AstBuilder(program, heap)
+    stmts = []
+    for index in range(num_stmts):
+        var = index % 8
+        choice = rng.random()
+        if choice < 0.3:
+            stmts.append(builder.assign(var, builder.const(rng.randint(0, 9))))
+        elif choice < 0.6:
+            stmts.append(
+                builder.assign(
+                    var,
+                    builder.add(
+                        builder.var((var + 1) % 8), builder.const(rng.randint(1, 5))
+                    ),
+                )
+            )
+        elif choice < 0.75:
+            stmts.append(builder.assign(var, builder.incr(var)))
+        else:
+            stmts.append(
+                builder.if_stmt(
+                    builder.var((var + 2) % 8),
+                    [builder.assign(var, builder.const(1))],
+                    [builder.assign(var, builder.decr(var))],
+                )
+            )
+    return builder.program_node([builder.function(stmts)])
+
+
+def prog3_spec(program: Program, heap: Heap, num_functions: int = 20,
+               stmts_per_function: int = 60, seed: int = 9) -> Node:
+    """Table 4 Prog3: long live ranges — constants assigned once at the
+    top, referenced across the whole body, never reassigned, so each
+    replaceVarRefs launch sweeps the entire remaining list."""
+    rng = random.Random(seed)
+    builder = AstBuilder(program, heap)
+    functions = []
+    for _ in range(num_functions):
+        stmts = [builder.assign(0, builder.const(rng.randint(1, 9)))]
+        for index in range(stmts_per_function):
+            var = 1 + index % 6
+            stmts.append(
+                builder.assign(
+                    var,
+                    builder.add(builder.var(0), builder.const(rng.randint(0, 4))),
+                )
+            )
+        functions.append(builder.function(stmts))
+    return builder.program_node(functions)

@@ -1,0 +1,452 @@
+"""The AST-language Grafter program: 20 tree types, 6 traversals.
+
+Expression/statement kinds live in data fields (``kind``) so parents can
+inspect children generically; ``isLit`` distinguishes genuine literal
+nodes from operator nodes that folding marked constant but has not yet
+collapsed.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.program import Program
+
+K_CONST = 1
+K_VAR = 2
+K_ADD = 3
+K_SUB = 4
+K_MUL = 5
+K_INCR = 6
+K_DECR = 7
+
+S_ASSIGN = 1
+S_IF = 2
+
+AST_SOURCE = """
+_pure_ int applyOp(int op, int a, int b);
+
+// ------------------------------------------------------------- expressions
+
+_abstract_ _tree_ class Expr {
+    int kind = 0;
+    int value = 0;
+    int varId = 0;
+    int isLit = 0;
+    _traversal_ virtual void desugarIncr() {}
+    _traversal_ virtual void desugarDecr() {}
+    _traversal_ virtual void replaceVarRefs(int vid, int val) {}
+    _traversal_ virtual void foldConstants() {}
+};
+
+_tree_ class ConstExpr : public Expr {
+};
+
+_tree_ class VarRef : public Expr {
+};
+
+_tree_ class IncrExpr : public Expr {
+    _child_ Expr* Operand;
+};
+
+_tree_ class DecrExpr : public Expr {
+    _child_ Expr* Operand;
+};
+
+_abstract_ _tree_ class BinaryExpr : public Expr {
+    _child_ Expr* Left;
+    _child_ Expr* Right;
+    _traversal_ void desugarIncr() {
+        this->Left->desugarIncr();
+        this->Right->desugarIncr();
+        if (this->Left.kind == 6) {
+            int vid = static_cast<IncrExpr*>(this->Left)->Operand.varId;
+            delete this->Left;
+            this->Left = new AddExpr();
+            this->Left.kind = 3;
+            static_cast<AddExpr*>(this->Left)->Left = new VarRef();
+            static_cast<AddExpr*>(this->Left)->Left.kind = 2;
+            static_cast<AddExpr*>(this->Left)->Left.varId = vid;
+            static_cast<AddExpr*>(this->Left)->Right = new ConstExpr();
+            static_cast<AddExpr*>(this->Left)->Right.kind = 1;
+            static_cast<AddExpr*>(this->Left)->Right.isLit = 1;
+            static_cast<AddExpr*>(this->Left)->Right.value = 1;
+        }
+        if (this->Right.kind == 6) {
+            int vid2 = static_cast<IncrExpr*>(this->Right)->Operand.varId;
+            delete this->Right;
+            this->Right = new AddExpr();
+            this->Right.kind = 3;
+            static_cast<AddExpr*>(this->Right)->Left = new VarRef();
+            static_cast<AddExpr*>(this->Right)->Left.kind = 2;
+            static_cast<AddExpr*>(this->Right)->Left.varId = vid2;
+            static_cast<AddExpr*>(this->Right)->Right = new ConstExpr();
+            static_cast<AddExpr*>(this->Right)->Right.kind = 1;
+            static_cast<AddExpr*>(this->Right)->Right.isLit = 1;
+            static_cast<AddExpr*>(this->Right)->Right.value = 1;
+        }
+    }
+    _traversal_ void desugarDecr() {
+        this->Left->desugarDecr();
+        this->Right->desugarDecr();
+        if (this->Left.kind == 7) {
+            int vid = static_cast<DecrExpr*>(this->Left)->Operand.varId;
+            delete this->Left;
+            this->Left = new SubExpr();
+            this->Left.kind = 4;
+            static_cast<SubExpr*>(this->Left)->Left = new VarRef();
+            static_cast<SubExpr*>(this->Left)->Left.kind = 2;
+            static_cast<SubExpr*>(this->Left)->Left.varId = vid;
+            static_cast<SubExpr*>(this->Left)->Right = new ConstExpr();
+            static_cast<SubExpr*>(this->Left)->Right.kind = 1;
+            static_cast<SubExpr*>(this->Left)->Right.isLit = 1;
+            static_cast<SubExpr*>(this->Left)->Right.value = 1;
+        }
+        if (this->Right.kind == 7) {
+            int vid2 = static_cast<DecrExpr*>(this->Right)->Operand.varId;
+            delete this->Right;
+            this->Right = new SubExpr();
+            this->Right.kind = 4;
+            static_cast<SubExpr*>(this->Right)->Left = new VarRef();
+            static_cast<SubExpr*>(this->Right)->Left.kind = 2;
+            static_cast<SubExpr*>(this->Right)->Left.varId = vid2;
+            static_cast<SubExpr*>(this->Right)->Right = new ConstExpr();
+            static_cast<SubExpr*>(this->Right)->Right.kind = 1;
+            static_cast<SubExpr*>(this->Right)->Right.isLit = 1;
+            static_cast<SubExpr*>(this->Right)->Right.value = 1;
+        }
+    }
+    _traversal_ void replaceVarRefs(int vid, int val) {
+        this->Left->replaceVarRefs(vid, val);
+        this->Right->replaceVarRefs(vid, val);
+        if (this->Left.kind == 2 && this->Left.varId == vid) {
+            delete this->Left;
+            this->Left = new ConstExpr();
+            this->Left.kind = 1;
+            this->Left.isLit = 1;
+            this->Left.value = val;
+        }
+        if (this->Right.kind == 2 && this->Right.varId == vid) {
+            delete this->Right;
+            this->Right = new ConstExpr();
+            this->Right.kind = 1;
+            this->Right.isLit = 1;
+            this->Right.value = val;
+        }
+    }
+    _traversal_ void foldConstants() {
+        this->Left->foldConstants();
+        this->Right->foldConstants();
+        if (this->Left.kind == 1 && this->Right.kind == 1) {
+            this->value = applyOp(this->kind, this->Left.value,
+                                  this->Right.value);
+            this->kind = 1;
+        }
+    }
+};
+
+_tree_ class AddExpr : public BinaryExpr { };
+_tree_ class SubExpr : public BinaryExpr { };
+_tree_ class MulExpr : public BinaryExpr { };
+
+// -------------------------------------------------------------- statements
+
+_abstract_ _tree_ class Stmt {
+    int kind = 0;
+    int varId = 0;
+    _traversal_ virtual void desugarIncr() {}
+    _traversal_ virtual void desugarDecr() {}
+    _traversal_ virtual void propagateConstants() {}
+    _traversal_ virtual void replaceVarRefs(int vid, int val) {}
+    _traversal_ virtual void foldConstants() {}
+    _traversal_ virtual void removeUnusedBranches() {}
+};
+
+_abstract_ _tree_ class StmtList {
+    _traversal_ virtual void desugarIncr() {}
+    _traversal_ virtual void desugarDecr() {}
+    _traversal_ virtual void propagateConstants() {}
+    _traversal_ virtual void replaceVarRefs(int vid, int val) {}
+    _traversal_ virtual void foldConstants() {}
+    _traversal_ virtual void removeUnusedBranches() {}
+};
+
+_tree_ class AssignStmt : public Stmt {
+    _child_ Expr* Rhs;
+    _traversal_ void desugarIncr() {
+        this->Rhs->desugarIncr();
+        if (this->Rhs.kind == 6) {
+            int vid = static_cast<IncrExpr*>(this->Rhs)->Operand.varId;
+            delete this->Rhs;
+            this->Rhs = new AddExpr();
+            this->Rhs.kind = 3;
+            static_cast<AddExpr*>(this->Rhs)->Left = new VarRef();
+            static_cast<AddExpr*>(this->Rhs)->Left.kind = 2;
+            static_cast<AddExpr*>(this->Rhs)->Left.varId = vid;
+            static_cast<AddExpr*>(this->Rhs)->Right = new ConstExpr();
+            static_cast<AddExpr*>(this->Rhs)->Right.kind = 1;
+            static_cast<AddExpr*>(this->Rhs)->Right.isLit = 1;
+            static_cast<AddExpr*>(this->Rhs)->Right.value = 1;
+        }
+    }
+    _traversal_ void desugarDecr() {
+        this->Rhs->desugarDecr();
+        if (this->Rhs.kind == 7) {
+            int vid = static_cast<DecrExpr*>(this->Rhs)->Operand.varId;
+            delete this->Rhs;
+            this->Rhs = new SubExpr();
+            this->Rhs.kind = 4;
+            static_cast<SubExpr*>(this->Rhs)->Left = new VarRef();
+            static_cast<SubExpr*>(this->Rhs)->Left.kind = 2;
+            static_cast<SubExpr*>(this->Rhs)->Left.varId = vid;
+            static_cast<SubExpr*>(this->Rhs)->Right = new ConstExpr();
+            static_cast<SubExpr*>(this->Rhs)->Right.kind = 1;
+            static_cast<SubExpr*>(this->Rhs)->Right.isLit = 1;
+            static_cast<SubExpr*>(this->Rhs)->Right.value = 1;
+        }
+    }
+    _traversal_ void replaceVarRefs(int vid, int val) {
+        this->Rhs->replaceVarRefs(vid, val);
+        if (this->Rhs.kind == 2 && this->Rhs.varId == vid) {
+            delete this->Rhs;
+            this->Rhs = new ConstExpr();
+            this->Rhs.kind = 1;
+            this->Rhs.isLit = 1;
+            this->Rhs.value = val;
+        }
+    }
+    _traversal_ void foldConstants() {
+        this->Rhs->foldConstants();
+        if (this->Rhs.kind == 1 && this->Rhs.isLit == 0) {
+            int v = this->Rhs.value;
+            delete this->Rhs;
+            this->Rhs = new ConstExpr();
+            this->Rhs.kind = 1;
+            this->Rhs.isLit = 1;
+            this->Rhs.value = v;
+        }
+    }
+};
+
+_tree_ class IfStmt : public Stmt {
+    _child_ Expr* Cond;
+    _child_ StmtList* Then;
+    _child_ StmtList* Else;
+    _traversal_ void desugarIncr() {
+        this->Cond->desugarIncr();
+        this->Then->desugarIncr();
+        this->Else->desugarIncr();
+        if (this->Cond.kind == 6) {
+            int vid = static_cast<IncrExpr*>(this->Cond)->Operand.varId;
+            delete this->Cond;
+            this->Cond = new AddExpr();
+            this->Cond.kind = 3;
+            static_cast<AddExpr*>(this->Cond)->Left = new VarRef();
+            static_cast<AddExpr*>(this->Cond)->Left.kind = 2;
+            static_cast<AddExpr*>(this->Cond)->Left.varId = vid;
+            static_cast<AddExpr*>(this->Cond)->Right = new ConstExpr();
+            static_cast<AddExpr*>(this->Cond)->Right.kind = 1;
+            static_cast<AddExpr*>(this->Cond)->Right.isLit = 1;
+            static_cast<AddExpr*>(this->Cond)->Right.value = 1;
+        }
+    }
+    _traversal_ void desugarDecr() {
+        this->Cond->desugarDecr();
+        this->Then->desugarDecr();
+        this->Else->desugarDecr();
+        if (this->Cond.kind == 7) {
+            int vid = static_cast<DecrExpr*>(this->Cond)->Operand.varId;
+            delete this->Cond;
+            this->Cond = new SubExpr();
+            this->Cond.kind = 4;
+            static_cast<SubExpr*>(this->Cond)->Left = new VarRef();
+            static_cast<SubExpr*>(this->Cond)->Left.kind = 2;
+            static_cast<SubExpr*>(this->Cond)->Left.varId = vid;
+            static_cast<SubExpr*>(this->Cond)->Right = new ConstExpr();
+            static_cast<SubExpr*>(this->Cond)->Right.kind = 1;
+            static_cast<SubExpr*>(this->Cond)->Right.isLit = 1;
+            static_cast<SubExpr*>(this->Cond)->Right.value = 1;
+        }
+    }
+    _traversal_ void propagateConstants() {
+        this->Then->propagateConstants();
+        this->Else->propagateConstants();
+    }
+    _traversal_ void replaceVarRefs(int vid, int val) {
+        this->Cond->replaceVarRefs(vid, val);
+        if (this->Cond.kind == 2 && this->Cond.varId == vid) {
+            delete this->Cond;
+            this->Cond = new ConstExpr();
+            this->Cond.kind = 1;
+            this->Cond.isLit = 1;
+            this->Cond.value = val;
+        }
+        this->Then->replaceVarRefs(vid, val);
+        this->Else->replaceVarRefs(vid, val);
+    }
+    _traversal_ void foldConstants() {
+        this->Cond->foldConstants();
+        if (this->Cond.kind == 1 && this->Cond.isLit == 0) {
+            int v = this->Cond.value;
+            delete this->Cond;
+            this->Cond = new ConstExpr();
+            this->Cond.kind = 1;
+            this->Cond.isLit = 1;
+            this->Cond.value = v;
+        }
+        this->Then->foldConstants();
+        this->Else->foldConstants();
+    }
+    _traversal_ void removeUnusedBranches() {
+        this->Then->removeUnusedBranches();
+        this->Else->removeUnusedBranches();
+        if (this->Cond.kind == 1 && this->Cond.isLit == 1) {
+            if (this->Cond.value != 0) {
+                delete this->Else;
+                this->Else = new StmtListEnd();
+            }
+            if (this->Cond.value == 0) {
+                delete this->Then;
+                this->Then = new StmtListEnd();
+            }
+        }
+    }
+};
+
+_tree_ class StmtListInner : public StmtList {
+    _child_ Stmt* S;
+    _child_ StmtList* Next;
+    _traversal_ void desugarIncr() {
+        this->S->desugarIncr();
+        this->Next->desugarIncr();
+    }
+    _traversal_ void desugarDecr() {
+        this->S->desugarDecr();
+        this->Next->desugarDecr();
+    }
+    _traversal_ void propagateConstants() {
+        this->S->propagateConstants();
+        int vid = 0 - 1;
+        int val = 0;
+        if (this->S.kind == 1 &&
+            static_cast<AssignStmt*>(this->S)->Rhs.kind == 1) {
+            vid = this->S.varId;
+            val = static_cast<AssignStmt*>(this->S)->Rhs.value;
+        }
+        this->Next->replaceVarRefs(vid, val);
+        this->Next->propagateConstants();
+    }
+    _traversal_ void replaceVarRefs(int vid, int val) {
+        if (vid < 0) return;
+        this->S->replaceVarRefs(vid, val);
+        if (this->S.kind == 1 && this->S.varId == vid) return;
+        this->Next->replaceVarRefs(vid, val);
+    }
+    _traversal_ void foldConstants() {
+        this->S->foldConstants();
+        this->Next->foldConstants();
+    }
+    _traversal_ void removeUnusedBranches() {
+        this->S->removeUnusedBranches();
+        this->Next->removeUnusedBranches();
+    }
+};
+
+_tree_ class StmtListEnd : public StmtList {
+};
+
+// --------------------------------------------------------------- functions
+
+_tree_ class Function {
+    _child_ StmtList* Body;
+    _traversal_ void desugarIncr() { this->Body->desugarIncr(); }
+    _traversal_ void desugarDecr() { this->Body->desugarDecr(); }
+    _traversal_ void propagateConstants() {
+        this->Body->propagateConstants();
+    }
+    _traversal_ void foldConstants() { this->Body->foldConstants(); }
+    _traversal_ void removeUnusedBranches() {
+        this->Body->removeUnusedBranches();
+    }
+};
+
+_abstract_ _tree_ class FunctionList {
+    _traversal_ virtual void desugarIncr() {}
+    _traversal_ virtual void desugarDecr() {}
+    _traversal_ virtual void propagateConstants() {}
+    _traversal_ virtual void foldConstants() {}
+    _traversal_ virtual void removeUnusedBranches() {}
+};
+
+_tree_ class FunctionListInner : public FunctionList {
+    _child_ Function* Fn;
+    _child_ FunctionList* Next;
+    _traversal_ void desugarIncr() {
+        this->Fn->desugarIncr();
+        this->Next->desugarIncr();
+    }
+    _traversal_ void desugarDecr() {
+        this->Fn->desugarDecr();
+        this->Next->desugarDecr();
+    }
+    _traversal_ void propagateConstants() {
+        this->Fn->propagateConstants();
+        this->Next->propagateConstants();
+    }
+    _traversal_ void foldConstants() {
+        this->Fn->foldConstants();
+        this->Next->foldConstants();
+    }
+    _traversal_ void removeUnusedBranches() {
+        this->Fn->removeUnusedBranches();
+        this->Next->removeUnusedBranches();
+    }
+};
+
+_tree_ class FunctionListEnd : public FunctionList {
+};
+
+_tree_ class Program {
+    _child_ FunctionList* Functions;
+    _traversal_ void desugarIncr() { this->Functions->desugarIncr(); }
+    _traversal_ void desugarDecr() { this->Functions->desugarDecr(); }
+    _traversal_ void propagateConstants() {
+        this->Functions->propagateConstants();
+    }
+    _traversal_ void foldConstants() { this->Functions->foldConstants(); }
+    _traversal_ void removeUnusedBranches() {
+        this->Functions->removeUnusedBranches();
+    }
+};
+
+int main() {
+    Program* root = ...;
+    root->desugarIncr();
+    root->desugarDecr();
+    root->propagateConstants();
+    root->foldConstants();
+    root->removeUnusedBranches();
+}
+"""
+
+
+def _apply_op(op: int, a: int, b: int) -> int:
+    if op == K_ADD:
+        return a + b
+    if op == K_SUB:
+        return a - b
+    if op == K_MUL:
+        return a * b
+    raise ValueError(f"not a binary operator kind: {op}")
+
+
+_PROGRAM_CACHE: Program | None = None
+
+
+def ast_program() -> Program:
+    """The parsed, validated AST-language program (cached)."""
+    global _PROGRAM_CACHE
+    if _PROGRAM_CACHE is None:
+        _PROGRAM_CACHE = parse_program(
+            AST_SOURCE, name="astlang", pure_impls={"applyOp": _apply_op}
+        )
+    return _PROGRAM_CACHE

@@ -1,0 +1,31 @@
+"""Case study 4: fast multipole method (paper §5.4).
+
+The paper reimplements the Treelogy FMM benchmark and reports that
+Grafter fully fuses its two traversals for up to 22% runtime gains. We
+reproduce the *fusion structure* over a simplified 1D monopole kernel
+(documented substitution — the original needs the full Treelogy particle
+benchmark): a spatial binary tree over particles with
+
+1. ``computeMultipoles``  — upward (post-order) mass aggregation; this
+   phase cannot fuse with the downward phases (each node's local
+   expansion needs its multipole first) and runs as its own traversal in
+   both versions, like the paper's tree-build phase;
+2. ``computeLocals``      — downward local-expansion propagation;
+3. ``evaluatePotentials`` — leaf evaluation plus upward reduction of the
+   total potential.
+
+Passes 2 and 3 — "the two FMM traversals" — fuse completely.
+"""
+
+from repro.workloads.fmm.schema import FMM_SOURCE, fmm_program, FMM_DEFAULT_GLOBALS
+from repro.workloads.fmm.build import build_fmm_tree, random_particles
+from repro.workloads.fmm.oracle import fmm_oracle
+
+__all__ = [
+    "FMM_SOURCE",
+    "fmm_program",
+    "FMM_DEFAULT_GLOBALS",
+    "build_fmm_tree",
+    "random_particles",
+    "fmm_oracle",
+]

@@ -1,0 +1,56 @@
+"""FMM input construction: random particles -> balanced spatial tree."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.program import Program
+from repro.runtime import Heap, Node
+from repro.workloads.fmm.schema import LEAF_CAPACITY
+
+
+def random_particles(count: int, seed: int = 31) -> list[tuple[float, float]]:
+    """(position, mass) pairs uniform in [0, 1) x [0.5, 1.5)."""
+    rng = random.Random(seed)
+    return [(rng.random(), 0.5 + rng.random()) for _ in range(count)]
+
+
+def build_fmm_tree(
+    program: Program, heap: Heap, particles: list[tuple[float, float]]
+) -> Node:
+    """Median-split spatial binary tree with LEAF_CAPACITY masses/leaf.
+
+    Position order determines the split; leaves hold up to four masses
+    (missing slots stay 0, which is mass-neutral for every kernel)."""
+    ordered = sorted(particles)
+
+    def build(lo: int, hi: int) -> Node:
+        count = hi - lo
+        if count <= LEAF_CAPACITY:
+            masses = [m for _, m in ordered[lo:hi]] + [0.0] * (
+                LEAF_CAPACITY - count
+            )
+            center = (
+                sum(x for x, _ in ordered[lo:hi]) / count if count else 0.0
+            )
+            return Node.new(
+                program, heap, "FmmLeaf",
+                P0=masses[0], P1=masses[1], P2=masses[2], P3=masses[3],
+                Center=center,
+            )
+        mid = (lo + hi) // 2
+        cell = Node.new(
+            program, heap, "FmmCell", Center=ordered[mid][0]
+        )
+        cell.set("Left", build(lo, mid))
+        cell.set("Right", build(mid, hi))
+        return cell
+
+    if len(ordered) <= LEAF_CAPACITY:
+        # keep the root an FmmCell (the entry type): split whatever we have
+        root = Node.new(program, heap, "FmmCell")
+        half = max(1, len(ordered) // 2)
+        root.set("Left", build(0, half))
+        root.set("Right", build(half, len(ordered)))
+        return root
+    return build(0, len(ordered))

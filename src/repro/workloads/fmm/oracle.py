@@ -1,0 +1,49 @@
+"""Reference implementation of the three FMM recurrences."""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.runtime import Node
+from repro.workloads.fmm.schema import FMM_DEFAULT_GLOBALS, _self_interact
+
+
+def fmm_oracle(
+    program: Program, root: Node, globals_map: dict | None = None
+) -> dict[int, dict[str, float]]:
+    """Expected Multipole/Local/Potential per node id."""
+    env = dict(FMM_DEFAULT_GLOBALS)
+    env.update(globals_map or {})
+    mu = env["FMM_MU"]
+    decay = env["FMM_DECAY"]
+    expected: dict[int, dict[str, float]] = {}
+
+    def multipoles(node: Node) -> float:
+        if node.type_name == "FmmLeaf":
+            value = sum(node.get(p) for p in ("P0", "P1", "P2", "P3"))
+        else:
+            value = multipoles(node.get("Left")) + multipoles(node.get("Right"))
+        expected[id(node)] = {"Multipole": value}
+        return value
+
+    def locals_(node: Node, parent_local: float) -> None:
+        local = parent_local + expected[id(node)]["Multipole"] * mu
+        expected[id(node)]["Local"] = local
+        if node.type_name == "FmmCell":
+            locals_(node.get("Left"), local * decay)
+            locals_(node.get("Right"), local * decay)
+
+    def potentials(node: Node) -> float:
+        if node.type_name == "FmmLeaf":
+            masses = [node.get(p) for p in ("P0", "P1", "P2", "P3")]
+            value = expected[id(node)]["Local"] * sum(masses) + _self_interact(
+                *masses
+            )
+        else:
+            value = potentials(node.get("Left")) + potentials(node.get("Right"))
+        expected[id(node)]["Potential"] = value
+        return value
+
+    multipoles(root)
+    locals_(root, 0.0)
+    potentials(root)
+    return expected

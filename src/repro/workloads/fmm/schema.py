@@ -1,0 +1,94 @@
+"""The FMM Grafter program: 3 tree types, 3 traversals (2 fusible)."""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.program import Program
+
+LEAF_CAPACITY = 4
+
+FMM_SOURCE = """
+double FMM_MU;
+double FMM_DECAY;
+
+_pure_ double selfInteract(double p0, double p1, double p2, double p3);
+
+_abstract_ _tree_ class FmmNode {
+    double Multipole = 0;
+    double Local = 0;
+    double Potential = 0;
+    double Center = 0;
+    _traversal_ virtual void computeMultipoles() {}
+    _traversal_ virtual void computeLocals(double parentLocal) {}
+    _traversal_ virtual void evaluatePotentials() {}
+};
+
+_tree_ class FmmLeaf : public FmmNode {
+    double P0 = 0;
+    double P1 = 0;
+    double P2 = 0;
+    double P3 = 0;
+    _traversal_ void computeMultipoles() {
+        this->Multipole = this->P0 + this->P1 + this->P2 + this->P3;
+    }
+    _traversal_ void computeLocals(double parentLocal) {
+        this->Local = parentLocal + this->Multipole * FMM_MU;
+    }
+    _traversal_ void evaluatePotentials() {
+        this->Potential = this->Local * this->Multipole
+            + selfInteract(this->P0, this->P1, this->P2, this->P3);
+    }
+};
+
+_tree_ class FmmCell : public FmmNode {
+    _child_ FmmNode* Left;
+    _child_ FmmNode* Right;
+    _traversal_ void computeMultipoles() {
+        this->Left->computeMultipoles();
+        this->Right->computeMultipoles();
+        this->Multipole = this->Left.Multipole + this->Right.Multipole;
+    }
+    _traversal_ void computeLocals(double parentLocal) {
+        this->Local = parentLocal + this->Multipole * FMM_MU;
+        this->Left->computeLocals(this->Local * FMM_DECAY);
+        this->Right->computeLocals(this->Local * FMM_DECAY);
+    }
+    _traversal_ void evaluatePotentials() {
+        this->Left->evaluatePotentials();
+        this->Right->evaluatePotentials();
+        this->Potential = this->Left.Potential + this->Right.Potential;
+    }
+};
+
+int main() {
+    FmmCell* root = ...;
+    root->computeMultipoles();
+    root->computeLocals(0.0);
+    root->evaluatePotentials();
+}
+"""
+
+
+def _self_interact(p0, p1, p2, p3):
+    particles = (p0, p1, p2, p3)
+    total = 0.0
+    for i in range(4):
+        for j in range(i + 1, 4):
+            total += particles[i] * particles[j]
+    return total
+
+
+FMM_PURE_IMPLS = {"selfInteract": _self_interact}
+
+FMM_DEFAULT_GLOBALS = {"FMM_MU": 0.125, "FMM_DECAY": 0.5}
+
+_PROGRAM_CACHE: Program | None = None
+
+
+def fmm_program() -> Program:
+    global _PROGRAM_CACHE
+    if _PROGRAM_CACHE is None:
+        _PROGRAM_CACHE = parse_program(
+            FMM_SOURCE, name="fmm", pure_impls=FMM_PURE_IMPLS
+        )
+    return _PROGRAM_CACHE

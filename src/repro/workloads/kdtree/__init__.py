@@ -1,0 +1,47 @@
+"""Case study 3: piecewise functions on kd-trees (paper §5.3, MADNESS).
+
+A single-variable piecewise function is a kd-tree: interior nodes split
+the domain, leaves hold cubic polynomial coefficients for their
+subinterval. The Table 5 operations are traversals:
+
+``scale``, ``add``, ``square``, ``differentiate`` — leaf-local algebra
+(``square`` and ``multXRange`` truncate back to cubic degree, the
+reproduction's stand-in for MADNESS' basis projection);
+``addRange``/``multXRange``/``addXRange`` — range-restricted updates that
+require *splitting* leaves straddling the range boundary (topology
+mutation; the split logic lives in a ``splitForRange`` traversal that the
+equation schedules insert before range operations);
+``integrate`` — bottom-up reduction; ``project`` — point evaluation that
+truncates every subtree not containing the point.
+
+Equations compose these into schedules (Table 6), and fusion merges each
+schedule's compatible traversals — the paper's point that manual fusion
+is impractical because every equation needs a different combination.
+"""
+
+from repro.workloads.kdtree.schema import (
+    KD_SOURCE,
+    kd_program,
+    KD_DEFAULT_GLOBALS,
+)
+from repro.workloads.kdtree.build import build_balanced_tree, leaf_segments
+from repro.workloads.kdtree.equations import (
+    EQ1_SCHEDULE,
+    EQ2_SCHEDULE,
+    EQ3_SCHEDULE,
+    equation_program,
+)
+from repro.workloads.kdtree.oracle import PiecewiseOracle
+
+__all__ = [
+    "KD_SOURCE",
+    "kd_program",
+    "KD_DEFAULT_GLOBALS",
+    "build_balanced_tree",
+    "leaf_segments",
+    "EQ1_SCHEDULE",
+    "EQ2_SCHEDULE",
+    "EQ3_SCHEDULE",
+    "equation_program",
+    "PiecewiseOracle",
+]

@@ -1,0 +1,73 @@
+"""Balanced kd-tree construction over a domain interval."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.program import Program
+from repro.runtime import Heap, Node
+from repro.workloads.kdtree.schema import KIND_INTERIOR, KIND_LEAF
+
+
+def build_balanced_tree(
+    program: Program,
+    heap: Heap,
+    depth: int,
+    lo: float = 0.0,
+    hi: float = 1024.0,
+    seed: int = 23,
+) -> Node:
+    """A FunctionKd over [lo, hi] with 2**depth leaves (paper §5.3:
+    'a balanced kd-tree constructed by uniformly partitioning the
+    interval'). Leaf coefficients are small random cubics."""
+    rng = random.Random(seed)
+
+    def build(node_lo: float, node_hi: float, level: int) -> Node:
+        if level == 0:
+            return Node.new(
+                program, heap, "KdLeaf",
+                Lo=node_lo, Hi=node_hi, kind=KIND_LEAF,
+                C0=rng.uniform(-1, 1),
+                C1=rng.uniform(-0.5, 0.5),
+                C2=rng.uniform(-0.01, 0.01),
+                C3=rng.uniform(-0.0001, 0.0001),
+            )
+        mid = (node_lo + node_hi) / 2.0
+        interior = Node.new(
+            program, heap, "Interior",
+            Lo=node_lo, Hi=node_hi, kind=KIND_INTERIOR, Split=mid,
+        )
+        interior.set("Left", build(node_lo, mid, level - 1))
+        interior.set("Right", build(mid, node_hi, level - 1))
+        return interior
+
+    function = Node.new(program, heap, "FunctionKd", Lo=lo, Hi=hi)
+    function.set("Root", build(lo, hi, depth))
+    return function
+
+
+def leaf_segments(program: Program, function: Node) -> list[tuple]:
+    """The piecewise representation as (lo, hi, (c0, c1, c2, c3)) tuples,
+    in domain order — used by the oracle comparison."""
+    segments: list[tuple] = []
+
+    def walk(node: Node) -> None:
+        if node.type_name == "KdLeaf":
+            segments.append(
+                (
+                    node.get("Lo"),
+                    node.get("Hi"),
+                    (
+                        node.get("C0"),
+                        node.get("C1"),
+                        node.get("C2"),
+                        node.get("C3"),
+                    ),
+                )
+            )
+            return
+        walk(node.get("Left"))
+        walk(node.get("Right"))
+
+    walk(function.get("Root"))
+    return segments

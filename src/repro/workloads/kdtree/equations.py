@@ -1,0 +1,76 @@
+"""Table 6's three equations as traversal schedules.
+
+Each equation becomes a ``main`` with a different sequence of traversal
+calls on the function tree — "the schedule of traversals in this
+case-study depends on the constructed equation" (paper §5.3), which is
+why manual fusion is impractical and automatic fusion shines.
+
+Polynomial caveat (documented in DESIGN.md): ``square`` and
+``multXRange`` truncate to cubic degree, standing in for MADNESS' basis
+projection, so the *schedules* are the paper's while absolute values
+follow the truncated algebra (the oracle applies the same algebra).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.workloads.kdtree.schema import kd_program
+
+# x^4 (f''(x))^2 + sum_{i=0..3} x^i   (range ops over the whole domain)
+EQ1_SCHEDULE = [
+    ("differentiate", ()),
+    ("differentiate", ()),
+    ("square", ()),
+    ("splitForRange", (0.0, 1024.0)),
+    ("multXRange", (0.0, 1024.0)),
+    ("multXRange", (0.0, 1024.0)),
+    ("multXRange", (0.0, 1024.0)),
+    ("multXRange", (0.0, 1024.0)),
+    ("addC", (1.0,)),
+    ("addXRange", (0.0, 1024.0)),
+]
+
+# f^(5)(x) at x = 0 — five derivatives then a point projection
+EQ2_SCHEDULE = [
+    ("differentiate", ()),
+    ("differentiate", ()),
+    ("differentiate", ()),
+    ("differentiate", ()),
+    ("differentiate", ()),
+    ("project", (0.0,)),
+]
+
+# integral of x^3 (f(x) + .5)^2 u(0) — add, square, three x-multiplies
+# restricted to x >= 0, then integrate
+EQ3_SCHEDULE = [
+    ("addC", (0.5,)),
+    ("square", ()),
+    ("splitForRange", (512.0, 1024.0)),
+    ("multXRange", (512.0, 1024.0)),
+    ("multXRange", (512.0, 1024.0)),
+    ("multXRange", (512.0, 1024.0)),
+    ("integrate", (0.0, 1024.0)),
+]
+
+Schedule = list[tuple[str, tuple]]
+
+
+def _main_for(schedule: Schedule) -> str:
+    lines = ["int main() {", "    FunctionKd* f = ...;"]
+    for method, args in schedule:
+        rendered = ", ".join(_render_arg(a) for a in args)
+        lines.append(f"    f->{method}({rendered});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_arg(value) -> str:
+    if isinstance(value, float):
+        text = repr(value)
+        return text if "." in text or "e" in text else text + ".0"
+    return str(value)
+
+
+def equation_program(schedule: Schedule, name: str = "kdtree-eq") -> Program:
+    """The kd-tree program with this equation's schedule as its entry."""
+    return kd_program(_main_for(schedule), name=name)

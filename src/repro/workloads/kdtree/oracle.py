@@ -1,0 +1,140 @@
+"""Reference piecewise-function algebra (same truncation rules).
+
+``PiecewiseOracle`` holds segments (lo, hi, cubic coefficients) and
+applies each Table 5 operation directly, including boundary splitting —
+independent of the traversal machinery, so it cross-checks both the
+traversal semantics and the fusion."""
+
+from __future__ import annotations
+
+
+class PiecewiseOracle:
+    def __init__(self, segments: list[tuple]):
+        # segments: (lo, hi, (c0, c1, c2, c3)) in domain order
+        self.segments = [
+            (lo, hi, tuple(coeffs)) for lo, hi, coeffs in segments
+        ]
+
+    # -- whole-domain operations ---------------------------------------
+
+    def scale(self, c: float) -> None:
+        self.segments = [
+            (lo, hi, tuple(k * c for k in coeffs))
+            for lo, hi, coeffs in self.segments
+        ]
+
+    def add_const(self, c: float) -> None:
+        self.segments = [
+            (lo, hi, (coeffs[0] + c, coeffs[1], coeffs[2], coeffs[3]))
+            for lo, hi, coeffs in self.segments
+        ]
+
+    def square(self) -> None:
+        def sq(c):
+            return (
+                c[0] * c[0],
+                2 * c[0] * c[1],
+                2 * c[0] * c[2] + c[1] * c[1],
+                2 * c[0] * c[3] + 2 * c[1] * c[2],
+            )
+
+        self.segments = [(lo, hi, sq(c)) for lo, hi, c in self.segments]
+
+    def differentiate(self) -> None:
+        self.segments = [
+            (lo, hi, (c[1], 2 * c[2], 3 * c[3], 0.0))
+            for lo, hi, c in self.segments
+        ]
+
+    # -- range operations (with boundary splitting) -----------------------
+
+    def split_for_range(self, a: float, b: float, min_width: float = 0.5) -> None:
+        changed = True
+        while changed:
+            changed = False
+            result = []
+            for lo, hi, coeffs in self.segments:
+                straddles = lo < b and hi > a and not (lo >= a and hi <= b)
+                if straddles and (hi - lo) > min_width:
+                    mid = (lo + hi) / 2.0
+                    result.append((lo, mid, coeffs))
+                    result.append((mid, hi, coeffs))
+                    changed = True
+                else:
+                    result.append((lo, hi, coeffs))
+            self.segments = result
+
+    def add_range(self, c: float, a: float, b: float) -> None:
+        self.segments = [
+            (lo, hi,
+             (co[0] + c, co[1], co[2], co[3])
+             if lo >= a and hi <= b else co)
+            for lo, hi, co in self.segments
+        ]
+
+    def mult_x_range(self, a: float, b: float) -> None:
+        self.segments = [
+            (lo, hi,
+             (0.0, co[0], co[1], co[2]) if lo >= a and hi <= b else co)
+            for lo, hi, co in self.segments
+        ]
+
+    def add_x_range(self, a: float, b: float) -> None:
+        self.segments = [
+            (lo, hi,
+             (co[0], co[1] + 1.0, co[2], co[3])
+             if lo >= a and hi <= b else co)
+            for lo, hi, co in self.segments
+        ]
+
+    # -- queries --------------------------------------------------------
+
+    def integrate(self, a: float, b: float) -> float:
+        total = 0.0
+        for lo, hi, c in self.segments:
+            if hi > a and lo < b:
+                clip_lo = max(lo, a)
+                clip_hi = min(hi, b)
+                total += self._antiderivative(c, clip_hi) - self._antiderivative(
+                    c, clip_lo
+                )
+        return total
+
+    @staticmethod
+    def _antiderivative(c, x: float) -> float:
+        return x * (c[0] + x * (c[1] / 2 + x * (c[2] / 3 + x * c[3] / 4)))
+
+    def project(self, x0: float) -> float:
+        for lo, hi, c in self.segments:
+            if lo <= x0 <= hi:
+                return c[0] + x0 * (c[1] + x0 * (c[2] + x0 * c[3]))
+        raise ValueError(f"{x0} outside the function domain")
+
+    def apply_schedule(self, schedule) -> dict:
+        """Apply a Table 6 schedule; returns {'integral':…, 'value':…}
+        for any integrate/project results produced."""
+        results = {}
+        for method, args in schedule:
+            if method == "scale":
+                self.scale(*args)
+            elif method == "addC":
+                self.add_const(*args)
+            elif method == "square":
+                self.square()
+            elif method == "differentiate":
+                self.differentiate()
+            elif method == "splitForRange":
+                self.split_for_range(*args)
+            elif method == "addRange":
+                self.add_range(*args)
+            elif method == "multXRange":
+                self.mult_x_range(*args)
+            elif method == "addXRange":
+                self.add_x_range(*args)
+            elif method == "integrate":
+                results["integral"] = self.integrate(*args)
+            elif method == "project":
+                results["value"] = self.project(*args)
+            else:
+                raise ValueError(f"unknown operation {method!r}")
+        return results

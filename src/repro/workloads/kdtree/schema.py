@@ -1,0 +1,280 @@
+"""The kd-tree Grafter program (types + the Table 5 traversals).
+
+``kind``: 0 = interior, 1 = leaf. The traversal entry sequence differs
+per equation, so :func:`kd_program` takes the schedule and splices the
+corresponding ``main``; the class definitions are shared.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.program import Program
+
+KIND_INTERIOR = 0
+KIND_LEAF = 1
+
+# One split block rewrites a leaf child that straddles [a, b] into an
+# interior with two half-leaves carrying the same coefficients (restricting
+# a polynomial to a subinterval keeps its coefficients in this
+# representation, so the split is exact). The block is emitted twice in
+# Interior (Left/Right) and once in FunctionKd (Root).
+_SPLIT_BLOCK = """
+        if (this->{C}.kind == 1 && this->{C}.Lo < b && this->{C}.Hi > a
+            && !(this->{C}.Lo >= a && this->{C}.Hi <= b)
+            && (this->{C}.Hi - this->{C}.Lo) > MIN_WIDTH) {{
+            double lo{S} = this->{C}.Lo;
+            double hi{S} = this->{C}.Hi;
+            double mid{S} = (lo{S} + hi{S}) / 2.0;
+            double c0{S} = static_cast<KdLeaf*>(this->{C})->C0;
+            double c1{S} = static_cast<KdLeaf*>(this->{C})->C1;
+            double c2{S} = static_cast<KdLeaf*>(this->{C})->C2;
+            double c3{S} = static_cast<KdLeaf*>(this->{C})->C3;
+            delete this->{C};
+            this->{C} = new Interior();
+            this->{C}.kind = 0;
+            this->{C}.Lo = lo{S};
+            this->{C}.Hi = hi{S};
+            static_cast<Interior*>(this->{C})->Split = mid{S};
+            static_cast<Interior*>(this->{C})->Left = new KdLeaf();
+            static_cast<Interior*>(this->{C})->Left.kind = 1;
+            static_cast<Interior*>(this->{C})->Left.Lo = lo{S};
+            static_cast<Interior*>(this->{C})->Left.Hi = mid{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Left)->C0 = c0{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Left)->C1 = c1{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Left)->C2 = c2{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Left)->C3 = c3{S};
+            static_cast<Interior*>(this->{C})->Right = new KdLeaf();
+            static_cast<Interior*>(this->{C})->Right.kind = 1;
+            static_cast<Interior*>(this->{C})->Right.Lo = mid{S};
+            static_cast<Interior*>(this->{C})->Right.Hi = hi{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Right)->C0 = c0{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Right)->C1 = c1{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Right)->C2 = c2{S};
+            static_cast<KdLeaf*>(static_cast<Interior*>(this->{C})->Right)->C3 = c3{S};
+        }}
+"""
+
+KD_SOURCE = (
+    """
+double MIN_WIDTH;
+
+_pure_ double evalCubic(double c0, double c1, double c2, double c3, double x);
+_pure_ double integCubic(double c0, double c1, double c2, double c3,
+                         double lo, double hi);
+_pure_ double fmax2(double a, double b);
+_pure_ double fmin2(double a, double b);
+
+_abstract_ _tree_ class KdNode {
+    double Lo = 0;
+    double Hi = 0;
+    int kind = 0;
+    double Integral = 0;
+    double Value = 0;
+    _traversal_ virtual void scale(double c) {}
+    _traversal_ virtual void addC(double c) {}
+    _traversal_ virtual void square() {}
+    _traversal_ virtual void differentiate() {}
+    _traversal_ virtual void splitForRange(double a, double b) {}
+    _traversal_ virtual void addRange(double c, double a, double b) {}
+    _traversal_ virtual void multXRange(double a, double b) {}
+    _traversal_ virtual void addXRange(double a, double b) {}
+    _traversal_ virtual void integrate(double a, double b) {}
+    _traversal_ virtual void project(double x0) {}
+};
+
+_tree_ class KdLeaf : public KdNode {
+    double C0 = 0;
+    double C1 = 0;
+    double C2 = 0;
+    double C3 = 0;
+    _traversal_ void scale(double c) {
+        this->C0 = this->C0 * c;
+        this->C1 = this->C1 * c;
+        this->C2 = this->C2 * c;
+        this->C3 = this->C3 * c;
+    }
+    _traversal_ void addC(double c) {
+        this->C0 = this->C0 + c;
+    }
+    _traversal_ void square() {
+        double t0 = this->C0 * this->C0;
+        double t1 = 2.0 * this->C0 * this->C1;
+        double t2 = 2.0 * this->C0 * this->C2 + this->C1 * this->C1;
+        double t3 = 2.0 * this->C0 * this->C3 + 2.0 * this->C1 * this->C2;
+        this->C0 = t0;
+        this->C1 = t1;
+        this->C2 = t2;
+        this->C3 = t3;
+    }
+    _traversal_ void differentiate() {
+        this->C0 = this->C1;
+        this->C1 = 2.0 * this->C2;
+        this->C2 = 3.0 * this->C3;
+        this->C3 = 0.0;
+    }
+    _traversal_ void addRange(double c, double a, double b) {
+        if (this->Lo >= a && this->Hi <= b) {
+            this->C0 = this->C0 + c;
+        }
+    }
+    _traversal_ void multXRange(double a, double b) {
+        if (this->Lo >= a && this->Hi <= b) {
+            double t1 = this->C0;
+            double t2 = this->C1;
+            double t3 = this->C2;
+            this->C0 = 0.0;
+            this->C1 = t1;
+            this->C2 = t2;
+            this->C3 = t3;
+        }
+    }
+    _traversal_ void addXRange(double a, double b) {
+        if (this->Lo >= a && this->Hi <= b) {
+            this->C1 = this->C1 + 1.0;
+        }
+    }
+    _traversal_ void integrate(double a, double b) {
+        this->Integral = 0.0;
+        if (this->Hi > a && this->Lo < b) {
+            this->Integral = integCubic(this->C0, this->C1, this->C2,
+                                        this->C3, fmax2(this->Lo, a),
+                                        fmin2(this->Hi, b));
+        }
+    }
+    _traversal_ void project(double x0) {
+        if (x0 < this->Lo || x0 > this->Hi) return;
+        this->Value = evalCubic(this->C0, this->C1, this->C2, this->C3, x0);
+    }
+};
+
+_tree_ class Interior : public KdNode {
+    _child_ KdNode* Left;
+    _child_ KdNode* Right;
+    double Split = 0;
+    _traversal_ void scale(double c) {
+        this->Left->scale(c);
+        this->Right->scale(c);
+    }
+    _traversal_ void addC(double c) {
+        this->Left->addC(c);
+        this->Right->addC(c);
+    }
+    _traversal_ void square() {
+        this->Left->square();
+        this->Right->square();
+    }
+    _traversal_ void differentiate() {
+        this->Left->differentiate();
+        this->Right->differentiate();
+    }
+    _traversal_ void splitForRange(double a, double b) {
+"""
+    + _SPLIT_BLOCK.format(C="Left", S="L")
+    + _SPLIT_BLOCK.format(C="Right", S="R")
+    + """
+        this->Left->splitForRange(a, b);
+        this->Right->splitForRange(a, b);
+    }
+    _traversal_ void addRange(double c, double a, double b) {
+        this->Left->addRange(c, a, b);
+        this->Right->addRange(c, a, b);
+    }
+    _traversal_ void multXRange(double a, double b) {
+        this->Left->multXRange(a, b);
+        this->Right->multXRange(a, b);
+    }
+    _traversal_ void addXRange(double a, double b) {
+        this->Left->addXRange(a, b);
+        this->Right->addXRange(a, b);
+    }
+    _traversal_ void integrate(double a, double b) {
+        this->Left->integrate(a, b);
+        this->Right->integrate(a, b);
+        this->Integral = this->Left.Integral + this->Right.Integral;
+    }
+    _traversal_ void project(double x0) {
+        if (x0 < this->Lo || x0 > this->Hi) return;
+        this->Left->project(x0);
+        this->Right->project(x0);
+        if (x0 <= this->Split) {
+            this->Value = this->Left.Value;
+        } else {
+            this->Value = this->Right.Value;
+        }
+    }
+};
+
+_tree_ class FunctionKd {
+    _child_ KdNode* Root;
+    double Integral = 0;
+    double Value = 0;
+    double Lo = 0;
+    double Hi = 0;
+    int kind = 0;
+    _traversal_ void scale(double c) { this->Root->scale(c); }
+    _traversal_ void addC(double c) { this->Root->addC(c); }
+    _traversal_ void square() { this->Root->square(); }
+    _traversal_ void differentiate() { this->Root->differentiate(); }
+    _traversal_ void splitForRange(double a, double b) {
+"""
+    + _SPLIT_BLOCK.format(C="Root", S="T")
+    + """
+        this->Root->splitForRange(a, b);
+    }
+    _traversal_ void addRange(double c, double a, double b) {
+        this->Root->addRange(c, a, b);
+    }
+    _traversal_ void multXRange(double a, double b) {
+        this->Root->multXRange(a, b);
+    }
+    _traversal_ void addXRange(double a, double b) {
+        this->Root->addXRange(a, b);
+    }
+    _traversal_ void integrate(double a, double b) {
+        this->Root->integrate(a, b);
+        this->Integral = this->Root.Integral;
+    }
+    _traversal_ void project(double x0) {
+        this->Root->project(x0);
+        this->Value = this->Root.Value;
+    }
+};
+"""
+)
+
+
+def _eval_cubic(c0, c1, c2, c3, x):
+    return c0 + x * (c1 + x * (c2 + x * c3))
+
+
+def _integ_cubic(c0, c1, c2, c3, lo, hi):
+    def antiderivative(x):
+        return x * (c0 + x * (c1 / 2 + x * (c2 / 3 + x * c3 / 4)))
+
+    if hi <= lo:
+        return 0.0
+    return antiderivative(hi) - antiderivative(lo)
+
+
+KD_PURE_IMPLS = {
+    "evalCubic": _eval_cubic,
+    "integCubic": _integ_cubic,
+    "fmax2": max,
+    "fmin2": min,
+}
+
+KD_DEFAULT_GLOBALS = {"MIN_WIDTH": 0.5}
+
+_PROGRAM_CACHE: dict[str, Program] = {}
+
+
+def kd_program(main_source: str, name: str = "kdtree") -> Program:
+    """Parse the kd-tree classes plus an equation-specific ``main``."""
+    key = f"{name}:{main_source}"
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = parse_program(
+            KD_SOURCE + "\n" + main_source,
+            name=name,
+            pure_impls=KD_PURE_IMPLS,
+        )
+    return _PROGRAM_CACHE[key]

@@ -1,0 +1,47 @@
+"""Case study 1: render-tree layout (paper §5.1).
+
+A document is a list of pages; each page is a list of rows (horizontal
+containers); each row is a list of elements — text boxes, images,
+buttons, and vertical containers that nest further elements (Fig. 7/8).
+The five passes of Table 2 run over this tree:
+
+1. ``resolveFlexWidths``     — bottom-up measurement: preferred widths
+   and flex totals are aggregated up the tree.
+2. ``resolveRelativeWidths`` — top-down distribution: available width
+   flows down, flex/relative elements take their share.
+3. ``setFontStyle``          — top-down font-size propagation.
+4. ``computeHeights``        — bottom-up: element heights (text wraps at
+   the resolved width and font) aggregate into rows, pages, document.
+5. ``computePositions``      — top-down: (x, y) assignment, where each
+   sibling's origin depends on the previous sibling's extent.
+
+The measurement/distribution pair conflicts at aggregating containers
+(pass 2 reads the aggregate pass 1 computes at the same node before
+recursing), so the five passes fuse into *two* coarse traversals — the
+~0.4x node-visit ratio of the paper's Fig. 9a — and the blockage is
+type-specific, which is exactly what the TreeFuser baseline cannot
+express.
+"""
+
+from repro.workloads.render.schema import render_program, RENDER_SOURCE
+from repro.workloads.render.docs import (
+    DocSpec,
+    build_document,
+    doc1_spec,
+    doc2_spec,
+    doc3_spec,
+    replicated_pages_spec,
+)
+from repro.workloads.render.oracle import layout_oracle
+
+__all__ = [
+    "render_program",
+    "RENDER_SOURCE",
+    "DocSpec",
+    "build_document",
+    "doc1_spec",
+    "doc2_spec",
+    "doc3_spec",
+    "replicated_pages_spec",
+    "layout_oracle",
+]

@@ -1,0 +1,289 @@
+"""Document builders: the input trees for Fig. 9 and Table 3.
+
+``replicated_pages_spec`` mirrors the paper's setup ("we created documents
+of various sizes by replicating the page shown in Figure 8"); the three
+Table 3 documents are: many simple pages (Doc1), one dense page (Doc2),
+and pages of different sizes (Doc3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.runtime import Heap, Node
+from repro.runtime.values import ObjectValue
+from repro.ir.program import Program
+from repro.workloads.render.schema import MODE_AUTO, MODE_FLEX, MODE_REL
+
+
+@dataclass
+class ItemSpec:
+    kind: str  # 'text' | 'image' | 'button' | 'vbox'
+    text_len: int = 0
+    natural_w: int = 0
+    natural_h: int = 0
+    width_mode: int = MODE_AUTO
+    rel_width: int = 0
+    flex_grow: int = 0
+    border: int = 0
+    children: list["ItemSpec"] = field(default_factory=list)
+
+
+@dataclass
+class RowSpec:
+    items: list[ItemSpec]
+
+
+@dataclass
+class PageSpec:
+    rows: list[RowSpec]
+
+
+@dataclass
+class DocSpec:
+    name: str
+    pages: list[PageSpec]
+
+    def count_elements(self) -> int:
+        def items_in(item: ItemSpec) -> int:
+            return 1 + sum(items_in(c) for c in item.children)
+
+        return sum(
+            items_in(item)
+            for page in self.pages
+            for row in page.rows
+            for item in row.items
+        )
+
+
+# ---------------------------------------------------------------------------
+# specs
+# ---------------------------------------------------------------------------
+
+
+def _figure8_page(rng: random.Random) -> PageSpec:
+    """A page shaped like the paper's Fig. 8: a heading row, a media row
+    (image + caption), a button bar, and a sidebar-like vertical box."""
+    heading = RowSpec(items=[ItemSpec("text", text_len=rng.randint(18, 30))])
+    media = RowSpec(
+        items=[
+            ItemSpec(
+                "image",
+                natural_w=rng.choice([120, 160, 200]),
+                natural_h=rng.choice([80, 100, 120]),
+            ),
+            ItemSpec("text", text_len=rng.randint(40, 90)),
+        ]
+    )
+    buttons = RowSpec(
+        items=[
+            ItemSpec("button", text_len=rng.randint(3, 8)),
+            ItemSpec("button", text_len=rng.randint(3, 8)),
+            ItemSpec(
+                "text",
+                text_len=rng.randint(5, 12),
+                width_mode=MODE_FLEX,
+                flex_grow=rng.randint(2, 6),
+            ),
+        ]
+    )
+    sidebar = RowSpec(
+        items=[
+            ItemSpec(
+                "vbox",
+                border=rng.randint(1, 3),
+                children=[
+                    ItemSpec("text", text_len=rng.randint(10, 24)),
+                    ItemSpec("button", text_len=rng.randint(3, 6)),
+                    ItemSpec(
+                        "image",
+                        natural_w=80,
+                        natural_h=60,
+                        width_mode=MODE_REL,
+                        rel_width=rng.choice([60, 90, 120]),
+                    ),
+                ],
+            ),
+            ItemSpec("text", text_len=rng.randint(30, 60)),
+        ]
+    )
+    return PageSpec(rows=[heading, media, buttons, sidebar])
+
+
+def replicated_pages_spec(num_pages: int, seed: int = 7) -> DocSpec:
+    """Fig. 9's documents: the same page template replicated."""
+    rng = random.Random(seed)
+    template = _figure8_page(rng)
+    return DocSpec(name=f"pages{num_pages}", pages=[template] * num_pages)
+
+
+def doc1_spec(num_pages: int = 300, seed: int = 11) -> DocSpec:
+    """Table 3 Doc1: many simple pages (scaled from the paper's 10^5)."""
+    rng = random.Random(seed)
+    pages = []
+    for _ in range(num_pages):
+        pages.append(
+            PageSpec(
+                rows=[
+                    RowSpec(items=[ItemSpec("text", text_len=rng.randint(8, 20))]),
+                    RowSpec(
+                        items=[
+                            ItemSpec("text", text_len=rng.randint(8, 20)),
+                            ItemSpec("button", text_len=rng.randint(3, 6)),
+                        ]
+                    ),
+                ]
+            )
+        )
+    return DocSpec(name="Doc1", pages=pages)
+
+
+def doc2_spec(rows: int = 160, seed: int = 13) -> DocSpec:
+    """Table 3 Doc2: one dense page."""
+    rng = random.Random(seed)
+    page_rows = []
+    for index in range(rows):
+        if index % 5 == 4:
+            page_rows.append(
+                RowSpec(
+                    items=[
+                        ItemSpec(
+                            "vbox",
+                            border=2,
+                            children=[
+                                ItemSpec("text", text_len=rng.randint(10, 40)),
+                                ItemSpec("text", text_len=rng.randint(10, 40)),
+                                ItemSpec("button", text_len=5),
+                            ],
+                        )
+                    ]
+                )
+            )
+        else:
+            page_rows.append(
+                RowSpec(
+                    items=[
+                        ItemSpec("text", text_len=rng.randint(20, 80)),
+                        ItemSpec(
+                            "image",
+                            natural_w=rng.choice([100, 150]),
+                            natural_h=rng.choice([75, 100]),
+                        ),
+                        ItemSpec(
+                            "text",
+                            text_len=rng.randint(5, 15),
+                            width_mode=MODE_FLEX,
+                            flex_grow=3,
+                        ),
+                    ]
+                )
+            )
+    return DocSpec(name="Doc2", pages=[PageSpec(rows=page_rows)])
+
+
+def doc3_spec(num_pages: int = 120, seed: int = 17) -> DocSpec:
+    """Table 3 Doc3: pages of different sizes."""
+    rng = random.Random(seed)
+    pages = []
+    for index in range(num_pages):
+        page = _figure8_page(rng)
+        # vary the page size: light, medium, heavy
+        extra_rows = [0, 3, 10][index % 3]
+        for _ in range(extra_rows):
+            page.rows.append(
+                RowSpec(
+                    items=[
+                        ItemSpec("text", text_len=rng.randint(10, 60)),
+                        ItemSpec("button", text_len=rng.randint(3, 8)),
+                    ]
+                )
+            )
+        pages.append(page)
+    return DocSpec(name="Doc3", pages=pages)
+
+
+# ---------------------------------------------------------------------------
+# tree construction
+# ---------------------------------------------------------------------------
+
+
+def build_document(program: Program, heap: Heap, spec: DocSpec) -> Node:
+    """Build the runtime tree for *spec*.
+
+    Nodes are allocated in document order (preorder), like a builder
+    producing the tree while reading the input — the allocation-order
+    locality the paper's experiments rely on. List spines are built
+    iteratively so kilo-page documents do not hit recursion limits.
+    """
+    document = Node.new(program, heap, "Document")
+
+    def make_string(length: int) -> ObjectValue:
+        return ObjectValue("String", {"Length": length})
+
+    def build_item(item: ItemSpec) -> Node:
+        common = {
+            "WidthMode": item.width_mode,
+            "RelWidth": item.rel_width,
+            "FlexGrow": item.flex_grow,
+        }
+        if item.kind == "text":
+            return Node.new(
+                program, heap, "TextBox", Text=make_string(item.text_len), **common
+            )
+        if item.kind == "image":
+            return Node.new(
+                program, heap, "Image",
+                NaturalWidth=item.natural_w, NaturalHeight=item.natural_h,
+                **common,
+            )
+        if item.kind == "button":
+            return Node.new(
+                program, heap, "Button", Label=make_string(item.text_len), **common
+            )
+        if item.kind == "vbox":
+            node = Node.new(
+                program, heap, "VerticalContainer",
+                Border=ObjectValue("BorderInfo", {"Size": item.border}),
+                **common,
+            )
+            node.set("Children", build_element_list(item.children))
+            return node
+        raise ValueError(f"unknown item kind {item.kind!r}")
+
+    def build_element_list(items: list[ItemSpec]) -> Node:
+        spine = []
+        for item in items:
+            inner = Node.new(program, heap, "ElementListInner")
+            inner.set("Item", build_item(item))
+            spine.append(inner)
+        tail = Node.new(program, heap, "ElementListEnd")
+        for inner, nxt in zip(spine, spine[1:] + [tail]):
+            inner.set("Next", nxt)
+        return spine[0] if spine else tail
+
+    def build_rows(rows: list[RowSpec]) -> Node:
+        spine = []
+        for row_spec in rows:
+            inner = Node.new(program, heap, "HorizListInner")
+            row = Node.new(program, heap, "HorizontalContainer")
+            row.set("Items", build_element_list(row_spec.items))
+            inner.set("Row", row)
+            spine.append(inner)
+        tail = Node.new(program, heap, "HorizListEnd")
+        for inner, nxt in zip(spine, spine[1:] + [tail]):
+            inner.set("Next", nxt)
+        return spine[0] if spine else tail
+
+    spine = []
+    for page_spec in spec.pages:
+        inner = Node.new(program, heap, "PageListInner")
+        page = Node.new(program, heap, "Page")
+        page.set("Rows", build_rows(page_spec.rows))
+        inner.set("Content", page)
+        spine.append(inner)
+    tail = Node.new(program, heap, "PageListEnd")
+    for inner, nxt in zip(spine, spine[1:] + [tail]):
+        inner.set("Next", nxt)
+    document.set("Pages", spine[0] if spine else tail)
+    return document

@@ -1,0 +1,259 @@
+"""Reference layout engine, written independently of the Grafter program.
+
+Recomputes the five passes in idiomatic recursive Python over the runtime
+tree and returns the expected field values per node (by node identity).
+The test suite runs the Grafter program (unfused, Grafter-fused, and
+TreeFuser-fused) and checks every node against this oracle.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.runtime import Node
+from repro.workloads.render.schema import DEFAULT_GLOBALS, MODE_FLEX, MODE_REL
+
+
+class ExpectedLayout:
+    """Expected values keyed by node id."""
+
+    def __init__(self):
+        self.values: dict[int, dict[str, int]] = {}
+
+    def record(self, node: Node, **fields: int) -> None:
+        self.values.setdefault(id(node), {}).update(fields)
+
+    def expected_for(self, node: Node) -> dict[str, int]:
+        return self.values.get(id(node), {})
+
+
+def layout_oracle(
+    program: Program, document: Node, globals_map: dict | None = None
+) -> ExpectedLayout:
+    env = dict(DEFAULT_GLOBALS)
+    env.update(globals_map or {})
+    out = ExpectedLayout()
+
+    char_w = env["CHAR_WIDTH"]
+    page_margin = env["PAGE_MARGIN"]
+    button_pad = env["BUTTON_PAD"]
+    page_gap = env["PAGE_GAP"]
+
+    def elements_of(list_node: Node):
+        items = []
+        node = list_node
+        while node.type_name == "ElementListInner":
+            items.append(node)
+            node = node.get("Next")
+        return items, node
+
+    def rows_of(list_node: Node):
+        rows = []
+        node = list_node
+        while node.type_name == "HorizListInner":
+            rows.append(node)
+            node = node.get("Next")
+        return rows, node
+
+    def pages_of(list_node: Node):
+        pages = []
+        node = list_node
+        while node.type_name == "PageListInner":
+            pages.append(node)
+            node = node.get("Next")
+        return pages, node
+
+    # ---------------- pass 1: preferred widths (bottom-up) ----------------
+
+    def pref_width(element: Node) -> int:
+        kind = element.type_name
+        if kind == "TextBox":
+            pref = element.get("Text").get("Length") * char_w
+            if element.get("WidthMode") == MODE_REL:
+                pref = element.get("RelWidth")
+        elif kind == "Image":
+            pref = element.get("NaturalWidth")
+            if element.get("WidthMode") == MODE_REL:
+                pref = element.get("RelWidth")
+        elif kind == "Button":
+            pref = element.get("Label").get("Length") * char_w + 2 * button_pad
+        elif kind == "VerticalContainer":
+            items, end = elements_of(element.get("Children"))
+            total = sum(pref_width(i.get("Item")) for i in items)
+            _record_list_prefs(items, end)
+            pref = total + 2 * element.get("Border").get("Size")
+            if element.get("WidthMode") == MODE_REL:
+                pref = element.get("RelWidth")
+        else:
+            raise AssertionError(kind)
+        out.record(element, PrefWidth=pref)
+        return pref
+
+    def _record_list_prefs(items: list[Node], end: Node) -> None:
+        total_pref = 0
+        total_flex = 0
+        for inner in reversed(items):
+            element = inner.get("Item")
+            total_pref += _expected_pref(element)
+            total_flex += element.get("FlexGrow")
+            out.record(inner, TotalPref=total_pref, TotalFlex=total_flex)
+
+    def _expected_pref(element: Node) -> int:
+        recorded = out.expected_for(element)
+        if "PrefWidth" in recorded:
+            return recorded["PrefWidth"]
+        return pref_width(element)
+
+    # ---------------- pass 2: width distribution (top-down) ---------------
+
+    def distribute(element: Node, avail: int) -> None:
+        pref = out.expected_for(element)["PrefWidth"]
+        width = pref
+        if element.get("WidthMode") == MODE_FLEX:
+            width = pref + max(avail, 0) * element.get("FlexGrow") // 10
+        out.record(element, Width=width)
+        if element.type_name == "VerticalContainer":
+            items, _ = elements_of(element.get("Children"))
+            total_pref = sum(
+                out.expected_for(i.get("Item"))["PrefWidth"] for i in items
+            )
+            child_avail = width - 2 * element.get("Border").get("Size") - total_pref
+            for inner in items:
+                distribute(inner.get("Item"), child_avail)
+
+    # ---------------- pass 3: font styles (top-down) ----------------------
+
+    def fonts(element: Node, size: int) -> None:
+        if element.type_name == "Button":
+            out.record(element, FontSize=size - 1)
+        else:
+            out.record(element, FontSize=size)
+        if element.type_name == "VerticalContainer":
+            items, _ = elements_of(element.get("Children"))
+            for inner in items:
+                fonts(inner.get("Item"), size - 1)
+
+    # ---------------- pass 4: heights (bottom-up) -------------------------
+
+    def height(element: Node) -> int:
+        expected = out.expected_for(element)
+        kind = element.type_name
+        if kind == "TextBox":
+            width = max(expected["Width"], 1)
+            length = element.get("Text").get("Length")
+            value = expected["FontSize"] * (length * char_w // width + 1)
+        elif kind == "Image":
+            value = (
+                element.get("NaturalHeight")
+                * max(expected["Width"], 1)
+                // max(element.get("NaturalWidth"), 1)
+            )
+        elif kind == "Button":
+            value = expected["FontSize"] + 2 * button_pad
+        elif kind == "VerticalContainer":
+            items, _ = elements_of(element.get("Children"))
+            total = 0
+            max_h = 0
+            for inner in reversed(items):
+                item_height = height(inner.get("Item"))
+                total += item_height
+                max_h = max(max_h, item_height)
+                out.record(inner, TotalHeight=total)
+            value = total + 2 * element.get("Border").get("Size")
+        else:
+            raise AssertionError(kind)
+        out.record(element, Height=value)
+        return value
+
+    # ---------------- pass 5: positions (top-down) ------------------------
+
+    def positions(element: Node, x: int, y: int) -> None:
+        out.record(element, PosX=x, PosY=y)
+        if element.type_name == "VerticalContainer":
+            border = element.get("Border").get("Size")
+            items, _ = elements_of(element.get("Children"))
+            cx = x + border
+            for inner in items:
+                positions(inner.get("Item"), cx, y + border)
+                cx += out.expected_for(inner.get("Item"))["Width"]
+
+    # ---------------- drive the whole document ----------------------------
+
+    pages, _ = pages_of(document.get("Pages"))
+    page_width = env["PAGE_WIDTH"]
+    base_font = env["BASE_FONT"]
+
+    for page_inner in pages:
+        page = page_inner.get("Content")
+        rows, _ = rows_of(page.get("Rows"))
+        # pass 1
+        max_pref = 0
+        for row_inner in rows:
+            row = row_inner.get("Row")
+            items, end = elements_of(row.get("Items"))
+            for inner in items:
+                pref_width(inner.get("Item"))
+            _record_list_prefs(items, end)
+            row_pref = sum(
+                out.expected_for(i.get("Item"))["PrefWidth"] for i in items
+            )
+            out.record(row, PrefWidth=row_pref)
+            max_pref = max(max_pref, row_pref)
+        out.record(page, PrefWidth=max_pref)
+        # pass 2
+        out.record(page, Width=page_width)
+        row_avail = page_width - 2 * page_margin
+        for row_inner in rows:
+            row = row_inner.get("Row")
+            out.record(row, Width=row_avail)
+            leftover = row_avail - out.expected_for(row)["PrefWidth"]
+            items, _ = elements_of(row.get("Items"))
+            for inner in items:
+                distribute(inner.get("Item"), leftover)
+        # pass 3
+        for row_inner in rows:
+            items, _ = elements_of(row_inner.get("Row").get("Items"))
+            for inner in items:
+                fonts(inner.get("Item"), base_font)
+        # pass 4
+        page_total = 0
+        for row_inner in reversed(rows):
+            row = row_inner.get("Row")
+            items, _ = elements_of(row.get("Items"))
+            row_height = 0
+            item_total = 0
+            for inner in reversed(items):
+                item_height = height(inner.get("Item"))
+                item_total += item_height
+                row_height = max(row_height, item_height)
+                out.record(inner, TotalHeight=item_total, MaxHeight=row_height)
+            out.record(row, Height=row_height)
+            page_total += row_height
+            out.record(row_inner, TotalHeight=page_total)
+        out.record(page, Height=page_total + 2 * page_margin)
+        # pass 5 (per page; y origin filled in below)
+
+    # document-level aggregation and positions
+    doc_total = 0
+    for page_inner in reversed(pages):
+        page = page_inner.get("Content")
+        doc_total += out.expected_for(page)["Height"] + page_gap
+        out.record(page_inner, TotalHeight=doc_total)
+    out.record(document, Height=doc_total)
+
+    y_cursor = 0
+    for page_inner in pages:
+        page = page_inner.get("Content")
+        out.record(page, PosX=0, PosY=y_cursor)
+        rows, _ = rows_of(page.get("Rows"))
+        row_y = y_cursor + page_margin
+        for row_inner in rows:
+            row = row_inner.get("Row")
+            out.record(row, PosX=page_margin, PosY=row_y)
+            items, _ = elements_of(row.get("Items"))
+            item_x = page_margin
+            for inner in items:
+                positions(inner.get("Item"), item_x, row_y)
+                item_x += out.expected_for(inner.get("Item"))["Width"]
+            row_y += out.expected_for(row)["Height"]
+        y_cursor += out.expected_for(page)["Height"] + page_gap
+    return out

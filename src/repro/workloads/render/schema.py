@@ -1,0 +1,393 @@
+"""The render-tree Grafter program: 17 tree types, 5 passes (Table 2).
+
+Width modes: 0 = AUTO (content-sized), 1 = REL (fixed/relative pixels in
+``RelWidth``), 2 = FLEX (takes a share of leftover space per
+``FlexGrow``).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.program import Program
+
+MODE_AUTO = 0
+MODE_REL = 1
+MODE_FLEX = 2
+
+RENDER_SOURCE = """
+int PAGE_WIDTH;
+int CHAR_WIDTH;
+int BASE_FONT;
+int PAGE_MARGIN;
+int BUTTON_PAD;
+int PAGE_GAP;
+
+class String { int Length; };
+class BorderInfo { int Size; };
+
+_pure_ int imax(int a, int b);
+_pure_ int imin(int a, int b);
+_pure_ int idiv(int a, int b);
+_pure_ int pos(int a);
+
+// ---------------------------------------------------------------- elements
+
+_abstract_ _tree_ class Element {
+    int PrefWidth = 0;
+    int Width = 0;
+    int Height = 0;
+    int RelWidth = 0;
+    int FlexGrow = 0;
+    int FontSize = 0;
+    int PosX = 0;
+    int PosY = 0;
+    int WidthMode = 0;
+    _traversal_ virtual void resolveFlexWidths() {
+        this->PrefWidth = this->RelWidth;
+    }
+    _traversal_ virtual void resolveRelativeWidths(int avail) {
+        this->Width = this->PrefWidth;
+        if (this->WidthMode == 2) {
+            this->Width = this->PrefWidth + pos(avail) * this->FlexGrow / 10;
+        }
+    }
+    _traversal_ virtual void setFontStyle(int size) {
+        this->FontSize = size;
+    }
+    _traversal_ virtual void computeHeights() {
+        this->Height = this->FontSize;
+    }
+    _traversal_ virtual void computePositions(int x, int y) {
+        this->PosX = x;
+        this->PosY = y;
+    }
+};
+
+_tree_ class TextBox : public Element {
+    String Text;
+    _traversal_ void resolveFlexWidths() {
+        this->PrefWidth = this->Text.Length * CHAR_WIDTH;
+        if (this->WidthMode == 1) {
+            this->PrefWidth = this->RelWidth;
+        }
+    }
+    _traversal_ void computeHeights() {
+        this->Height = this->FontSize *
+            (this->Text.Length * CHAR_WIDTH / imax(this->Width, 1) + 1);
+    }
+};
+
+_tree_ class Image : public Element {
+    int NaturalWidth = 0;
+    int NaturalHeight = 0;
+    _traversal_ void resolveFlexWidths() {
+        this->PrefWidth = this->NaturalWidth;
+        if (this->WidthMode == 1) {
+            this->PrefWidth = this->RelWidth;
+        }
+    }
+    _traversal_ void computeHeights() {
+        this->Height = this->NaturalHeight * imax(this->Width, 1)
+            / imax(this->NaturalWidth, 1);
+    }
+};
+
+_tree_ class Button : public Element {
+    String Label;
+    _traversal_ void resolveFlexWidths() {
+        this->PrefWidth = this->Label.Length * CHAR_WIDTH + 2 * BUTTON_PAD;
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->FontSize = size - 1;
+    }
+    _traversal_ void computeHeights() {
+        this->Height = this->FontSize + 2 * BUTTON_PAD;
+    }
+};
+
+// -------------------------------------------------------- element lists
+
+_abstract_ _tree_ class ElementList {
+    int TotalPref = 0;
+    int TotalFlex = 0;
+    int TotalHeight = 0;
+    int MaxHeight = 0;
+    _traversal_ virtual void resolveFlexWidths() {}
+    _traversal_ virtual void resolveRelativeWidths(int avail) {}
+    _traversal_ virtual void setFontStyle(int size) {}
+    _traversal_ virtual void computeHeights() {}
+    _traversal_ virtual void computePositions(int x, int y) {}
+};
+
+_tree_ class ElementListInner : public ElementList {
+    _child_ Element* Item;
+    _child_ ElementList* Next;
+    _traversal_ void resolveFlexWidths() {
+        this->Item->resolveFlexWidths();
+        this->Next->resolveFlexWidths();
+        this->TotalPref = this->Item->PrefWidth + this->Next->TotalPref;
+        this->TotalFlex = this->Item->FlexGrow + this->Next->TotalFlex;
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Item->resolveRelativeWidths(avail);
+        this->Next->resolveRelativeWidths(avail);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Item->setFontStyle(size);
+        this->Next->setFontStyle(size);
+    }
+    _traversal_ void computeHeights() {
+        this->Item->computeHeights();
+        this->Next->computeHeights();
+        this->TotalHeight = this->Item->Height + this->Next->TotalHeight;
+        this->MaxHeight = imax(this->Item->Height, this->Next->MaxHeight);
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->Item->computePositions(x, y);
+        this->Next->computePositions(x + this->Item->Width, y);
+    }
+};
+
+_tree_ class ElementListEnd : public ElementList {
+};
+
+// ------------------------------------------------------ vertical container
+
+_tree_ class VerticalContainer : public Element {
+    _child_ ElementList* Children;
+    BorderInfo Border;
+    _traversal_ void resolveFlexWidths() {
+        this->Children->resolveFlexWidths();
+        this->PrefWidth = this->Children->TotalPref + 2 * this->Border.Size;
+        if (this->WidthMode == 1) {
+            this->PrefWidth = this->RelWidth;
+        }
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Width = this->PrefWidth;
+        if (this->WidthMode == 2) {
+            this->Width = this->PrefWidth + pos(avail) * this->FlexGrow / 10;
+        }
+        this->Children->resolveRelativeWidths(
+            this->Width - 2 * this->Border.Size - this->Children->TotalPref);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->FontSize = size;
+        this->Children->setFontStyle(size - 1);
+    }
+    _traversal_ void computeHeights() {
+        this->Children->computeHeights();
+        this->Height = this->Children->TotalHeight + 2 * this->Border.Size;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->PosX = x;
+        this->PosY = y;
+        this->Children->computePositions(
+            x + this->Border.Size, y + this->Border.Size);
+    }
+};
+
+// ------------------------------------------------------------------- rows
+
+_tree_ class HorizontalContainer {
+    _child_ ElementList* Items;
+    int PrefWidth = 0;
+    int TotalFlex = 0;
+    int Width = 0;
+    int Height = 0;
+    int PosX = 0;
+    int PosY = 0;
+    _traversal_ void resolveFlexWidths() {
+        this->Items->resolveFlexWidths();
+        this->PrefWidth = this->Items->TotalPref;
+        this->TotalFlex = this->Items->TotalFlex;
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Width = avail;
+        this->Items->resolveRelativeWidths(avail - this->PrefWidth);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Items->setFontStyle(size);
+    }
+    _traversal_ void computeHeights() {
+        this->Items->computeHeights();
+        this->Height = this->Items->MaxHeight;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->PosX = x;
+        this->PosY = y;
+        this->Items->computePositions(x, y);
+    }
+};
+
+_abstract_ _tree_ class HorizList {
+    int MaxPref = 0;
+    int TotalHeight = 0;
+    _traversal_ virtual void resolveFlexWidths() {}
+    _traversal_ virtual void resolveRelativeWidths(int avail) {}
+    _traversal_ virtual void setFontStyle(int size) {}
+    _traversal_ virtual void computeHeights() {}
+    _traversal_ virtual void computePositions(int x, int y) {}
+};
+
+_tree_ class HorizListInner : public HorizList {
+    _child_ HorizontalContainer* Row;
+    _child_ HorizList* Next;
+    _traversal_ void resolveFlexWidths() {
+        this->Row->resolveFlexWidths();
+        this->Next->resolveFlexWidths();
+        this->MaxPref = imax(this->Row->PrefWidth, this->Next->MaxPref);
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Row->resolveRelativeWidths(avail);
+        this->Next->resolveRelativeWidths(avail);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Row->setFontStyle(size);
+        this->Next->setFontStyle(size);
+    }
+    _traversal_ void computeHeights() {
+        this->Row->computeHeights();
+        this->Next->computeHeights();
+        this->TotalHeight = this->Row->Height + this->Next->TotalHeight;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->Row->computePositions(x, y);
+        this->Next->computePositions(x, y + this->Row->Height);
+    }
+};
+
+_tree_ class HorizListEnd : public HorizList {
+};
+
+// ------------------------------------------------------------------ pages
+
+_tree_ class Page {
+    _child_ HorizList* Rows;
+    int PrefWidth = 0;
+    int Width = 0;
+    int Height = 0;
+    int PosX = 0;
+    int PosY = 0;
+    _traversal_ void resolveFlexWidths() {
+        this->Rows->resolveFlexWidths();
+        this->PrefWidth = this->Rows->MaxPref;
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Width = avail;
+        this->Rows->resolveRelativeWidths(avail - 2 * PAGE_MARGIN);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Rows->setFontStyle(size);
+    }
+    _traversal_ void computeHeights() {
+        this->Rows->computeHeights();
+        this->Height = this->Rows->TotalHeight + 2 * PAGE_MARGIN;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->PosX = x;
+        this->PosY = y;
+        this->Rows->computePositions(x + PAGE_MARGIN, y + PAGE_MARGIN);
+    }
+};
+
+_abstract_ _tree_ class PageList {
+    int TotalHeight = 0;
+    _traversal_ virtual void resolveFlexWidths() {}
+    _traversal_ virtual void resolveRelativeWidths(int avail) {}
+    _traversal_ virtual void setFontStyle(int size) {}
+    _traversal_ virtual void computeHeights() {}
+    _traversal_ virtual void computePositions(int x, int y) {}
+};
+
+_tree_ class PageListInner : public PageList {
+    _child_ Page* Content;
+    _child_ PageList* Next;
+    _traversal_ void resolveFlexWidths() {
+        this->Content->resolveFlexWidths();
+        this->Next->resolveFlexWidths();
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Content->resolveRelativeWidths(avail);
+        this->Next->resolveRelativeWidths(avail);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Content->setFontStyle(size);
+        this->Next->setFontStyle(size);
+    }
+    _traversal_ void computeHeights() {
+        this->Content->computeHeights();
+        this->Next->computeHeights();
+        this->TotalHeight = this->Content->Height + this->Next->TotalHeight
+            + PAGE_GAP;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->Content->computePositions(x, y);
+        this->Next->computePositions(
+            x, y + this->Content->Height + PAGE_GAP);
+    }
+};
+
+_tree_ class PageListEnd : public PageList {
+};
+
+// --------------------------------------------------------------- document
+
+_tree_ class Document {
+    _child_ PageList* Pages;
+    int Height = 0;
+    _traversal_ void resolveFlexWidths() {
+        this->Pages->resolveFlexWidths();
+    }
+    _traversal_ void resolveRelativeWidths(int avail) {
+        this->Pages->resolveRelativeWidths(PAGE_WIDTH);
+    }
+    _traversal_ void setFontStyle(int size) {
+        this->Pages->setFontStyle(BASE_FONT);
+    }
+    _traversal_ void computeHeights() {
+        this->Pages->computeHeights();
+        this->Height = this->Pages->TotalHeight;
+    }
+    _traversal_ void computePositions(int x, int y) {
+        this->Pages->computePositions(0, 0);
+    }
+};
+
+int main() {
+    Document* doc = ...;
+    doc->resolveFlexWidths();
+    doc->resolveRelativeWidths(0);
+    doc->setFontStyle(0);
+    doc->computeHeights();
+    doc->computePositions(0, 0);
+}
+"""
+
+_PURE_IMPLS = {
+    "imax": lambda a, b: a if a >= b else b,
+    "imin": lambda a, b: a if a <= b else b,
+    "idiv": lambda a, b: a // b if b else a,
+    "pos": lambda a: a if a > 0 else 0,
+}
+
+DEFAULT_GLOBALS = {
+    "PAGE_WIDTH": 800,
+    "CHAR_WIDTH": 6,
+    "BASE_FONT": 12,
+    "PAGE_MARGIN": 10,
+    "BUTTON_PAD": 4,
+    "PAGE_GAP": 20,
+}
+
+_PROGRAM_CACHE: Program | None = None
+
+
+def render_program() -> Program:
+    """The parsed, validated render-tree program (cached)."""
+    global _PROGRAM_CACHE
+    if _PROGRAM_CACHE is None:
+        _PROGRAM_CACHE = parse_program(
+            RENDER_SOURCE, name="render", pure_impls=_PURE_IMPLS
+        )
+    return _PROGRAM_CACHE

@@ -1,0 +1,156 @@
+"""Tests for raw access-path extraction (abstract interpretation)."""
+
+from repro.analysis import collect_method_accesses
+from repro.frontend import parse_program
+
+from tests.fixtures import fig2_program
+
+
+def _accesses(program, type_name, method_name):
+    method = program.tree_types[type_name].methods[method_name]
+    return collect_method_accesses(program, method)
+
+
+class TestSimpleStatements:
+    def test_textbox_width_assign(self):
+        program = fig2_program()
+        accesses = _accesses(program, "TextBox", "computeWidth")
+        # stmt 1: this->Width = this->Text.Length;
+        assign = accesses[1]
+        assert [i.labels for i in assign.tree_writes] == [("Element.Width",)]
+        read_labels = {i.labels for i in assign.tree_reads}
+        assert ("TextBox.Text", "String.Length") in read_labels
+
+    def test_cross_child_read(self):
+        program = fig2_program()
+        accesses = _accesses(program, "TextBox", "computeWidth")
+        # stmt 2: this->TotalWidth = this->Next->Width + this->Width;
+        assign = accesses[2]
+        read_labels = {i.labels for i in assign.tree_reads}
+        assert ("Element.Next", "Element.Width") in read_labels
+        assert ("Element.Width",) in read_labels
+        # prefix reads (this->Next) are covered at the automaton level by
+        # accept_prefixes=True, not duplicated in the raw access list
+        from repro.analysis import ROOT_LABEL, StatementSummary
+
+        summary = StatementSummary.from_accesses(
+            assign.tree_reads, assign.tree_writes,
+            assign.env_reads, assign.env_writes,
+        )
+        assert summary.tree_reads.accepts([ROOT_LABEL, "Element.Next"])
+
+    def test_global_read_classified_off_tree(self):
+        program = fig2_program()
+        accesses = _accesses(program, "TextBox", "computeHeight")
+        assign = accesses[1]
+        env_labels = {i.labels for i in assign.env_reads}
+        assert ("::CHAR_WIDTH",) in env_labels
+        assert all(not i.labels[0].startswith("::") for i in assign.tree_reads)
+
+    def test_if_unions_branches_and_cond(self):
+        program = fig2_program()
+        accesses = _accesses(program, "TextBox", "computeHeight")
+        if_access = accesses[3]
+        reads = {i.labels for i in if_access.tree_reads}
+        writes = {i.labels for i in if_access.tree_writes}
+        assert ("Element.Next", "Element.Height") in reads  # condition
+        assert ("Element.MaxHeight",) in writes  # then-branch
+
+    def test_call_statement_records_args_and_pointer(self):
+        program = fig2_program()
+        accesses = _accesses(program, "Group", "computeWidth")
+        call = accesses[0]  # this->Content->computeWidth();
+        reads = {i.labels for i in call.tree_reads}
+        assert ("Group.Content",) in reads
+        assert not call.tree_writes
+
+
+class TestMutationStatements:
+    SOURCE = """
+    _tree_ class Node {
+        _child_ Node* kid;
+        int tag = 0;
+        _traversal_ virtual void rewrite() {}
+    };
+    _tree_ class Inner : public Node {
+        _traversal_ void rewrite() {
+            delete this->kid;
+            this->kid = new Leaf();
+        }
+    };
+    _tree_ class Leaf : public Node { };
+    """
+
+    def test_delete_writes_subtree_with_any(self):
+        program = parse_program(self.SOURCE)
+        accesses = collect_method_accesses(
+            program, program.tree_types["Inner"].methods["rewrite"]
+        )
+        delete = accesses[0]
+        assert len(delete.tree_writes) == 1
+        info = delete.tree_writes[0]
+        assert info.labels == ("Node.kid",)
+        assert info.any_suffix
+
+    def test_new_writes_subtree_with_any(self):
+        program = parse_program(self.SOURCE)
+        accesses = collect_method_accesses(
+            program, program.tree_types["Inner"].methods["rewrite"]
+        )
+        new = accesses[1]
+        info = new.tree_writes[0]
+        assert info.labels == ("Node.kid",)
+        assert info.any_suffix
+
+
+class TestAliasInlining:
+    SOURCE = """
+    _tree_ class Node {
+        _child_ Node* kid;
+        int value = 0;
+        _traversal_ virtual void go() {}
+    };
+    _tree_ class Inner : public Node {
+        _traversal_ void go() {
+            Node* const k = this->kid;
+            k->value = k->value + 1;
+        }
+    };
+    _tree_ class Stop : public Node { };
+    """
+
+    def test_alias_paths_become_this_rooted(self):
+        program = parse_program(self.SOURCE)
+        accesses = collect_method_accesses(
+            program, program.tree_types["Inner"].methods["go"]
+        )
+        alias_def, assign = accesses
+        # defining the alias reads the pointer chain
+        assert ("Node.kid",) in {i.labels for i in alias_def.tree_reads}
+        # uses through the alias resolve to this->kid.value
+        assert [i.labels for i in assign.tree_writes] == [
+            ("Node.kid", "Node.value")
+        ]
+        assert ("Node.kid", "Node.value") in {i.labels for i in assign.tree_reads}
+        # nothing leaked into the environment sets
+        assert not assign.env_writes
+
+    def test_whole_object_reads_get_any_suffix(self):
+        source = """
+        class Config { int a; int b; };
+        _pure_ int digest(Config c);
+        _tree_ class Node {
+            Config conf;
+            int out = 0;
+            _traversal_ void go() {
+                this->out = digest(this->conf);
+            }
+        };
+        """
+        program = parse_program(source, pure_impls={"digest": lambda c: 0})
+        accesses = collect_method_accesses(
+            program, program.tree_types["Node"].methods["go"]
+        )
+        reads = accesses[0].tree_reads
+        conf_reads = [i for i in reads if i.labels == ("Node.conf",)]
+        assert conf_reads and conf_reads[0].any_suffix

@@ -1,0 +1,107 @@
+"""Direct tests for the labeled call graph and dispatch resolution."""
+
+from repro.analysis import build_call_graph, call_targets, dispatch_targets
+from repro.frontend import parse_program
+
+from tests.fixtures import fig2_program
+
+MUTUAL = """
+_tree_ class A {
+    _child_ B* b;
+    int x = 0;
+    _traversal_ virtual void ping() {}
+};
+_tree_ class B {
+    _child_ A* a;
+    int y = 0;
+    _traversal_ virtual void pong() {}
+};
+_tree_ class A2 : public A {
+    _traversal_ void ping() { this->b->pong(); }
+};
+_tree_ class A3 : public A {
+    _traversal_ void ping() { this->b->pong(); this->x = 1; }
+};
+_tree_ class B2 : public B {
+    _traversal_ void pong() { this->a->ping(); }
+};
+"""
+
+
+class TestDispatchTargets:
+    def test_targets_deduplicate_shared_impls(self):
+        program = fig2_program()
+        # TextBox, Group, End all resolve computeWidth; End inherits
+        # Element's no-op, so three types yield three distinct methods
+        targets = dispatch_targets(program, "Element", "computeWidth")
+        names = [t.qualified_name for t in targets]
+        assert names == [
+            "Element::computeWidth",
+            "Group::computeWidth",
+            "TextBox::computeWidth",
+        ]
+
+    def test_static_type_narrows_targets(self):
+        program = fig2_program()
+        targets = dispatch_targets(program, "TextBox", "computeWidth")
+        assert [t.qualified_name for t in targets] == ["TextBox::computeWidth"]
+
+    def test_mutual_recursion_targets(self):
+        program = parse_program(MUTUAL)
+        targets = dispatch_targets(program, "A", "ping")
+        assert {t.qualified_name for t in targets} == {
+            "A::ping", "A2::ping", "A3::ping",
+        }
+
+
+class TestCallGraph:
+    def test_reachability_closes_over_mutual_recursion(self):
+        program = parse_program(MUTUAL)
+        root = program.tree_types["A2"].methods["ping"]
+        graph = build_call_graph(program, [root])
+        assert {"A2::ping", "B2::pong", "B::pong"} <= set(graph.methods)
+        # B2::pong calls back into every ping override
+        assert "A3::ping" in graph.methods
+
+    def test_edges_labeled_with_child_fields(self):
+        program = parse_program(MUTUAL)
+        root = program.tree_types["A2"].methods["ping"]
+        graph = build_call_graph(program, [root])
+        labels = {e.label for e in graph.edges}
+        assert labels == {"A.b", "B.a"}
+
+    def test_successors_deterministic(self):
+        program = parse_program(MUTUAL)
+        root = program.tree_types["B2"].methods["pong"]
+        graph = build_call_graph(program, [root])
+        successors = graph.successors("B2::pong")
+        assert [e.dst for e in successors] == sorted(e.dst for e in successors)
+
+    def test_call_targets_for_this_receiver(self):
+        source = """
+        _tree_ class N {
+            int x = 0;
+            _traversal_ virtual void outer() {}
+            _traversal_ virtual void inner() {}
+        };
+        _tree_ class M : public N {
+            _traversal_ void outer() { this->inner(); }
+            _traversal_ void inner() { this->x = 1; }
+        };
+        """
+        program = parse_program(source)
+        outer = program.tree_types["M"].methods["outer"]
+        call = outer.body[0]
+        # `this` inside M::outer may be any concrete subtype of M
+        targets = call_targets(program, outer, call)
+        assert [t.qualified_name for t in targets] == ["M::inner"]
+
+    def test_graph_size_is_bounded_by_method_count(self):
+        program = fig2_program()
+        roots = [
+            program.resolve_method("Group", "computeWidth"),
+            program.resolve_method("Group", "computeHeight"),
+        ]
+        graph = build_call_graph(program, roots)
+        total_methods = sum(1 for _ in program.all_methods())
+        assert graph.size <= total_methods

@@ -1,0 +1,127 @@
+"""Unit tests for the NFA core: construction, simulation, path automata."""
+
+from repro.automata import ANY, EPSILON, Automaton, from_path
+
+
+class TestBasicConstruction:
+    def test_new_automaton_rejects_everything(self):
+        automaton = Automaton()
+        assert not automaton.accepts([])
+        assert not automaton.accepts(["x"])
+
+    def test_single_accepting_start(self):
+        automaton = Automaton()
+        automaton.set_accepting(automaton.start)
+        assert automaton.accepts([])
+        assert not automaton.accepts(["x"])
+
+    def test_simple_chain(self):
+        automaton = Automaton()
+        mid = automaton.add_state()
+        end = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, "a", mid)
+        automaton.add_transition(mid, "b", end)
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["a"])
+        assert not automaton.accepts(["b"])
+        assert not automaton.accepts(["a", "b", "c"])
+
+    def test_nondeterminism(self):
+        automaton = Automaton()
+        s1 = automaton.add_state(accepting=True)
+        s2 = automaton.add_state()
+        s3 = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, "a", s1)
+        automaton.add_transition(automaton.start, "a", s2)
+        automaton.add_transition(s2, "b", s3)
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["b"])
+
+    def test_epsilon_closure(self):
+        automaton = Automaton()
+        s1 = automaton.add_state()
+        s2 = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, EPSILON, s1)
+        automaton.add_transition(s1, "x", s2)
+        assert automaton.accepts(["x"])
+        closure = automaton.epsilon_closure([automaton.start])
+        assert s1 in closure
+
+    def test_any_transition_matches_all_symbols(self):
+        automaton = Automaton()
+        end = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, ANY, end)
+        assert automaton.accepts(["x"])
+        assert automaton.accepts(["anything"])
+        assert not automaton.accepts([])
+
+    def test_any_self_loop(self):
+        automaton = Automaton()
+        end = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, "f", end)
+        automaton.add_transition(end, ANY, end)
+        assert automaton.accepts(["f"])
+        assert automaton.accepts(["f", "g", "h"])
+        assert not automaton.accepts(["g"])
+
+    def test_alphabet_excludes_sentinels(self):
+        automaton = Automaton()
+        end = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, "f", end)
+        automaton.add_transition(end, ANY, end)
+        automaton.add_transition(automaton.start, EPSILON, end)
+        assert automaton.alphabet() == {"f"}
+
+    def test_copy_is_independent(self):
+        automaton = Automaton("orig")
+        end = automaton.add_state(accepting=True)
+        automaton.add_transition(automaton.start, "a", end)
+        clone = automaton.copy()
+        extra = clone.add_state(accepting=True)
+        clone.add_transition(clone.start, "b", extra)
+        assert clone.accepts(["b"])
+        assert not automaton.accepts(["b"])
+        assert automaton.accepts(["a"]) and clone.accepts(["a"])
+
+    def test_to_dot_mentions_labels(self):
+        automaton = from_path(["a", "b"], accept_prefixes=True)
+        dot = automaton.to_dot()
+        assert "digraph" in dot
+        assert '"a"' in dot and '"b"' in dot
+
+
+class TestFromPath:
+    def test_read_path_accepts_all_prefixes(self):
+        automaton = from_path(["a", "b", "c"], accept_prefixes=True)
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a", "b"])
+        assert automaton.accepts(["a", "b", "c"])
+        assert not automaton.accepts([])
+        assert not automaton.accepts(["b"])
+
+    def test_write_path_accepts_only_full_sequence(self):
+        automaton = from_path(["a", "b", "c"], accept_prefixes=False)
+        assert automaton.accepts(["a", "b", "c"])
+        assert not automaton.accepts(["a"])
+        assert not automaton.accepts(["a", "b"])
+
+    def test_any_suffix_covers_subfields(self):
+        automaton = from_path(["c"], accept_prefixes=False, any_suffix=True)
+        assert automaton.accepts(["c"])
+        assert automaton.accepts(["c", "x"])
+        assert automaton.accepts(["c", "x", "y"])
+        assert not automaton.accepts(["x"])
+
+    def test_empty_path_accepts_empty_string(self):
+        automaton = from_path([], accept_prefixes=False)
+        assert automaton.accepts([])
+
+    def test_attach_glues_suffix_language(self):
+        base = Automaton()
+        hub = base.add_state()
+        base.add_transition(base.start, "child", hub)
+        suffix = from_path(["x"], accept_prefixes=False)
+        base.attach(suffix, hub)
+        assert base.accepts(["child", "x"])
+        assert not base.accepts(["x"])

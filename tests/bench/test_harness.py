@@ -1,0 +1,152 @@
+"""Benchmark-harness tests: measurement, normalization, table rendering,
+and fast (no-cache) smoke runs of every experiment entry point."""
+
+import math
+
+from repro.bench.metrics import Measurement, measure_run
+from repro.bench.runner import compare_fused_unfused, compare_treefuser, fused_for
+from repro.bench.tables import format_series, format_table
+from repro.bench import experiments
+from repro.runtime import Node
+
+from tests.fixtures import fig2_program
+from repro.runtime.values import ObjectValue
+
+
+def _build(program, heap):
+    end = Node.new(program, heap, "End")
+    box = Node.new(
+        program, heap, "TextBox",
+        Text=ObjectValue("String", {"Length": 4}), Next=end,
+    )
+    return box
+
+
+class TestMeasurement:
+    def test_measure_without_cache(self):
+        program = fig2_program()
+        result = measure_run(program, _build, {"CHAR_WIDTH": 2})
+        assert result.node_visits == 4
+        assert result.instructions > 0
+        assert result.misses == {}
+        assert result.modeled_cycles == result.instructions
+        assert result.tree_bytes > 0
+
+    def test_measure_with_cache_adds_penalties(self):
+        program = fig2_program()
+        result = measure_run(program, _build, {"CHAR_WIDTH": 2}, cache_scale=64)
+        assert set(result.misses) == {"L1", "L2", "L3"}
+        assert result.modeled_cycles > result.instructions
+
+    def test_normalization_ratios(self):
+        base = Measurement(
+            node_visits=100, instructions=1000, misses={"L2": 50},
+            modeled_cycles=2000, wall_seconds=1.0, tree_bytes=0,
+        )
+        other = Measurement(
+            node_visits=50, instructions=900, misses={"L2": 10},
+            modeled_cycles=1000, wall_seconds=0.5, tree_bytes=0,
+        )
+        ratios = other.normalized_to(base)
+        assert ratios["node_visits"] == 0.5
+        assert ratios["instructions"] == 0.9
+        assert ratios["L2_misses"] == 0.2
+        assert ratios["runtime"] == 0.5
+
+    def test_normalization_handles_zero_baseline(self):
+        base = Measurement(0, 0, {}, 0, 0.0, 0)
+        other = Measurement(1, 1, {}, 1, 1.0, 0)
+        ratios = other.normalized_to(base)
+        assert math.isnan(ratios["node_visits"])
+
+
+class TestRunner:
+    def test_compare_fused_unfused(self):
+        program = fig2_program()
+        result = compare_fused_unfused(
+            "demo", program, _build, {"CHAR_WIDTH": 2}
+        )
+        assert result.fused.node_visits < result.unfused.node_visits
+        assert result.normalized["node_visits"] == (
+            result.fused.node_visits / result.unfused.node_visits
+        )
+
+    def test_fused_for_is_cached(self):
+        program = fig2_program()
+        assert fused_for(program) is fused_for(program)
+
+    def test_compare_treefuser_runs(self):
+        program = fig2_program()
+        result = compare_treefuser("tf", program, _build, {"CHAR_WIDTH": 2})
+        assert result.unfused.node_visits > 0
+        assert result.fused.node_visits <= result.unfused.node_visits
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Title", ["name", "value"], [("row", 1.23456), ("longer-row", 7)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "1.235" in text
+        assert "longer-row" in text
+        # header separator matches width
+        assert set(lines[2].replace("  ", "")) == {"-"}
+
+    def test_format_series(self):
+        text = format_series(
+            "Fig", "x", [1, 2], {"m": [0.5, 0.25]}, note="hello"
+        )
+        assert "Fig" in text and "note: hello" in text
+        assert "0.250" in text
+
+
+class TestExperimentsSmoke:
+    """Every entry point runs end-to-end without the cache simulator."""
+
+    def test_table1(self):
+        text, rows = experiments.table1_capabilities()
+        assert "Grafter" in text and len(rows) == 6
+
+    def test_table2(self):
+        text, rows = experiments.table2_passes()
+        assert "resolveFlexWidths" in text
+
+    def test_fig9a_no_cache(self):
+        text, data = experiments.fig9a_render_grafter(sizes=(1, 2), cache_scale=None)
+        assert len(data["series"]["node_visits"]) == 2
+
+    def test_fig9b_no_cache(self):
+        text, data = experiments.fig9b_render_treefuser(sizes=(1,), cache_scale=None)
+        assert data["series"]["instructions"][0] > 1.0
+
+    def test_table3_no_cache(self):
+        text, data = experiments.table3_render_configs(
+            cache_scale=None, doc1_pages=4, doc2_rows=6, doc3_pages=3
+        )
+        assert len(data) == 3
+
+    def test_fig11_no_cache(self):
+        text, data = experiments.fig11_ast_scaling(sizes=(2, 4), cache_scale=None)
+        assert all(v < 1 for v in data["series"]["node_visits"])
+
+    def test_table4_no_cache(self):
+        text, data = experiments.table4_ast_configs(cache_scale=None)
+        assert len(data) == 3
+
+    def test_fig12_no_cache(self):
+        text, data = experiments.fig12_kdtree_scaling(depths=(3, 4), cache_scale=None)
+        assert all(v < 0.5 for v in data["series"]["node_visits"])
+
+    def test_table6_no_cache(self):
+        text, data = experiments.table6_kdtree_equations(depth=4, cache_scale=None)
+        assert len(data) == 3
+
+    def test_fig13_no_cache(self):
+        text, data = experiments.fig13_fmm(sizes=(200,), cache_scale=None)
+        assert 0.6 <= data["series"]["node_visits"][0] <= 0.75
+
+    def test_lloc(self):
+        text, data = experiments.lloc_report()
+        assert data["grafter_functions"] > data["treefuser_functions"]

@@ -1,0 +1,115 @@
+"""Cache simulator tests: LRU, associativity, hierarchy forwarding."""
+
+import pytest
+
+from repro.cachesim import (
+    CacheHierarchy,
+    LatencyModel,
+    SetAssociativeCache,
+    paper_hierarchy,
+)
+from repro.errors import ReproError
+
+
+class TestSetAssociative:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache("t", 1024, 2, line_size=64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+        assert cache.misses == 2
+        assert cache.hits == 2
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 2 sets: lines 0,2,4 map to set 0 (line % 2)
+        cache = SetAssociativeCache("t", 256, 2, line_size=64)
+        assert cache.num_sets == 2
+        cache.access(0 * 64)
+        cache.access(2 * 64)
+        cache.access(0 * 64)  # refresh line 0
+        cache.access(4 * 64)  # evicts line 2 (LRU)
+        assert cache.access(0 * 64)  # still resident
+        assert not cache.access(2 * 64)  # was evicted
+
+    def test_full_associativity_uses_whole_set(self):
+        cache = SetAssociativeCache("t", 512, 8, line_size=64)
+        assert cache.num_sets == 1
+        for i in range(8):
+            cache.access(i * 64)
+        for i in range(8):
+            assert cache.access(i * 64)
+        cache.access(8 * 64)  # evicts line 0
+        assert not cache.access(0)
+
+    def test_sequential_scan_larger_than_cache_always_misses_on_repeat(self):
+        cache = SetAssociativeCache("t", 1024, 4, line_size=64)
+        lines = 64  # 4KB worth of lines >> 1KB cache
+        for _ in range(3):
+            for i in range(lines):
+                cache.access(i * 64)
+        # with LRU and a working set 4x the cache, every access misses
+        assert cache.misses == 3 * lines
+
+    def test_small_working_set_fits(self):
+        cache = SetAssociativeCache("t", 4096, 8, line_size=64)
+        for _ in range(10):
+            for i in range(8):
+                cache.access(i * 64)
+        assert cache.misses == 8  # only cold misses
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ReproError):
+            SetAssociativeCache("t", 1000, 3, line_size=60)
+
+    def test_flush_and_reset(self):
+        cache = SetAssociativeCache("t", 1024, 2)
+        cache.access(0)
+        cache.flush()
+        assert cache.misses == 0
+        assert not cache.access(0)  # cold again
+
+
+class TestHierarchy:
+    def test_miss_forwards_to_next_level(self):
+        l1 = SetAssociativeCache("L1", 128, 2)
+        l2 = SetAssociativeCache("L2", 1024, 2)
+        hierarchy = CacheHierarchy([l1, l2], LatencyModel())
+        for i in range(8):  # 8 lines > L1 (2 lines), fits L2 (16 lines)
+            hierarchy.access(i * 64)
+        assert l1.misses == 8
+        assert l2.misses == 8
+        for i in range(8):
+            hierarchy.access(i * 64)
+        assert l2.misses == 8  # second pass hits L2
+        assert l2.hits > 0
+
+    def test_l1_hit_does_not_touch_l2(self):
+        l1 = SetAssociativeCache("L1", 1024, 2)
+        l2 = SetAssociativeCache("L2", 4096, 2)
+        hierarchy = CacheHierarchy([l1, l2], LatencyModel())
+        hierarchy.access(0)
+        hierarchy.access(0)
+        assert l2.accesses == 1  # only the initial miss reached L2
+
+    def test_penalty_cycles(self):
+        l1 = SetAssociativeCache("L1", 128, 2)
+        l2 = SetAssociativeCache("L2", 1024, 2)
+        latency = LatencyModel(l1_miss=10, l2_miss=100, l3_miss=0)
+        hierarchy = CacheHierarchy([l1, l2], latency)
+        hierarchy.access(0)  # misses both
+        assert hierarchy.penalty_cycles() == 110
+
+    def test_paper_hierarchy_geometry(self):
+        hierarchy = paper_hierarchy()
+        l1, l2, l3 = hierarchy.levels
+        assert l1.size_bytes == 32 * 1024 and l1.ways == 8
+        assert l2.size_bytes == 256 * 1024 and l2.ways == 8
+        assert l3.size_bytes == 20 * 1024 * 1024 and l3.ways == 20
+        assert all(level.line_size == 64 for level in hierarchy.levels)
+
+    def test_paper_hierarchy_scaling(self):
+        hierarchy = paper_hierarchy(scale=8)
+        l1, l2, l3 = hierarchy.levels
+        assert l1.size_bytes == 4 * 1024
+        assert l3.size_bytes == 20 * 1024 * 1024 // 8

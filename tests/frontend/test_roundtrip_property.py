@@ -1,0 +1,46 @@
+"""Property tests: parse -> print -> parse is the identity (up to IR
+equality) on randomly generated programs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_program
+from repro.ir.printer import print_method, print_program
+
+from tests.generators import random_program_source
+
+
+def _method_signatures(program):
+    return {
+        (m.owner, m.name, tuple(p.type_name for p in m.params), len(m.body))
+        for m in program.all_methods()
+    }
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_program_round_trips(seed):
+    source = random_program_source(random.Random(seed))
+    program = parse_program(source, name=f"rt{seed}")
+    printed = print_program(program)
+    reparsed = parse_program(printed, name=f"rt{seed}-2")
+    assert set(reparsed.tree_types) == set(program.tree_types)
+    assert _method_signatures(reparsed) == _method_signatures(program)
+    assert [c.method_name for c in reparsed.entry] == [
+        c.method_name for c in program.entry
+    ]
+    # printing is a fixpoint after one round trip
+    assert print_program(reparsed) == printed
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_round_trip_preserves_statement_text(seed):
+    source = random_program_source(random.Random(seed))
+    program = parse_program(source, name=f"hrt{seed}")
+    reparsed = parse_program(print_program(program), name=f"hrt{seed}-2")
+    for tree_type in program.tree_types.values():
+        for method in tree_type.methods.values():
+            other = reparsed.tree_types[tree_type.name].methods[method.name]
+            assert print_method(method) == print_method(other)

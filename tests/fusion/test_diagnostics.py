@@ -1,0 +1,86 @@
+"""Tests for the fusion diagnostics (blocking-chain explanations)."""
+
+from repro.frontend import parse_program
+from repro.fusion.diagnostics import explain_sequence
+
+BLOCKED_SOURCE = """
+_tree_ class N {
+    _child_ N* kid;
+    int a = 0;
+    int b = 0;
+    _traversal_ virtual void p1() {}
+    _traversal_ virtual void p2() {}
+};
+_tree_ class I : public N {
+    _traversal_ void p1() {
+        this->kid->p1();
+        this->a = this->kid.a + 1;
+    }
+    _traversal_ void p2() {
+        this->kid.b = this->b + this->kid.a;
+        this->kid->p2();
+    }
+};
+_tree_ class L : public N { };
+int main() { N* root = ...; root->p1(); root->p2(); }
+"""
+
+FUSIBLE_SOURCE = """
+_tree_ class N {
+    _child_ N* kid;
+    int a = 0;
+    int b = 0;
+    _traversal_ virtual void p1() {}
+    _traversal_ virtual void p2() {}
+};
+_tree_ class I : public N {
+    _traversal_ void p1() { this->kid->p1(); this->a = 1; }
+    _traversal_ void p2() { this->kid->p2(); this->b = 2; }
+};
+_tree_ class L : public N { };
+int main() { N* root = ...; root->p1(); root->p2(); }
+"""
+
+
+def _explain(source):
+    program = parse_program(source)
+    members = [
+        program.resolve_method("I", call.method_name)
+        for call in program.entry
+    ]
+    return explain_sequence(program, members)
+
+
+class TestDiagnostics:
+    def test_blocked_pair_reported_with_chain(self):
+        explanation = _explain(BLOCKED_SOURCE)
+        assert len(explanation.blocked) == 1
+        pair = explanation.blocked[0]
+        assert "kid" in pair.receiver
+        # the witness chain passes through the aggregating statement
+        assert pair.chain, "expected a blocking chain"
+        chain_text = " ".join(pair.chain)
+        # the chain threads through the statement reading kid->a
+        assert "kid->a" in chain_text
+
+    def test_chain_endpoints_are_group_members(self):
+        explanation = _explain(BLOCKED_SOURCE)
+        pair = explanation.blocked[0]
+        assert pair.chain[0] in pair.first_group + pair.second_group
+        assert pair.chain[-1] in pair.first_group + pair.second_group
+
+    def test_fusible_sequence_reports_no_blocks(self):
+        explanation = _explain(FUSIBLE_SOURCE)
+        assert explanation.blocked == []
+        # both calls landed in one group
+        assert any(len(group) == 2 for group in explanation.groups)
+
+    def test_describe_is_readable(self):
+        text = _explain(BLOCKED_SOURCE).describe()
+        assert "sequence: I::p1 + I::p2" in text
+        assert "could not fuse" in text
+        assert "blocking chain" in text
+
+    def test_describe_fusible(self):
+        text = _explain(FUSIBLE_SOURCE).describe()
+        assert "no blocked groupings" in text

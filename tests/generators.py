@@ -1,0 +1,142 @@
+"""Random Grafter program + tree generators for differential testing.
+
+The soundness claim of the paper is that fused and unfused executions are
+observationally identical. We test it the strong way: generate random
+valid programs (heterogeneous hierarchies, virtual methods, truncation,
+topology mutation, globals, parameters), generate random trees, run both
+executions, and compare full tree snapshots and global states.
+
+Programs are generated as *source text* and parsed — exercising the whole
+pipeline exactly like a user would.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime import Heap, Node
+
+# data fields available on the base type
+_DATA = ["d0", "d1", "d2"]
+_CHILDREN = ["c0", "c1"]
+_METHODS = ["f0", "f1", "f2"]
+_CONCRETE = ["A", "B", "Leaf"]
+
+
+def random_program_source(rng: random.Random) -> str:
+    """A random valid Grafter program over a 4-type hierarchy."""
+    lines = ["int G0;", "int G1;"]
+    lines.append("_abstract_ _tree_ class N {")
+    for child in _CHILDREN:
+        lines.append(f"    _child_ N* {child};")
+    for data in _DATA:
+        lines.append(f"    int {data} = 0;")
+    for method in _METHODS:
+        lines.append(
+            f"    _traversal_ virtual void {method}(int p0) {{}}"
+        )
+    lines.append("};")
+    for type_name in ("A", "B"):
+        lines.append(f"_tree_ class {type_name} : public N {{")
+        extra = f"x{type_name}"
+        lines.append(f"    int {extra} = 0;")
+        for method in _METHODS:
+            if rng.random() < 0.8:
+                body = _random_body(rng, extra)
+                lines.append(
+                    f"    _traversal_ void {method}(int p0) {{"
+                )
+                lines.extend(f"        {stmt}" for stmt in body)
+                lines.append("    }")
+        lines.append("};")
+    lines.append("_tree_ class Leaf : public N { };")
+    lines.append("int main() {")
+    lines.append("    N* root = ...;")
+    n_calls = rng.randint(2, 3)
+    for _ in range(n_calls):
+        method = rng.choice(_METHODS)
+        lines.append(f"    root->{method}({rng.randint(0, 5)});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _random_expr(rng: random.Random, extra: str, depth: int = 0) -> str:
+    atoms = [
+        f"this->{rng.choice(_DATA)}",
+        f"this->{extra}",
+        "p0",
+        str(rng.randint(-3, 9)),
+        "G0",
+    ]
+    if depth >= 2 or rng.random() < 0.4:
+        return rng.choice(atoms)
+    op = rng.choice(["+", "-", "*"])
+    return (
+        f"({_random_expr(rng, extra, depth + 1)} {op} "
+        f"{_random_expr(rng, extra, depth + 1)})"
+    )
+
+
+def _random_body(rng: random.Random, extra: str) -> list[str]:
+    stmts: list[str] = []
+    # optional truncation guard first (conditional return)
+    if rng.random() < 0.3:
+        stmts.append(
+            f"if (this->{rng.choice(_DATA)} > {rng.randint(2, 6)}) return;"
+        )
+    n = rng.randint(1, 4)
+    for _ in range(n):
+        kind = rng.random()
+        if kind < 0.45:
+            target = rng.choice(_DATA + [extra])
+            stmts.append(f"this->{target} = {_random_expr(rng, extra)};")
+        elif kind < 0.6:
+            which = rng.choice(["G0", "G1"])
+            stmts.append(f"{which} = {which} + {_random_expr(rng, extra)};")
+        elif kind < 0.75:
+            cond_field = rng.choice(_DATA)
+            target = rng.choice(_DATA)
+            stmts.append(
+                f"if (this->{cond_field} == {rng.randint(0, 3)}) "
+                f"{{ this->{target} = {_random_expr(rng, extra)}; }}"
+            )
+        elif kind < 0.9:
+            child = rng.choice(_CHILDREN)
+            method = rng.choice(_METHODS)
+            stmts.append(
+                f"this->{child}->{method}({_random_expr(rng, extra)});"
+            )
+        else:
+            # paired delete+new keeps children non-null
+            child = rng.choice(_CHILDREN)
+            cond_field = rng.choice(_DATA)
+            stmts.append(
+                f"if (this->{cond_field} > {rng.randint(3, 7)}) {{ "
+                f"delete this->{child}; this->{child} = new Leaf(); "
+                f"this->{child}->d0 = {rng.randint(0, 9)}; }}"
+            )
+    return stmts
+
+
+def random_tree(
+    program, heap: Heap, rng: random.Random, max_depth: int = 4
+) -> Node:
+    """A random full tree: every child slot filled, Leaf at the bottom."""
+
+    def build(depth: int) -> Node:
+        if depth >= max_depth:
+            type_name = "Leaf"
+        else:
+            type_name = rng.choice(["A", "B", "A", "Leaf"])
+        overrides = {data: rng.randint(0, 8) for data in _DATA}
+        if type_name in ("A", "B"):
+            overrides[f"x{type_name}"] = rng.randint(0, 8)
+        node = Node.new(program, heap, type_name, **overrides)
+        if type_name != "Leaf":
+            # Leaf terminates the tree: its (inherited) traversals are
+            # no-ops, so its child slots are never dereferenced.
+            for child in _CHILDREN:
+                node.set(child, build(depth + 1))
+        return node
+
+    return build(0)

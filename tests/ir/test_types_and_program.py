@@ -1,0 +1,160 @@
+"""Tests for the type-level IR and program resolution tables."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir import Program, TreeType, OpaqueClass
+from repro.ir.method import TraversalMethod
+
+from tests.fixtures import fig2_program
+
+
+def _hierarchy() -> Program:
+    program = Program("t")
+    base = TreeType("Base", abstract=True)
+    base.add_child("next", "Base")
+    base.add_data("value", "int")
+    mid = TreeType("Mid", bases=["Base"])
+    mid.add_data("extra", "int")
+    leaf = TreeType("Leaf", bases=["Mid"])
+    program.add_tree_type(base)
+    program.add_tree_type(mid)
+    program.add_tree_type(leaf)
+    return program
+
+
+class TestHierarchy:
+    def test_mro_linear_chain(self):
+        program = _hierarchy().finalize()
+        assert program.mro("Leaf") == ["Leaf", "Mid", "Base"]
+
+    def test_subtypes_include_self_and_descendants(self):
+        program = _hierarchy().finalize()
+        assert program.subtypes("Base") == {"Base", "Mid", "Leaf"}
+        assert program.subtypes("Leaf") == {"Leaf"}
+
+    def test_concrete_subtypes_excludes_abstract(self):
+        program = _hierarchy().finalize()
+        assert program.concrete_subtypes("Base") == ["Leaf", "Mid"]
+
+    def test_inherited_fields_visible(self):
+        program = _hierarchy().finalize()
+        fields = program.fields_of("Leaf")
+        assert set(fields) == {"next", "value", "extra"}
+        assert fields["value"].owner == "Base"
+
+    def test_field_shadowing_rejected(self):
+        program = Program("t")
+        base = TreeType("Base")
+        base.add_data("x", "int")
+        derived = TreeType("Derived", bases=["Base"])
+        derived.add_data("x", "int")
+        program.add_tree_type(base)
+        program.add_tree_type(derived)
+        with pytest.raises(ValidationError, match="shadowing"):
+            program.finalize()
+
+    def test_unknown_base_rejected(self):
+        program = Program("t")
+        program.add_tree_type(TreeType("Orphan", bases=["Missing"]))
+        with pytest.raises(ValidationError, match="unknown base"):
+            program.finalize()
+
+    def test_inheritance_cycle_rejected(self):
+        program = Program("t")
+        program.add_tree_type(TreeType("A", bases=["B"]))
+        program.add_tree_type(TreeType("B", bases=["A"]))
+        with pytest.raises(ValidationError, match="cycle"):
+            program.finalize()
+
+    def test_child_of_non_tree_type_rejected(self):
+        program = Program("t")
+        node = TreeType("Node")
+        node.add_child("bad", "int")
+        program.add_tree_type(node)
+        with pytest.raises(ValidationError, match="not a tree type"):
+            program.finalize()
+
+    def test_tree_type_as_data_field_rejected(self):
+        program = Program("t")
+        a = TreeType("A")
+        b = TreeType("B")
+        b.add_data("bad", "A")
+        program.add_tree_type(a)
+        program.add_tree_type(b)
+        with pytest.raises(ValidationError, match="use _child_"):
+            program.finalize()
+
+    def test_duplicate_type_name_rejected(self):
+        program = Program("t")
+        program.add_tree_type(TreeType("A"))
+        with pytest.raises(ValidationError, match="duplicate"):
+            program.add_tree_type(TreeType("A"))
+
+    def test_opaque_and_tree_namespaces_shared(self):
+        program = Program("t")
+        program.add_opaque_class(OpaqueClass("A"))
+        with pytest.raises(ValidationError, match="duplicate"):
+            program.add_tree_type(TreeType("A"))
+
+
+class TestDispatch:
+    def test_override_resolution(self):
+        program = _hierarchy()
+        base_m = TraversalMethod(name="go", owner="Base", virtual=True)
+        mid_m = TraversalMethod(name="go", owner="Mid", virtual=True)
+        program.tree_types["Base"].add_method(base_m)
+        program.tree_types["Mid"].add_method(mid_m)
+        program.finalize()
+        assert program.resolve_method("Base", "go") is base_m
+        assert program.resolve_method("Mid", "go") is mid_m
+        assert program.resolve_method("Leaf", "go") is mid_m
+
+    def test_signature_mismatch_rejected(self):
+        from repro.ir.method import Param
+
+        program = _hierarchy()
+        program.tree_types["Base"].add_method(
+            TraversalMethod(name="go", owner="Base", virtual=True)
+        )
+        program.tree_types["Mid"].add_method(
+            TraversalMethod(
+                name="go", owner="Mid", virtual=True,
+                params=(Param("x", "int"),),
+            )
+        )
+        with pytest.raises(ValidationError, match="different signature"):
+            program.finalize()
+
+    def test_common_supertype(self):
+        program = fig2_program()
+        assert program.common_supertype(["TextBox", "Group"]) == "Element"
+        assert program.common_supertype(["TextBox"]) == "TextBox"
+        assert program.common_supertype(["TextBox", "End", "Group"]) == "Element"
+
+
+class TestFig2Resolution:
+    def test_types_present(self):
+        program = fig2_program()
+        assert set(program.tree_types) == {"Element", "TextBox", "Group", "End"}
+        assert set(program.opaque_classes) == {"String", "BorderInfo"}
+        assert set(program.globals) == {"CHAR_WIDTH"}
+
+    def test_virtual_fixup_marks_overrides(self):
+        program = fig2_program()
+        method = program.tree_types["TextBox"].methods["computeWidth"]
+        assert method.virtual
+
+    def test_entry_sequence(self):
+        program = fig2_program()
+        assert program.root_type_name == "Element"
+        assert [c.method_name for c in program.entry] == [
+            "computeWidth",
+            "computeHeight",
+        ]
+
+    def test_end_inherits_empty_traversals(self):
+        program = fig2_program()
+        method = program.resolve_method("End", "computeWidth")
+        assert method.owner == "Element"
+        assert method.body == []

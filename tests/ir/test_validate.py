@@ -1,0 +1,186 @@
+"""Validator coverage: every language restriction of Fig. 3."""
+
+import pytest
+
+from repro.errors import FrontendError, ValidationError
+from repro.frontend import parse_program
+from repro.ir.validate import LanguageMode
+
+
+def rejects(source, match=None, mode=LanguageMode.GRAFTER):
+    with pytest.raises((ValidationError, FrontendError), match=match):
+        parse_program(source, mode=mode)
+
+
+class TestStatementRestrictions:
+    def test_traverse_under_if_rejected(self):
+        rejects("""
+        _tree_ class N {
+            _child_ N* kid;
+            int f = 0;
+            _traversal_ virtual void go() {}
+        };
+        _tree_ class I : public N {
+            _traversal_ void go() { if (this->f == 1) { this->kid->go(); } }
+        };
+        """, "conditional return")
+
+    def test_traverse_under_if_allowed_in_treefuser_mode(self):
+        parse_program("""
+        _tree_ class N {
+            _child_ N* kid;
+            int f = 0;
+            _traversal_ virtual void go() {}
+        };
+        _tree_ class I : public N {
+            _traversal_ void go() { if (this->f == 1) { this->kid->go(); } }
+        };
+        """, mode=LanguageMode.TREEFUSER)
+
+    def test_new_of_incompatible_type_rejected(self):
+        rejects("""
+        _tree_ class A { _child_ B* kid; _traversal_ void go() {
+            this->kid = new A();
+        } };
+        _tree_ class B { int x = 0; };
+        """, "assigned to child of type")
+
+    def test_new_requires_descendant_path(self):
+        # `new` must target a child slot; the parser rejects assigning a
+        # fresh node anywhere else
+        rejects("""
+        _tree_ class A { int x = 0; _traversal_ void go() {
+            this->x = new A();
+        } };
+        """)
+
+    def test_duplicate_local_rejected(self):
+        rejects("""
+        _tree_ class A { int x = 0; _traversal_ void go() {
+            int t = 1;
+            int t = 2;
+        } };
+        """, "duplicate local")
+
+    def test_alias_must_be_tree_type(self):
+        rejects("""
+        _tree_ class A {
+            _child_ A* kid;
+            int x = 0;
+            _traversal_ void go() {
+                int* const k = this->kid;
+            }
+        };
+        """)
+
+    def test_unknown_global_rejected(self):
+        rejects("""
+        _tree_ class A { int x = 0; _traversal_ void go() {
+            this->x = MISSING;
+        } };
+        """, "unknown name")
+
+    def test_pure_call_arity_checked(self):
+        rejects("""
+        _pure_ int one(int a);
+        _tree_ class A { int x = 0; _traversal_ void go() {
+            this->x = one(1, 2);
+        } };
+        """, "passes 2")
+
+    def test_traverse_arity_checked(self):
+        rejects("""
+        _tree_ class N {
+            _child_ N* kid;
+            _traversal_ virtual void go(int a) {}
+        };
+        _tree_ class I : public N {
+            _traversal_ void go(int a) { this->kid->go(); }
+        };
+        """, "passes 0")
+
+
+class TestTypeRestrictions:
+    def test_param_must_be_by_value(self):
+        rejects("""
+        _tree_ class B { int y = 0; };
+        _tree_ class A {
+            int x = 0;
+            _traversal_ void go(B b) {}
+        };
+        """, "primitive or an opaque")
+
+    def test_local_of_tree_type_rejected(self):
+        rejects("""
+        _tree_ class A {
+            int x = 0;
+            _traversal_ void go() { A t; }
+        };
+        """)
+
+    def test_entry_root_must_be_tree_type(self):
+        rejects("""
+        _tree_ class A { int x = 0; _traversal_ void go() {} };
+        int main() { Nope* root = ...; root->go(); }
+        """, "not a tree type")
+
+    def test_cast_to_unrelated_type_rejected(self):
+        rejects("""
+        _tree_ class A { _child_ A* kid; int x = 0;
+            _traversal_ void go() {
+                static_cast<B*>(this->kid)->y = 1;
+            }
+        };
+        _tree_ class B { int y = 0; };
+        """, "unrelated")
+
+    def test_cast_to_subtype_accepted(self):
+        parse_program("""
+        _tree_ class A { _child_ A* kid; int x = 0;
+            _traversal_ virtual void go() {}
+        };
+        _tree_ class A2 : public A { int y = 0;
+            _traversal_ void go() {
+                static_cast<A2*>(this->kid)->y = 1;
+            }
+        };
+        """)
+
+    def test_opaque_class_fields_must_be_primitive(self):
+        rejects("""
+        class Meta { Inner i; };
+        class Inner { int x; };
+        _tree_ class A { int x = 0; };
+        """, "must be primitive")
+
+
+class TestReturnAndControl:
+    def test_bare_return_accepted_everywhere(self):
+        parse_program("""
+        _tree_ class A {
+            _child_ A* kid;
+            int x = 0;
+            _traversal_ virtual void go() {}
+        };
+        _tree_ class I : public A {
+            _traversal_ void go() {
+                if (this->x > 3) return;
+                this->kid->go();
+                return;
+            }
+        };
+        _tree_ class L : public A { };
+        """)
+
+    def test_else_branch_supported(self):
+        program = parse_program("""
+        _tree_ class A {
+            int x = 0;
+            int y = 0;
+            _traversal_ void go() {
+                if (this->x > 0) { this->y = 1; } else { this->y = 2; }
+            }
+        };
+        """)
+        body = program.tree_types["A"].methods["go"].body
+        assert body[0].else_body

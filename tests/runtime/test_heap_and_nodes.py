@@ -1,0 +1,119 @@
+"""Heap layout and node construction tests."""
+
+import pytest
+
+from repro.errors import RuntimeFailure
+from repro.runtime import Heap, Node
+from repro.runtime.heap import HEADER_BYTES, WORD, compute_layout
+from repro.runtime.values import ObjectValue
+
+from tests.fixtures import fig2_program
+
+
+class TestLayout:
+    def test_base_fields_before_derived(self):
+        program = fig2_program()
+        layout = compute_layout(program, "TextBox")
+        # Element declares Next, Height, Width, MaxHeight, TotalWidth;
+        # TextBox adds Text (a String with one member)
+        assert layout.field_offsets["Next"] == HEADER_BYTES
+        assert layout.field_offsets["Height"] == HEADER_BYTES + WORD
+        assert layout.field_offsets["Text"] > layout.field_offsets["TotalWidth"]
+
+    def test_opaque_members_inline(self):
+        program = fig2_program()
+        layout = compute_layout(program, "Group")
+        border_offset = layout.field_offsets["Border"]
+        assert layout.offset_of("Border", "Size") == border_offset
+
+    def test_size_rounded_to_16(self):
+        program = fig2_program()
+        for type_name in program.tree_types:
+            layout = compute_layout(program, type_name)
+            assert layout.size % 16 == 0
+            assert layout.size >= HEADER_BYTES
+
+    def test_subtype_layout_extends_base(self):
+        program = fig2_program()
+        element = compute_layout(program, "End")
+        textbox = compute_layout(program, "TextBox")
+        for name, offset in element.field_offsets.items():
+            assert textbox.field_offsets[name] == offset
+
+
+class TestHeap:
+    def test_bump_allocation_is_sequential(self):
+        program = fig2_program()
+        heap = Heap(program)
+        a = heap.allocate("End")
+        b = heap.allocate("End")
+        assert b == a + heap.layout("End").size
+
+    def test_footprint_tracks_bytes(self):
+        program = fig2_program()
+        heap = Heap(program)
+        heap.allocate("TextBox")
+        heap.allocate("Group")
+        expected = heap.layout("TextBox").size + heap.layout("Group").size
+        assert heap.footprint_bytes == expected
+
+    def test_global_addresses_distinct(self):
+        program = fig2_program()
+        heap = Heap(program)
+        assert heap.global_address("CHAR_WIDTH") >= Heap.GLOBALS_BASE
+        with pytest.raises(RuntimeFailure):
+            heap.global_address("NOPE")
+
+
+class TestNode:
+    def test_defaults_from_declarations(self):
+        program = fig2_program()
+        heap = Heap(program)
+        node = Node.new(program, heap, "TextBox")
+        assert node.get("Width") == 0
+        assert node.get("Next") is None
+        text = node.get("Text")
+        assert isinstance(text, ObjectValue)
+        assert text.get("Length") == 0
+
+    def test_overrides(self):
+        program = fig2_program()
+        heap = Heap(program)
+        node = Node.new(
+            program, heap, "TextBox",
+            Text=ObjectValue("String", {"Length": 9}),
+        )
+        assert node.get("Text").get("Length") == 9
+
+    def test_cannot_instantiate_abstract(self):
+        program = fig2_program()
+        heap = Heap(program)
+        with pytest.raises(RuntimeFailure, match="abstract"):
+            Node.new(program, heap, "Element")
+
+    def test_unknown_field_override_rejected(self):
+        program = fig2_program()
+        heap = Heap(program)
+        with pytest.raises(RuntimeFailure, match="no field"):
+            Node.new(program, heap, "End", Bogus=1)
+
+    def test_walk_and_count(self):
+        program = fig2_program()
+        heap = Heap(program)
+        end = Node.new(program, heap, "End")
+        leaf = Node.new(
+            program, heap, "TextBox",
+            Text=ObjectValue("String", {"Length": 2}), Next=end,
+        )
+        group = Node.new(program, heap, "Group", Content=leaf, Next=None)
+        # Next of group is None; walk skips it
+        assert group.count_nodes(program) == 3
+
+    def test_snapshot_detects_difference(self):
+        program = fig2_program()
+        heap = Heap(program)
+        a = Node.new(program, heap, "End")
+        b = Node.new(program, heap, "End")
+        assert a.snapshot(program) == b.snapshot(program)
+        a.set("Width", 5)
+        assert a.snapshot(program) != b.snapshot(program)

@@ -1,0 +1,97 @@
+"""Property tests on heap layouts and the cache simulator."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim import SetAssociativeCache
+from repro.frontend import parse_program
+from repro.runtime.heap import HEADER_BYTES, WORD, compute_layout
+
+from tests.fixtures import fig2_program
+
+
+class TestLayoutInvariants:
+    def _layouts(self):
+        program = fig2_program()
+        return program, {
+            name: compute_layout(program, name) for name in program.tree_types
+        }
+
+    def test_offsets_unique_and_word_aligned(self):
+        _, layouts = self._layouts()
+        for layout in layouts.values():
+            offsets = list(layout.field_offsets.values()) + list(
+                layout.member_offsets.values()
+            )
+            # member offsets may equal their field offset (first member)
+            field_offsets = list(layout.field_offsets.values())
+            assert len(set(field_offsets)) == len(field_offsets)
+            assert all(o % WORD == 0 for o in offsets)
+            assert all(o >= HEADER_BYTES for o in offsets)
+
+    def test_fields_fit_in_node_size(self):
+        _, layouts = self._layouts()
+        for layout in layouts.values():
+            highest = max(
+                list(layout.field_offsets.values())
+                + list(layout.member_offsets.values()),
+                default=0,
+            )
+            assert highest + WORD <= layout.size
+
+    def test_base_prefix_shared_across_subtypes(self):
+        program, layouts = self._layouts()
+        base = layouts["Element"]
+        for subtype in ("TextBox", "Group", "End"):
+            sub = layouts[subtype]
+            for name, offset in base.field_offsets.items():
+                assert sub.field_offsets[name] == offset
+
+
+class TestCacheProperties:
+    @given(
+        size_pow=st.integers(min_value=9, max_value=12),
+        ways_pow=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_miss_count_bounded_by_accesses(self, size_pow, ways_pow, seed):
+        # valid geometry needs at least `ways` lines: 2^(size_pow-6) lines
+        ways_pow = min(ways_pow, size_pow - 6)
+        cache = SetAssociativeCache("t", 2 ** size_pow, 2 ** ways_pow)
+        rng = random.Random(seed)
+        addresses = [rng.randrange(0, 1 << 16) for _ in range(300)]
+        for address in addresses:
+            cache.access(address)
+        assert cache.misses + cache.hits == len(addresses)
+        distinct_lines = {a >> 6 for a in addresses}
+        assert cache.misses >= len(distinct_lines) - cache.size_bytes // 64
+        assert cache.misses <= len(addresses)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_never_misses_more_lru(self, seed):
+        """LRU inclusion property on fully-associative caches: a larger
+        cache never takes more misses on the same trace."""
+        small = SetAssociativeCache("s", 4 * 64, 4)  # 4 lines, 1 set
+        large = SetAssociativeCache("l", 8 * 64, 8)  # 8 lines, 1 set
+        rng = random.Random(seed)
+        for _ in range(400):
+            address = rng.randrange(0, 1 << 12)
+            small.access(address)
+            large.access(address)
+        assert large.misses <= small.misses
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_trace_second_pass_no_worse_when_fits(self, seed):
+        cache = SetAssociativeCache("t", 32 * 64, 8)
+        rng = random.Random(seed)
+        trace = [rng.randrange(0, 16 * 64) for _ in range(100)]  # fits
+        for address in trace:
+            cache.access(address)
+        first_misses = cache.misses
+        for address in trace:
+            cache.access(address)
+        assert cache.misses == first_misses  # everything resident

@@ -1,0 +1,87 @@
+"""CLI tests (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.fixtures import FIG2_SOURCE
+
+CONDITIONAL_SOURCE = """
+_tree_ class N {
+    _child_ N* kid;
+    int flag = 0;
+    _traversal_ virtual void go() {}
+};
+_tree_ class I : public N {
+    _traversal_ void go() {
+        if (this->flag == 1) { this->kid->go(); }
+    }
+};
+_tree_ class L : public N { };
+int main() { N* root = ...; root->go(); }
+"""
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.grafter"
+    path.write_text(FIG2_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def conditional_file(tmp_path):
+    path = tmp_path / "cond.grafter"
+    path.write_text(CONDITIONAL_SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_parse_summary(self, fig2_file, capsys):
+        assert main(["parse", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "tree types: 4" in out
+        assert "computeWidth" in out
+
+    def test_print_round_trips(self, fig2_file, capsys, tmp_path):
+        assert main(["print", fig2_file]) == 0
+        printed = capsys.readouterr().out
+        reprinted = tmp_path / "reprinted.grafter"
+        reprinted.write_text(printed)
+        assert main(["parse", str(reprinted)]) == 0
+
+    def test_fuse_prints_units(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "_fuse__" in out
+        assert "active_flags" in out
+        assert "fused traversal functions" in out
+
+    def test_explain_reports_groups(self, fig2_file, capsys):
+        assert main(["explain", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "sequence:" in out
+        assert "group 0:" in out
+
+    def test_dot_output(self, fig2_file, capsys):
+        assert main(["dot", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["parse", "/nonexistent.grafter"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_grafter_mode_rejects_conditional_calls(self, conditional_file, capsys):
+        assert main(["parse", conditional_file]) == 1
+        assert "conditional return" in capsys.readouterr().err
+
+    def test_treefuser_mode_accepts_conditional_calls(self, conditional_file, capsys):
+        assert main(["--mode", "treefuser", "parse", conditional_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fuse_treefuser_mode(self, conditional_file, capsys):
+        assert main(["--mode", "treefuser", "fuse", conditional_file]) == 0
+        out = capsys.readouterr().out
+        assert "_fuse__" in out

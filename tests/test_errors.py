@@ -1,0 +1,34 @@
+"""Error-hierarchy tests: one catchable base, informative positions."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "FrontendError",
+            "ValidationError",
+            "AnalysisError",
+            "FusionError",
+            "RuntimeFailure",
+            "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_frontend_error_formats_position(self):
+        error = errors.FrontendError("bad token", line=3, column=7)
+        assert "3:7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_frontend_error_without_position(self):
+        error = errors.FrontendError("bad token")
+        assert str(error) == "bad token"
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FusionError("nope")
+        with pytest.raises(errors.ReproError):
+            raise errors.FrontendError("nope", 1, 1)

