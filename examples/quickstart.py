@@ -4,12 +4,16 @@ This walks the paper's running example (Fig. 2): a render-tree fragment
 whose elements compute widths and heights in two passes. Grafter fuses
 the passes into one traversal — same results, half the node visits.
 
+Compilation goes through the staged pipeline (`repro.pipeline.compile`):
+one call parses, validates, analyzes, fuses and schedules, with per-pass
+timings — and a second compile of the same source is a cache hit.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.frontend import parse_program
-from repro.fusion import fuse_program
+from repro import pipeline
 from repro.fusion.fused_ir import print_fused_unit
+from repro.pipeline import CompileOptions
 from repro.runtime import Heap, Interpreter, Node
 from repro.runtime.values import ObjectValue
 
@@ -80,13 +84,18 @@ def run(program, root, fused=None):
 
 
 def main():
-    # 1. parse + validate the traversal program
-    program = parse_program(SOURCE, name="quickstart")
+    # 1. one compile() call: parse → validate → analyze → fuse → schedule
+    result = pipeline.compile(
+        SOURCE, name="quickstart", options=CompileOptions(emit=False)
+    )
+    program = result.program
     print(f"parsed {len(program.tree_types)} tree types, "
           f"{sum(1 for _ in program.all_methods())} traversal methods")
+    print()
+    print(result.timings_report())
 
-    # 2. fuse: computeWidth + computeHeight become one traversal
-    fused = fuse_program(program)
+    # 2. the fused form: computeWidth + computeHeight became one traversal
+    fused = result.fused
     print(f"\nsynthesized {fused.unit_count} fused traversal functions; "
           "the TextBox unit:")
     unit = fused.units[("TextBox::computeWidth", "TextBox::computeHeight")]

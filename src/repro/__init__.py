@@ -1,0 +1,8 @@
+"""Grafter reproduction: sound, fine-grained traversal fusion for
+heterogeneous trees (PLDI 2019).
+
+Compile through :mod:`repro.pipeline`; run with :mod:`repro.runtime`
+(metering interpreter) or :mod:`repro.codegen` (generated Python).
+"""
+
+__version__ = "0.2.0"

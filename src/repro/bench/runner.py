@@ -1,4 +1,11 @@
-"""Fused-vs-unfused comparison driver."""
+"""Fused-vs-unfused comparison driver.
+
+Compilation goes through ``repro.pipeline.compile()``: fusing the same
+program for one experiment after another is a content-addressed cache
+hit, not a re-synthesis (the old ad-hoc ``id()``-keyed dictionaries this
+module carried are gone). TreeFuser lowering is not a pipeline stage, so
+lowered programs keep a small per-object cache here.
+"""
 
 from __future__ import annotations
 
@@ -6,24 +13,24 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.bench.metrics import Measurement, measure_run
-from repro.fusion import FusionLimits, fuse_program
+from repro.fusion import FusionLimits
 from repro.fusion.fused_ir import FusedProgram
 from repro.ir.program import Program
+from repro.pipeline import CompileOptions
+from repro.pipeline import compile as pipeline_compile
 from repro.treefuser import LoweredProgram, lower_program, lower_tree
 
-_FUSED_CACHE: dict[int, FusedProgram] = {}
 _LOWERED_CACHE: dict[int, LoweredProgram] = {}
-_LOWERED_FUSED_CACHE: dict[int, FusedProgram] = {}
 
 
 def fused_for(program: Program, limits: Optional[FusionLimits] = None) -> FusedProgram:
-    """Fuse once per program object (synthesis is compile-time work)."""
-    key = id(program)
-    if limits is not None:
-        return fuse_program(program, limits=limits)
-    if key not in _FUSED_CACHE:
-        _FUSED_CACHE[key] = fuse_program(program)
-    return _FUSED_CACHE[key]
+    """Fuse via the pipeline (synthesis is compile-time work; repeated
+    requests for the same program + limits hit the compile cache)."""
+    options = CompileOptions(
+        limits=limits if limits is not None else FusionLimits(),
+        emit=False,
+    )
+    return pipeline_compile(program, options=options).fused
 
 
 def lowered_for(program: Program) -> LoweredProgram:
@@ -34,10 +41,7 @@ def lowered_for(program: Program) -> LoweredProgram:
 
 
 def lowered_fused_for(program: Program) -> FusedProgram:
-    key = id(program)
-    if key not in _LOWERED_FUSED_CACHE:
-        _LOWERED_FUSED_CACHE[key] = fuse_program(lowered_for(program).program)
-    return _LOWERED_FUSED_CACHE[key]
+    return fused_for(lowered_for(program).program)
 
 
 @dataclass

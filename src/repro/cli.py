@@ -7,6 +7,13 @@ Usage (also via ``python -m repro``)::
     python -m repro fuse    traversals.grafter   # show fused traversals
     python -m repro explain traversals.grafter   # grouping diagnostics
     python -m repro dot     traversals.grafter   # dependence graph (dot)
+    python -m repro compile traversals.grafter --timings
+                                                # full staged pipeline
+
+All compilation goes through ``repro.pipeline.compile()`` — repeated
+invocations of one process (and every library caller in between) share
+the content-addressed compile cache. ``compile --timings`` prints the
+per-pass wall-time and IR-size report.
 
 Pure functions referenced by the source are accepted without
 implementations; the static pipeline (parsing, analysis, fusion) never
@@ -18,24 +25,37 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.analysis.call_automata import AnalysisContext
 from repro.analysis.dependence import build_dependence_graph
 from repro.errors import ReproError
 from repro.frontend import parse_program
-from repro.fusion import fuse_program
 from repro.fusion.diagnostics import explain_sequence
 from repro.fusion.fused_ir import print_fused_program
 from repro.ir.printer import print_program
 from repro.ir.validate import LanguageMode
+from repro.pipeline import CompileOptions
+from repro.pipeline import compile as pipeline_compile
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
 
 
 def _load(path: str, mode: str):
-    with open(path) as handle:
-        source = handle.read()
     language_mode = (
         LanguageMode.TREEFUSER if mode == "treefuser" else LanguageMode.GRAFTER
     )
-    return parse_program(source, name=path, mode=language_mode)
+    return parse_program(_read(path), name=path, mode=language_mode)
+
+
+def _compile(args, emit: bool):
+    """Run the staged pipeline on the file named by *args*."""
+    options = CompileOptions(mode=args.mode, emit=emit)
+    return pipeline_compile(
+        _read(args.file), options=options, name=args.file
+    )
 
 
 def _entry_members(program):
@@ -83,8 +103,8 @@ def cmd_print(args) -> int:
 
 
 def cmd_fuse(args) -> int:
-    program = _load(args.file, args.mode)
-    fused = fuse_program(program)
+    result = _compile(args, emit=False)
+    fused = result.fused
     stats = fused.stats()
     print(f"// {stats['units']} fused traversal functions, "
           f"max width {stats['max_width']}, "
@@ -94,6 +114,8 @@ def cmd_fuse(args) -> int:
 
 
 def cmd_explain(args) -> int:
+    # explain_sequence derives its own grouping diagnostics; it only
+    # needs the parsed program, not a full pipeline run
     program = _load(args.file, args.mode)
     members = _entry_members(program)
     explanation = explain_sequence(program, members)
@@ -110,11 +132,39 @@ def cmd_dot(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    if args.emit_python and args.no_emit:
+        raise ReproError("--emit-python requires emission; drop --no-emit")
+    result = _compile(args, emit=not args.no_emit)
+    stats = result.fused.stats()
+    status = "cache hit" if result.cache_hit else "cold"
+    print(f"{args.file}: compiled ({status})")
+    print(f"  fused units: {stats['units']}, "
+          f"max width {stats['max_width']}, "
+          f"fused call sites: {stats['group_calls']}")
+    # a cached emit=True result can serve a --no-emit run; only report
+    # the generated modules when emission was actually requested
+    if not args.no_emit and result.fused_source is not None:
+        print(f"  generated python: "
+              f"{len(result.unfused_source.splitlines())} lines unfused, "
+              f"{len(result.fused_source.splitlines())} lines fused")
+    if args.emit_python:
+        with open(args.emit_python, "w") as handle:
+            handle.write(result.fused_source or "")
+        print(f"  fused module written to {args.emit_python}")
+    if args.timings:
+        print(result.timings_report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Grafter reproduction: traversal fusion for "
                     "heterogeneous trees (PLDI 2019)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "--mode",
@@ -134,6 +184,27 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
         command.add_argument("file", help="Grafter source file")
         command.set_defaults(handler=handler)
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="run the full staged pipeline (parse through python emission)",
+    )
+    compile_cmd.add_argument("file", help="Grafter source file")
+    compile_cmd.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-pass wall-time and IR-size report",
+    )
+    compile_cmd.add_argument(
+        "--no-emit",
+        action="store_true",
+        help="stop after fusion (skip python module emission)",
+    )
+    compile_cmd.add_argument(
+        "--emit-python",
+        metavar="PATH",
+        help="write the generated fused python module to PATH",
+    )
+    compile_cmd.set_defaults(handler=cmd_compile)
     return parser
 
 

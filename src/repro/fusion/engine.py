@@ -1,19 +1,18 @@
-"""The fusion driver (paper §3.3).
+"""The fusion driver (paper §3.3) — compatibility shim.
 
-``fuse_program`` turns a validated program into a :class:`FusedProgram`:
+The monolithic engine that used to live here was decomposed into the
+staged pipeline passes of :mod:`repro.pipeline.stages`:
 
-1. The entry sequence (consecutive traversal calls on the root) seeds the
-   process, chunked to the ``max_sequence`` cutoff.
-2. For every possible dynamic type of the receiver, the virtual calls are
-   resolved to a *concrete* sequence L (type-specific fusion).
-3. ``fuse_sequence`` builds the fused unit for L: dependence graph →
-   greedy grouping → topological schedule → guarded body. Groups become
-   fused calls whose per-type dispatch recursively demands more fused
-   units; a unit is registered under its label *before* its body is
-   generated, so self-referential sequences become recursive calls
-   (paper: "Grafter just inserts a recursive call to that function").
-4. Memoization on the sequence label means each unit is synthesized once,
-   and the cutoffs keep the label space finite, so fusion terminates.
+* sequence discovery, greedy grouping and guard merging →
+  :class:`repro.pipeline.stages.FusionPlanner` (the *fusion* pass),
+* topological body ordering and unit assembly →
+  :func:`repro.pipeline.stages.synthesize_fused` (the *schedule* pass).
+
+:class:`FusionEngine` and :func:`fuse_program` remain as thin wrappers
+with the original semantics (uncached, deterministic) so existing
+callers and tests keep working; new code should use
+``repro.pipeline.compile()``, which adds per-pass instrumentation and
+the content-addressed compile cache.
 """
 
 from __future__ import annotations
@@ -21,29 +20,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.call_automata import AnalysisContext
-from repro.analysis.dependence import Vertex, build_dependence_graph
-from repro.errors import FusionError
-from repro.fusion.fused_ir import (
-    EntryGroup,
-    FusedProgram,
-    FusedUnit,
-    GroupCall,
-    GuardedStmt,
-    MemberCall,
-)
-from repro.fusion.grouping import (
-    FusionLimits,
-    conditional_call,
-    greedy_group,
-    group_key,
-)
-from repro.fusion.scheduling import schedule
-from repro.ir.exprs import BinOp
+from repro.fusion.fused_ir import FusedProgram, FusedUnit
+from repro.fusion.grouping import FusionLimits
 from repro.ir.method import TraversalMethod
 from repro.ir.program import Program
 
 
+def _stages():
+    # lazy: repro.pipeline.stages imports repro.fusion submodules, so a
+    # module-scope import here would cycle through the package __init__
+    from repro.pipeline import stages
+
+    return stages
+
+
 class FusionEngine:
+    """Thin shim over the pipeline's fusion + schedule passes.
+
+    Like the old engine, one instance memoizes across calls: the planner
+    and the ``units`` dict persist for the engine's lifetime, so a
+    sequence fused once keeps its FusedUnit object identity in later
+    ``fuse_sequence``/``fuse_program`` calls.
+    """
+
     def __init__(
         self,
         program: Program,
@@ -54,170 +53,46 @@ class FusionEngine:
         self.limits = limits if limits is not None else FusionLimits()
         self.ctx = AnalysisContext(program)
         self.units: dict[tuple[str, ...], FusedUnit] = {}
+        self._planner = None
 
-    # ------------------------------------------------------------------
+    def _planner_for_life(self):
+        if self._planner is None:
+            self._planner = _stages().FusionPlanner(
+                self.program, self.limits, self.ctx
+            )
+        return self._planner
 
     def fuse_program(self) -> FusedProgram:
-        if self.program.root_type_name is None or not self.program.entry:
-            raise FusionError("program has no entry sequence to fuse")
-        root_type = self.program.root_type_name
-        entry_groups: list[EntryGroup] = []
-        calls = self.program.entry
-        chunk_size = self.limits.max_sequence
-        for start in range(0, len(calls), chunk_size):
-            chunk = calls[start : start + chunk_size]
-            group = EntryGroup(
-                method_names=[c.method_name for c in chunk],
-                args_per_member=[c.args for c in chunk],
-            )
-            for type_name in self.program.concrete_subtypes(root_type):
-                members = tuple(
-                    self.program.resolve_method(type_name, c.method_name)
-                    for c in chunk
-                )
-                group.dispatch[type_name] = self.fuse_sequence(members)
-            entry_groups.append(group)
-        return FusedProgram(
-            program=self.program,
-            root_type=root_type,
-            entry_groups=entry_groups,
-            units=self.units,
+        stages = _stages()
+        planner = self._planner_for_life()
+        entry_plans = planner.plan_entry()
+        return stages.synthesize_fused(
+            self.program, planner, entry_plans, units=self.units
         )
-
-    # ------------------------------------------------------------------
 
     def fuse_sequence(self, members: tuple[TraversalMethod, ...]) -> FusedUnit:
-        key = tuple(m.qualified_name for m in members)
-        existing = self.units.get(key)
-        if existing is not None:
-            return existing
-        unit = FusedUnit(
-            label=_label_for(key),
-            key=key,
-            members=list(members),
-            this_type=self.program.common_supertype(m.owner for m in members),
-        )
-        # register before synthesizing the body: a group reaching the same
-        # sequence becomes a recursive call to this very unit
-        self.units[key] = unit
-        graph = build_dependence_graph(self.ctx, list(members))
-        groups, assignment = greedy_group(graph, self.limits)
-        order = schedule(graph, groups, assignment)
-        vertex_by_index = {v.index: v for v in graph.vertices}
-        body = []
-        for unit_indices in order:
-            vertices = [vertex_by_index[i] for i in unit_indices]
-            if group_key(vertices[0]) is None:
-                body.append(GuardedStmt(vertices[0].member, vertices[0].stmt))
-            else:
-                body.append(self._make_group_call(unit, vertices))
-        unit.body = body
-        return unit
+        """Fuse one concrete member sequence (and everything it reaches).
 
-    # ------------------------------------------------------------------
-
-    def _make_group_call(
-        self, unit: FusedUnit, vertices: list[Vertex]
-    ) -> GroupCall:
-        """Build the fused call for one group.
-
-        Conditional call blocks (TreeFuser mode) of the same member that
-        invoke the same method with the same arguments under *mutually
-        exclusive* tag guards collapse into one member slot with the
-        guards OR-ed — the real TreeFuser's "one function per traversal"
-        structure, which keeps the fused sequence from amplifying across
-        type variants. Non-exclusive guards fall back to separate slots,
-        which is always sound (each slot still fires per its own guard).
+        Synthesized units accumulate in ``self.units`` across calls,
+        exactly like the old engine's memoization.
         """
-        slots: dict[tuple, MemberCall] = {}
-        receiver = None
-        for vertex in vertices:
-            if vertex.call is not None:
-                call_stmt = vertex.call
-                guard = None
-            else:
-                conditional = conditional_call(vertex)
-                assert conditional is not None
-                guard, call_stmt = conditional
-            receiver = call_stmt.receiver
-            member_call = MemberCall(
-                member=vertex.member,
-                method_name=call_stmt.method_name,
-                args=call_stmt.args,
-                guard=guard,
-            )
-            if guard is None:
-                slots[("plain", vertex.index)] = member_call
-                continue
-            key = (
-                "cond",
-                vertex.member,
-                call_stmt.method_name,
-                tuple(str(a) for a in call_stmt.args),
-            )
-            existing = slots.get(key)
-            if existing is None:
-                slots[key] = member_call
-            elif _guards_exclusive(existing.guard, guard):
-                existing.guard = BinOp(op="||", lhs=existing.guard, rhs=guard)
-            else:
-                slots[key + (len(slots),)] = member_call
-        calls = list(slots.values())
-        assert receiver is not None
-        if receiver.is_this:
-            static_type = unit.this_type
-        else:
-            static_type = receiver.child.type_name
-        group = GroupCall(receiver=receiver, calls=calls)
-        for type_name in self.program.concrete_subtypes(static_type):
-            target = tuple(
-                self.program.resolve_method(type_name, call.method_name)
-                for call in calls
-            )
-            group.dispatch[type_name] = self.fuse_sequence(target)
-        return group
+        stages = _stages()
+        planner = self._planner_for_life()
+        key = planner.plan_sequence(tuple(members))
+        stages.synthesize_fused(self.program, planner, [], units=self.units)
+        return self.units[key]
 
 
 def _guards_exclusive(a, b) -> bool:
-    """Provably mutually exclusive guards: both are disjunctions of
-    equality tests of the *same* data path against constants, with
-    disjoint constant sets — the exact shape the TreeFuser lowering
-    produces for tag dispatch."""
-    atoms_a = _tag_test_atoms(a)
-    atoms_b = _tag_test_atoms(b)
-    if atoms_a is None or atoms_b is None:
-        return False
-    path_a, consts_a = atoms_a
-    path_b, consts_b = atoms_b
-    return path_a == path_b and not (consts_a & consts_b)
+    return _stages()._guards_exclusive(a, b)
 
 
 def _tag_test_atoms(expr):
-    """Decompose ``p == k1 || p == k2 || ...`` into (path text, {k...})."""
-    from repro.ir.exprs import Const, DataAccess
-
-    if isinstance(expr, BinOp) and expr.op == "==":
-        if isinstance(expr.lhs, DataAccess) and isinstance(expr.rhs, Const):
-            return str(expr.lhs.path), {expr.rhs.value}
-        return None
-    if isinstance(expr, BinOp) and expr.op == "||":
-        left = _tag_test_atoms(expr.lhs)
-        right = _tag_test_atoms(expr.rhs)
-        if left is None or right is None or left[0] != right[0]:
-            return None
-        return left[0], left[1] | right[1]
-    return None
+    return _stages()._tag_test_atoms(expr)
 
 
 def _label_for(key: tuple[str, ...]) -> str:
-    """A readable unique label like ``_fuse__TextBox_computeWidth__...``."""
-    short = "__".join(name.replace("::", "_") for name in key)
-    if len(short) > 120:
-        import hashlib
-
-        digest = hashlib.sha1(short.encode()).hexdigest()[:10]
-        short = f"{short[:100]}__{digest}"
-    return f"_fuse__{short}"
+    return _stages()._label_for(key)
 
 
 @dataclass
@@ -232,5 +107,7 @@ class FusionReport:
 def fuse_program(
     program: Program, limits: FusionLimits | None = None
 ) -> FusedProgram:
-    """One-call convenience wrapper: program -> fused program."""
-    return FusionEngine(program, limits=limits).fuse_program()
+    """One-call convenience wrapper: program -> fused program (uncached;
+    ``repro.pipeline.compile`` adds caching and instrumentation)."""
+    stages = _stages()
+    return stages.plan_and_synthesize(program, limits)

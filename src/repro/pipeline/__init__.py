@@ -1,0 +1,43 @@
+"""Staged compilation pipeline with pass manager and compile cache.
+
+The one entry point every driver (CLI, codegen, bench runner, examples)
+goes through::
+
+    from repro import pipeline
+
+    result = pipeline.compile(source_text_or_program)
+    result.fused              # the FusedProgram
+    result.compiled_fused     # exec'd generated Python (options.emit)
+    result.cache_hit          # served from the content-addressed cache?
+    print(result.timings_report())
+
+Stages (each wall-timed, each reporting IR-size stats)::
+
+    parse → validate → access-analysis → dependence → fusion → schedule → emit
+
+Results are memoized in a content-addressed :class:`CompileCache` keyed
+on ``(source hash, options hash)``; warm compiles are dictionary
+lookups. See :mod:`repro.pipeline.stages` for the pass implementations
+(the former monolithic fusion engine, decomposed).
+"""
+
+from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
+from repro.pipeline.driver import compile, hash_program, hash_source
+from repro.pipeline.manager import Pass, PassContext, PassManager
+from repro.pipeline.options import CompileOptions, CompileResult, PassTiming
+from repro.pipeline.stages import default_passes
+
+__all__ = [
+    "compile",
+    "CompileOptions",
+    "CompileResult",
+    "CompileCache",
+    "GLOBAL_CACHE",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassTiming",
+    "default_passes",
+    "hash_program",
+    "hash_source",
+]

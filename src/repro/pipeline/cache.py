@@ -1,0 +1,91 @@
+"""Content-addressed compile cache.
+
+Two layers share one LRU budget:
+
+* **results** — full :class:`~repro.pipeline.options.CompileResult`
+  records keyed on ``(source hash, options hash)``; a warm
+  ``pipeline.compile()`` of the same source with the same options is a
+  dictionary lookup instead of a parse→fuse→emit run.
+* **artifacts** — individual emitted/exec'd Python modules keyed on the
+  content hash of what they were generated from, so
+  :func:`repro.codegen.compile_program` / ``compile_fused`` and the
+  pipeline's emit stage share compiled modules even when reached through
+  different entry points.
+
+Keys are pure content hashes — compiling the *same text* through two
+different ``Program`` objects hits the same entry. The cache is
+process-local and unsynchronized (the reproduction is single-threaded).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.pipeline.options import CompileResult
+
+
+class CompileCache:
+    """LRU cache of compile results and emitted-module artifacts."""
+
+    def __init__(self, max_entries: int = 128):
+        self.max_entries = max_entries
+        self._results: OrderedDict[tuple[str, str], CompileResult] = (
+            OrderedDict()
+        )
+        self._artifacts: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- full compile results -------------------------------------------
+
+    def lookup(self, key: tuple[str, str]) -> Optional[CompileResult]:
+        result = self._results.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._results.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def store(self, key: tuple[str, str], result: CompileResult) -> None:
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > self.max_entries:
+            self._results.popitem(last=False)
+
+    # -- emitted-module artifacts ---------------------------------------
+
+    def artifact(self, key: Hashable) -> Optional[object]:
+        value = self._artifacts.get(key)
+        if value is not None:
+            self._artifacts.move_to_end(key)
+        return value
+
+    def store_artifact(self, key: Hashable, value: object) -> None:
+        self._artifacts[key] = value
+        self._artifacts.move_to_end(key)
+        while len(self._artifacts) > self.max_entries:
+            self._artifacts.popitem(last=False)
+
+    # -- maintenance ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def clear(self) -> None:
+        self._results.clear()
+        self._artifacts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._results),
+            "artifacts": len(self._artifacts),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+GLOBAL_CACHE = CompileCache()

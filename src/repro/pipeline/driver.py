@@ -1,0 +1,110 @@
+"""The single compile entry point: ``repro.pipeline.compile()``.
+
+Accepts either Grafter source text or an already-built
+:class:`~repro.ir.program.Program` (workload modules hand those out),
+hashes the content plus the options, consults the
+:class:`~repro.pipeline.cache.CompileCache`, and on a miss runs the
+staged pass pipeline. The result carries the fused program, the
+generated Python modules (when ``options.emit``), and per-pass
+wall-time / IR-size instrumentation for the ``--timings`` report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Union
+
+from repro.ir.program import Program
+from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
+from repro.pipeline.manager import PassContext, PassManager
+from repro.pipeline.options import (
+    CompileOptions,
+    CompileResult,
+    PassTiming,
+    hash_program,
+    hash_source,
+)
+from repro.pipeline.stages import default_passes
+
+
+def compile(
+    source: Union[str, Program],
+    *,
+    options: Optional[CompileOptions] = None,
+    name: str = "program",
+    cache: Optional[CompileCache] = GLOBAL_CACHE,
+    pure_impls: Optional[dict] = None,
+) -> CompileResult:
+    """Compile Grafter source (or a Program) through the staged pipeline.
+
+    A second call with the same content and options is served from the
+    cache: the returned result is the cached record with ``cache_hit``
+    set, ``timings`` reduced to the lookup cost, and the cold per-pass
+    timings preserved under ``cold_timings``. An ``emit=False`` request
+    is also served from a cached ``emit=True`` result of the same source
+    (a strict superset — the extra emitted fields just come along). Pass
+    ``cache=None`` (or ``options.use_cache=False``) to force a cold
+    compile.
+    """
+    options = options if options is not None else CompileOptions()
+    start = time.perf_counter()
+    if isinstance(source, Program):
+        program: Optional[Program] = source
+        source_text = None
+        source_hash = hash_program(source)
+        name = source.name
+    else:
+        program = None
+        source_text = source
+        source_hash = hash_source(source, pure_impls)
+    key = (source_hash, options.options_hash())
+
+    use_cache = cache is not None and options.use_cache
+    if use_cache:
+        hit = cache.lookup(key)
+        if hit is None and not options.emit:
+            # an emit=True result for the same source strictly contains
+            # the emit=False one — serve it rather than re-fusing
+            emitting = replace(options, emit=True)
+            hit = cache.lookup((source_hash, emitting.options_hash()))
+        if hit is not None:
+            lookup = PassTiming(
+                name="cache-lookup",
+                seconds=time.perf_counter() - start,
+                detail={"hit": 1},
+            )
+            return replace(
+                hit,
+                cache_hit=True,
+                timings=[lookup],
+                cold_timings=hit.timings,
+            )
+
+    pctx = PassContext(
+        options,
+        source_text=source_text,
+        program=program,
+        name=name,
+        pure_impls=pure_impls,
+        source_hash=source_hash,
+        cache=cache if use_cache else None,
+    )
+    manager = PassManager(default_passes())
+    timings = manager.run(pctx)
+    result = CompileResult(
+        source_hash=source_hash,
+        options_hash=options.options_hash(),
+        options=options,
+        program=pctx.program,
+        fused=pctx.fused,
+        timings=timings,
+        cache_hit=False,
+        unfused_source=pctx.unfused_source,
+        fused_source=pctx.fused_source,
+        compiled_unfused=pctx.compiled_unfused,
+        compiled_fused=pctx.compiled_fused,
+    )
+    if use_cache:
+        cache.store(key, result)
+    return result

@@ -1,0 +1,85 @@
+"""Pass protocol, shared pass context, and the instrumented manager.
+
+A pass is a named stage that advances the :class:`PassContext` toward a
+compiled program and returns its IR-size stats; the :class:`PassManager`
+runs a fixed sequence of passes, wall-timing each one into
+:class:`~repro.pipeline.options.PassTiming` records. Control flow is
+deliberately linear — the pipeline's value is instrumentation and
+caching, not pass reordering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.pipeline.options import CompileOptions, PassTiming
+
+
+class PassContext:
+    """Mutable state threaded through the passes of one compilation."""
+
+    def __init__(
+        self,
+        options: CompileOptions,
+        *,
+        source_text: Optional[str] = None,
+        program=None,
+        name: str = "program",
+        pure_impls: Optional[dict] = None,
+        source_hash: str = "",
+        cache=None,
+    ):
+        self.options = options
+        self.source_text = source_text
+        self.name = name
+        self.pure_impls = pure_impls or {}
+        self.source_hash = source_hash
+        self.cache = cache
+        # a Program handed in directly is trusted: its creator already
+        # validated it (workloads, treefuser lowering), so the frontend
+        # stages no-op instead of re-running mode checks it may not meet
+        self.program = program
+        self.trusted_program = program is not None
+        # filled in by the passes
+        self.analysis = None  # AnalysisContext
+        self.planner = None  # FusionPlanner
+        self.entry_plans = None  # list[EntryPlan]
+        self.fused = None  # FusedProgram
+        self.unfused_source: Optional[str] = None
+        self.fused_source: Optional[str] = None
+        self.compiled_unfused = None
+        self.compiled_fused = None
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One named pipeline stage."""
+
+    name: str
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        """Advance the context; return IR-size stats for the report."""
+        ...  # pragma: no cover - protocol
+
+
+class PassManager:
+    """Runs passes in order, timing each into a PassTiming record."""
+
+    def __init__(self, passes: list[Pass]):
+        self.passes = list(passes)
+
+    @property
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, pctx: PassContext) -> list[PassTiming]:
+        timings: list[PassTiming] = []
+        for stage in self.passes:
+            start = time.perf_counter()
+            detail = stage.run(pctx) or {}
+            elapsed = time.perf_counter() - start
+            timings.append(
+                PassTiming(name=stage.name, seconds=elapsed, detail=detail)
+            )
+        return timings

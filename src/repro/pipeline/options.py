@@ -1,0 +1,173 @@
+"""Compile options, per-pass timings, and the compile result record.
+
+:class:`CompileOptions` is the *complete* set of knobs that can change
+what the pipeline produces — it hashes to a stable string so the
+:class:`~repro.pipeline.cache.CompileCache` can key results on
+``(source hash, options hash)``. Anything cosmetic (the module name, the
+cache instance) deliberately stays out of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fusion.grouping import FusionLimits
+from repro.ir.validate import LanguageMode
+
+
+def hash_text(text: str) -> str:
+    """Content hash used throughout the pipeline (hex sha256)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _impl_signature(impls: dict) -> str:
+    """Identity signature of bound pure-function callables.
+
+    The callables are baked into the compiled program (the interpreter
+    and the generated modules call them through it), so two compiles of
+    identical text with *different* impl objects must not share a cache
+    entry. Python code objects can't be content-hashed reliably, so the
+    key uses ``id()`` — which is safe here precisely because every live
+    cache entry holds a strong reference to its impls (through the
+    cached program): while an entry exists its impls' ids cannot be
+    reused, so an id match implies the same object.
+    """
+    return ",".join(
+        f"{name}:{id(fn)}" for name, fn in sorted(impls.items())
+    )
+
+
+def hash_program(program) -> str:
+    """Content hash of an in-memory program: the pretty-printer is the
+    canonical form (it round-trips, see tests/frontend), so two
+    structurally identical programs hash alike regardless of object
+    identity. Bound pure-function impls are part of the key (see
+    :func:`_impl_signature`)."""
+    from repro.ir.printer import print_program
+
+    program.finalize()
+    impls = {
+        name: func.impl
+        for name, func in program.pure_functions.items()
+        if func.impl is not None
+    }
+    return hash_text(
+        f"{print_program(program)}\x00impls={_impl_signature(impls)}"
+    )
+
+
+def hash_source(source: str, pure_impls: Optional[dict] = None) -> str:
+    """Content hash of source text plus the identity of any bound
+    pure-function impls (see :func:`_impl_signature`)."""
+    return hash_text(
+        f"{source}\x00impls={_impl_signature(pure_impls or {})}"
+    )
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything that affects compilation output.
+
+    * ``mode`` — language mode: ``"grafter"`` (default) rejects
+      conditional traversal calls, ``"treefuser"`` allows them.
+    * ``limits`` — fusion termination cutoffs (paper §4).
+    * ``emit`` — also emit + exec the generated Python modules; with
+      ``False`` the pipeline stops after fusion (cheaper when only the
+      :class:`FusedProgram` is needed, e.g. for the interpreter).
+    * ``use_cache`` — consult/populate the compile cache.
+    """
+
+    mode: str = "grafter"
+    limits: FusionLimits = field(default_factory=FusionLimits)
+    emit: bool = True
+    use_cache: bool = True
+
+    @property
+    def language_mode(self) -> LanguageMode:
+        return (
+            LanguageMode.TREEFUSER
+            if self.mode == "treefuser"
+            else LanguageMode.GRAFTER
+        )
+
+    def canonical(self) -> str:
+        """Stable text form of every output-affecting knob."""
+        return (
+            f"mode={self.mode};"
+            f"max_sequence={self.limits.max_sequence};"
+            f"max_repeat={self.limits.max_repeat};"
+            f"emit={self.emit}"
+        )
+
+    def options_hash(self) -> str:
+        return hash_text(self.canonical())
+
+
+@dataclass
+class PassTiming:
+    """One pipeline stage's instrumentation record."""
+
+    name: str
+    seconds: float
+    detail: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"{self.name:<16} {self.seconds * 1e3:>9.2f} ms    {detail}"
+
+
+@dataclass
+class CompileResult:
+    """What :func:`repro.pipeline.compile` returns (and what the cache
+    stores). On a cache hit ``cache_hit`` is true, ``timings`` holds just
+    the lookup cost, and ``cold_timings`` carries the original cold
+    compile's per-pass record for comparison."""
+
+    source_hash: str
+    options_hash: str
+    options: CompileOptions
+    program: object  # repro.ir.program.Program
+    fused: object  # repro.fusion.fused_ir.FusedProgram
+    timings: list[PassTiming] = field(default_factory=list)
+    cache_hit: bool = False
+    cold_timings: Optional[list[PassTiming]] = None
+    unfused_source: Optional[str] = None
+    fused_source: Optional[str] = None
+    compiled_unfused: Optional[object] = None  # codegen.CompiledProgram
+    compiled_fused: Optional[object] = None  # codegen.CompiledFused
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.source_hash, self.options_hash)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def timings_report(self) -> str:
+        """The ``--timings`` report: one row per pass, wall time and
+        IR-size stats, plus the cached cold-compile rows after a hit."""
+        name = getattr(self.program, "name", "program")
+        status = "hit" if self.cache_hit else "miss"
+        lines = [
+            f"pipeline timings for {name!r} "
+            f"(cache {status}, key {self.source_hash[:12]}/"
+            f"{self.options_hash[:12]})"
+        ]
+        lines.append(f"  {'pass':<16} {'wall':>12}    detail")
+        for timing in self.timings:
+            lines.append("  " + timing.describe())
+        lines.append(
+            f"  {'total':<16} {self.total_seconds * 1e3:>9.2f} ms"
+        )
+        if self.cache_hit and self.cold_timings:
+            cold_total = sum(t.seconds for t in self.cold_timings)
+            lines.append("  cold compile (cached):")
+            for timing in self.cold_timings:
+                lines.append("    " + timing.describe())
+            lines.append(
+                f"    {'total':<16} {cold_total * 1e3:>9.2f} ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,568 @@
+"""The staged compilation pipeline (parse → … → emit).
+
+This module is the former monolithic ``fusion/engine.py`` decomposed
+into named, separately-timed passes:
+
+* **parse** — Grafter surface text → resolved IR (skipped for trusted
+  ``Program`` inputs).
+* **validate** — the language restrictions of paper Fig. 3.
+* **access-analysis** — per-statement read/write automata for every
+  traversal method (paper §3.1–3.2), precomputed so later stages only
+  hit warm caches.
+* **dependence** — dependence graphs for the entry sequences (§3.3).
+* **fusion** — the synthesis *plan*: greedy grouping with the
+  contraction-acyclicity check, guard merging, and the worklist
+  discovery of every reachable fused sequence (§3.3 step 4, §4).
+* **schedule** — topological ordering of each planned unit and assembly
+  of the final :class:`FusedProgram` (§3.4).
+* **emit** — generated Python modules (the reproduction's analogue of
+  Grafter's C++ output), exec'd and ready to run.
+
+Planning (fusion) and body synthesis (schedule) are split: the planner
+discovers units and their groups, the scheduler orders bodies. The split
+is faithful to the original engine because both greedy grouping and the
+scheduler keep group members in program order, so planning a group
+before knowing its scheduled position cannot change its member slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.call_automata import AnalysisContext
+from repro.analysis.dependence import (
+    DependenceGraph,
+    Vertex,
+    build_dependence_graph,
+)
+from repro.errors import FusionError
+from repro.frontend.parser import parse_program
+from repro.fusion.fused_ir import (
+    EntryGroup,
+    FusedProgram,
+    FusedUnit,
+    GroupCall,
+    GuardedStmt,
+    MemberCall,
+)
+from repro.fusion.grouping import (
+    FusionLimits,
+    Group,
+    conditional_call,
+    greedy_group,
+)
+from repro.fusion.scheduling import schedule
+from repro.ir.access import Receiver
+from repro.ir.exprs import BinOp
+from repro.ir.method import TraversalMethod
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.pipeline.manager import PassContext
+from repro.pipeline.options import hash_text
+
+SequenceKey = tuple[str, ...]
+
+
+# ===========================================================================
+# fusion planning (the engine's synthesis decisions, minus body order)
+# ===========================================================================
+
+
+@dataclass
+class GroupPlan:
+    """One fused call site: merged member slots plus, per concrete
+    receiver type, the key of the child unit the call dispatches to."""
+
+    leader: int  # smallest vertex index in the group
+    vertex_indices: list[int]
+    receiver: Receiver
+    calls: list[MemberCall]
+    dispatch_keys: dict[str, SequenceKey] = field(default_factory=dict)
+
+
+@dataclass
+class UnitPlan:
+    """Everything decided about one fused unit before body ordering."""
+
+    key: SequenceKey
+    label: str
+    members: list[TraversalMethod]
+    this_type: str
+    graph: DependenceGraph | None = None
+    groups: list[Group] = field(default_factory=list)
+    assignment: dict[int, int] = field(default_factory=dict)
+    group_plans: dict[int, GroupPlan] = field(default_factory=dict)
+
+
+@dataclass
+class EntryPlan:
+    """One chunk of the entry sequence with its per-type unit keys."""
+
+    method_names: list[str]
+    args_per_member: list[tuple]
+    dispatch_keys: dict[str, SequenceKey] = field(default_factory=dict)
+
+
+class FusionPlanner:
+    """Worklist discovery of every reachable fused sequence.
+
+    Mirrors the old ``FusionEngine.fuse_sequence`` recursion: a sequence
+    is registered under its key *before* its groups are planned, so
+    self-referential sequences terminate as recursive references, and
+    memoization on the key keeps the label space finite under the
+    cutoffs (paper §4).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        limits: FusionLimits,
+        ctx: AnalysisContext,
+    ):
+        self.program = program
+        self.limits = limits
+        self.ctx = ctx
+        self.graphs: dict[SequenceKey, DependenceGraph] = {}
+        self.plans: dict[SequenceKey, UnitPlan] = {}
+
+    # -- dependence graphs (shared with the dependence pass) ------------
+
+    def graph_for(
+        self, members: tuple[TraversalMethod, ...]
+    ) -> DependenceGraph:
+        key = tuple(m.qualified_name for m in members)
+        if key not in self.graphs:
+            self.graphs[key] = build_dependence_graph(self.ctx, list(members))
+        return self.graphs[key]
+
+    def entry_chunks(self):
+        """The entry sequence chunked to ``max_sequence``, each chunk
+        with its per-concrete-root-subtype member resolution: a list of
+        ``(chunk, [(type_name, members), ...])``. Both the dependence
+        pass (graph prewarming) and the fusion pass (entry planning)
+        iterate this single resolution."""
+        program = self.program
+        if program.root_type_name is None or not program.entry:
+            raise FusionError("program has no entry sequence to fuse")
+        chunks = []
+        calls = program.entry
+        chunk_size = self.limits.max_sequence
+        for start in range(0, len(calls), chunk_size):
+            chunk = calls[start : start + chunk_size]
+            resolved = [
+                (
+                    type_name,
+                    tuple(
+                        program.resolve_method(type_name, c.method_name)
+                        for c in chunk
+                    ),
+                )
+                for type_name in program.concrete_subtypes(
+                    program.root_type_name
+                )
+            ]
+            chunks.append((chunk, resolved))
+        return chunks
+
+    def entry_sequences(self) -> list[tuple[TraversalMethod, ...]]:
+        """The concrete member sequences the entry dispatches to: one per
+        (entry chunk, concrete root subtype) pair."""
+        return [
+            members
+            for _, resolved in self.entry_chunks()
+            for _, members in resolved
+        ]
+
+    # -- planning -------------------------------------------------------
+
+    def plan_entry(self) -> list[EntryPlan]:
+        entry_plans: list[EntryPlan] = []
+        for chunk, resolved in self.entry_chunks():
+            entry = EntryPlan(
+                method_names=[c.method_name for c in chunk],
+                args_per_member=[c.args for c in chunk],
+            )
+            for type_name, members in resolved:
+                entry.dispatch_keys[type_name] = self.plan_sequence(members)
+            entry_plans.append(entry)
+        return entry_plans
+
+    def plan_sequence(
+        self, members: tuple[TraversalMethod, ...]
+    ) -> SequenceKey:
+        key = tuple(m.qualified_name for m in members)
+        if key in self.plans:
+            return key
+        plan = UnitPlan(
+            key=key,
+            label=_label_for(key),
+            members=list(members),
+            this_type=self.program.common_supertype(
+                m.owner for m in members
+            ),
+        )
+        # register before planning groups: a group reaching the same
+        # sequence becomes a recursive reference to this very unit
+        self.plans[key] = plan
+        graph = self.graph_for(members)
+        plan.graph = graph
+        plan.groups, plan.assignment = greedy_group(graph, self.limits)
+        vertex_by_index = {v.index: v for v in graph.vertices}
+        for group in plan.groups:
+            vertices = [
+                vertex_by_index[i] for i in sorted(group.vertex_indices)
+            ]
+            group_plan = self._plan_group(plan, vertices)
+            plan.group_plans[group_plan.leader] = group_plan
+        return key
+
+    def _plan_group(
+        self, plan: UnitPlan, vertices: list[Vertex]
+    ) -> GroupPlan:
+        """Merge a group's member slots and discover its child sequences.
+
+        Conditional call blocks (TreeFuser mode) of the same member that
+        invoke the same method with the same arguments under *mutually
+        exclusive* tag guards collapse into one member slot with the
+        guards OR-ed — the real TreeFuser's "one function per traversal"
+        structure, which keeps the fused sequence from amplifying across
+        type variants. Non-exclusive guards fall back to separate slots,
+        which is always sound (each slot still fires per its own guard).
+        """
+        slots: dict[tuple, MemberCall] = {}
+        receiver = None
+        for vertex in vertices:
+            if vertex.call is not None:
+                call_stmt = vertex.call
+                guard = None
+            else:
+                conditional = conditional_call(vertex)
+                assert conditional is not None
+                guard, call_stmt = conditional
+            receiver = call_stmt.receiver
+            member_call = MemberCall(
+                member=vertex.member,
+                method_name=call_stmt.method_name,
+                args=call_stmt.args,
+                guard=guard,
+            )
+            if guard is None:
+                slots[("plain", vertex.index)] = member_call
+                continue
+            key = (
+                "cond",
+                vertex.member,
+                call_stmt.method_name,
+                tuple(str(a) for a in call_stmt.args),
+            )
+            existing = slots.get(key)
+            if existing is None:
+                slots[key] = member_call
+            elif _guards_exclusive(existing.guard, guard):
+                existing.guard = BinOp(
+                    op="||", lhs=existing.guard, rhs=guard
+                )
+            else:
+                slots[key + (len(slots),)] = member_call
+        calls = list(slots.values())
+        assert receiver is not None
+        if receiver.is_this:
+            static_type = plan.this_type
+        else:
+            static_type = receiver.child.type_name
+        group_plan = GroupPlan(
+            leader=vertices[0].index,
+            vertex_indices=[v.index for v in vertices],
+            receiver=receiver,
+            calls=calls,
+        )
+        for type_name in self.program.concrete_subtypes(static_type):
+            target = tuple(
+                self.program.resolve_method(type_name, call.method_name)
+                for call in calls
+            )
+            group_plan.dispatch_keys[type_name] = self.plan_sequence(target)
+        return group_plan
+
+
+def synthesize_fused(
+    program: Program,
+    planner: FusionPlanner,
+    entry_plans: list[EntryPlan],
+    units: dict[SequenceKey, FusedUnit] | None = None,
+) -> FusedProgram:
+    """Schedule every planned unit and assemble the FusedProgram: each
+    body is a topological order of the contracted dependence graph, with
+    group leaders replaced by their fused calls (paper §3.4).
+
+    Passing a *units* dict makes synthesis incremental: keys already
+    present keep their (already-synthesized) FusedUnit objects, new
+    plans get fresh units wired into the same dict — the FusionEngine
+    shim uses this to preserve the old engine's identity-stable
+    memoization across repeated ``fuse_sequence`` calls.
+    """
+    if units is None:
+        units = {}
+    fresh_keys = [key for key in planner.plans if key not in units]
+    for key in fresh_keys:
+        plan = planner.plans[key]
+        units[key] = FusedUnit(
+            label=plan.label,
+            key=key,
+            members=plan.members,
+            this_type=plan.this_type,
+        )
+    for key in fresh_keys:
+        plan = planner.plans[key]
+        order = schedule(plan.graph, plan.groups, plan.assignment)
+        vertex_by_index = {v.index: v for v in plan.graph.vertices}
+        body = []
+        for unit_indices in order:
+            leader = unit_indices[0]
+            group_plan = plan.group_plans.get(leader)
+            if group_plan is None:
+                vertex = vertex_by_index[leader]
+                body.append(GuardedStmt(vertex.member, vertex.stmt))
+            else:
+                group = GroupCall(
+                    receiver=group_plan.receiver, calls=group_plan.calls
+                )
+                for type_name, child_key in group_plan.dispatch_keys.items():
+                    group.dispatch[type_name] = units[child_key]
+                body.append(group)
+        units[key].body = body
+    entry_groups: list[EntryGroup] = []
+    for entry in entry_plans:
+        group = EntryGroup(
+            method_names=entry.method_names,
+            args_per_member=entry.args_per_member,
+        )
+        for type_name, child_key in entry.dispatch_keys.items():
+            group.dispatch[type_name] = units[child_key]
+        entry_groups.append(group)
+    return FusedProgram(
+        program=program,
+        root_type=program.root_type_name,
+        entry_groups=entry_groups,
+        units=units,
+    )
+
+
+def plan_and_synthesize(
+    program: Program,
+    limits: FusionLimits | None = None,
+    ctx: AnalysisContext | None = None,
+) -> FusedProgram:
+    """Uncached one-call fusion (what the FusionEngine shim runs)."""
+    program.finalize()
+    limits = limits if limits is not None else FusionLimits()
+    ctx = ctx if ctx is not None else AnalysisContext(program)
+    planner = FusionPlanner(program, limits, ctx)
+    entry_plans = planner.plan_entry()
+    return synthesize_fused(program, planner, entry_plans)
+
+
+# ===========================================================================
+# guard exclusivity (TreeFuser tag dispatch)
+# ===========================================================================
+
+
+def _guards_exclusive(a, b) -> bool:
+    """Provably mutually exclusive guards: both are disjunctions of
+    equality tests of the *same* data path against constants, with
+    disjoint constant sets — the exact shape the TreeFuser lowering
+    produces for tag dispatch."""
+    atoms_a = _tag_test_atoms(a)
+    atoms_b = _tag_test_atoms(b)
+    if atoms_a is None or atoms_b is None:
+        return False
+    path_a, consts_a = atoms_a
+    path_b, consts_b = atoms_b
+    return path_a == path_b and not (consts_a & consts_b)
+
+
+def _tag_test_atoms(expr):
+    """Decompose ``p == k1 || p == k2 || ...`` into (path text, {k...})."""
+    from repro.ir.exprs import Const, DataAccess
+
+    if isinstance(expr, BinOp) and expr.op == "==":
+        if isinstance(expr.lhs, DataAccess) and isinstance(expr.rhs, Const):
+            return str(expr.lhs.path), {expr.rhs.value}
+        return None
+    if isinstance(expr, BinOp) and expr.op == "||":
+        left = _tag_test_atoms(expr.lhs)
+        right = _tag_test_atoms(expr.rhs)
+        if left is None or right is None or left[0] != right[0]:
+            return None
+        return left[0], left[1] | right[1]
+    return None
+
+
+def _label_for(key: SequenceKey) -> str:
+    """A readable unique label like ``_fuse__TextBox_computeWidth__...``."""
+    short = "__".join(name.replace("::", "_") for name in key)
+    if len(short) > 120:
+        import hashlib
+
+        digest = hashlib.sha1(short.encode()).hexdigest()[:10]
+        short = f"{short[:100]}__{digest}"
+    return f"_fuse__{short}"
+
+
+# ===========================================================================
+# the passes
+# ===========================================================================
+
+
+class ParsePass:
+    name = "parse"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        if pctx.program is not None:
+            return {"skipped": 1}
+        pctx.program = parse_program(
+            pctx.source_text,
+            name=pctx.name,
+            pure_impls=pctx.pure_impls,
+            mode=pctx.options.language_mode,
+            validate=False,
+        )
+        return {
+            "tree_types": len(pctx.program.tree_types),
+            "methods": sum(1 for _ in pctx.program.all_methods()),
+        }
+
+
+class ValidatePass:
+    name = "validate"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        if pctx.trusted_program:
+            pctx.program.finalize()
+            return {"skipped": 1}
+        validate_program(pctx.program, pctx.options.language_mode)
+        return {"methods": sum(1 for _ in pctx.program.all_methods())}
+
+
+class AccessAnalysisPass:
+    name = "access-analysis"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        pctx.analysis = AnalysisContext(pctx.program)
+        methods = 0
+        statements = 0
+        for method in pctx.program.all_methods():
+            methods += 1
+            statements += len(pctx.analysis.method_accesses(method))
+        return {"methods": methods, "statements": statements}
+
+
+class DependencePass:
+    name = "dependence"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        pctx.planner = FusionPlanner(
+            pctx.program, pctx.options.limits, pctx.analysis
+        )
+        for members in pctx.planner.entry_sequences():
+            pctx.planner.graph_for(members)
+        graphs = pctx.planner.graphs
+        return {
+            "graphs": len(graphs),
+            "vertices": sum(len(g.vertices) for g in graphs.values()),
+            "edges": sum(
+                len(dsts)
+                for g in graphs.values()
+                for dsts in g.succ.values()
+            ),
+        }
+
+
+class FusionPass:
+    name = "fusion"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        pctx.entry_plans = pctx.planner.plan_entry()
+        plans = pctx.planner.plans
+        return {
+            "units": len(plans),
+            "groups": sum(len(p.groups) for p in plans.values()),
+            "graphs": len(pctx.planner.graphs),
+        }
+
+
+class SchedulePass:
+    name = "schedule"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        pctx.fused = synthesize_fused(
+            pctx.program, pctx.planner, pctx.entry_plans
+        )
+        stats = pctx.fused.stats()
+        return {
+            "units": stats["units"],
+            "max_width": stats["max_width"],
+            "group_calls": stats["group_calls"],
+            "body_items": sum(
+                len(u.body) for u in pctx.fused.units.values()
+            ),
+        }
+
+
+class EmitPass:
+    name = "emit"
+
+    def run(self, pctx: PassContext) -> dict[str, int]:
+        if not pctx.options.emit:
+            return {"skipped": 1}
+        # lazy import: codegen's package __init__ imports the pipeline
+        # for its cached wrappers, so importing it at module scope here
+        # would be circular
+        from repro.codegen.python_backend import CompiledFused, CompiledProgram
+        from repro.fusion.fused_ir import print_fused_program
+        from repro.pipeline.options import hash_program
+
+        cache = pctx.cache
+        # artifacts are keyed on the *program* hash (not the source-text
+        # hash) so text-sourced pipeline compiles and the Program-keyed
+        # codegen helpers share one exec'd module per content
+        program_hash = hash_program(pctx.program)
+        unfused_key = ("unfused-module", program_hash)
+        compiled = cache.artifact(unfused_key) if cache else None
+        if compiled is None:
+            compiled = CompiledProgram(pctx.program)
+            if cache is not None:
+                cache.store_artifact(unfused_key, compiled)
+        pctx.compiled_unfused = compiled
+        pctx.unfused_source = compiled.source
+
+        fused_key = (
+            "fused-module",
+            program_hash,
+            hash_text(print_fused_program(pctx.fused)),
+        )
+        compiled_fused = cache.artifact(fused_key) if cache else None
+        if compiled_fused is None:
+            compiled_fused = CompiledFused(pctx.fused)
+            if cache is not None:
+                cache.store_artifact(fused_key, compiled_fused)
+        pctx.compiled_fused = compiled_fused
+        pctx.fused_source = compiled_fused.source
+        return {
+            "unfused_lines": len(pctx.unfused_source.splitlines()),
+            "fused_lines": len(pctx.fused_source.splitlines()),
+        }
+
+
+def default_passes() -> list:
+    """The staged flow, in order. Pass classes are stateless; a fresh
+    list keeps managers independently instrumentable."""
+    return [
+        ParsePass(),
+        ValidatePass(),
+        AccessAnalysisPass(),
+        DependencePass(),
+        FusionPass(),
+        SchedulePass(),
+        EmitPass(),
+    ]

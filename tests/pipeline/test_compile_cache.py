@@ -1,0 +1,193 @@
+"""Content-addressed compile cache: hit/miss behavior and sharing."""
+
+from repro.codegen import compile_fused, compile_program
+from repro.frontend import parse_program
+from repro.pipeline import (
+    CompileCache,
+    CompileOptions,
+    compile as pipeline_compile,
+    hash_program,
+    hash_source,
+)
+from repro.fusion.grouping import FusionLimits
+
+from tests.fixtures import FIG1_SOURCE, FIG2_SOURCE
+
+
+class TestResultCache:
+    def test_same_source_same_options_hits(self):
+        cache = CompileCache()
+        cold = pipeline_compile(FIG2_SOURCE, cache=cache)
+        warm = pipeline_compile(FIG2_SOURCE, cache=cache)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        # the memoized artifacts are shared, not re-synthesized
+        assert warm.fused is cold.fused
+        assert warm.compiled_fused is cold.compiled_fused
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] >= 1
+
+    def test_warm_timings_are_lookup_only_with_cold_preserved(self):
+        cache = CompileCache()
+        cold = pipeline_compile(FIG2_SOURCE, cache=cache)
+        warm = pipeline_compile(FIG2_SOURCE, cache=cache)
+        assert [t.name for t in warm.timings] == ["cache-lookup"]
+        assert warm.cold_timings is not None
+        assert [t.name for t in warm.cold_timings] == [
+            t.name for t in cold.timings
+        ]
+        # the cached record itself is untouched by the hit bookkeeping
+        assert not cold.cache_hit
+
+    def test_changed_options_miss(self):
+        cache = CompileCache()
+        pipeline_compile(FIG2_SOURCE, cache=cache)
+        for options in [
+            CompileOptions(limits=FusionLimits(max_sequence=3)),
+            CompileOptions(limits=FusionLimits(max_repeat=2)),
+            CompileOptions(mode="treefuser"),
+        ]:
+            result = pipeline_compile(FIG2_SOURCE, cache=cache, options=options)
+            assert not result.cache_hit, options
+
+    def test_changed_source_miss(self):
+        cache = CompileCache()
+        pipeline_compile(FIG2_SOURCE, cache=cache)
+        result = pipeline_compile(FIG1_SOURCE, cache=cache)
+        assert not result.cache_hit
+
+    def test_emit_false_served_from_emit_true_entry(self):
+        cache = CompileCache()
+        emitted = pipeline_compile(FIG2_SOURCE, cache=cache)
+        fused_only = pipeline_compile(
+            FIG2_SOURCE, cache=cache, options=CompileOptions(emit=False)
+        )
+        assert fused_only.cache_hit
+        assert fused_only.fused is emitted.fused
+        # the reverse direction must stay a miss: an emit=False entry
+        # lacks the compiled modules an emit=True caller needs
+        cache2 = CompileCache()
+        pipeline_compile(
+            FIG2_SOURCE, cache=cache2, options=CompileOptions(emit=False)
+        )
+        full = pipeline_compile(FIG2_SOURCE, cache=cache2)
+        assert not full.cache_hit
+        assert full.compiled_fused is not None
+
+    def test_use_cache_false_bypasses(self):
+        cache = CompileCache()
+        pipeline_compile(FIG2_SOURCE, cache=cache)
+        result = pipeline_compile(
+            FIG2_SOURCE, cache=cache, options=CompileOptions(use_cache=False)
+        )
+        assert not result.cache_hit
+
+    def test_clear_forgets_everything(self):
+        cache = CompileCache()
+        pipeline_compile(FIG2_SOURCE, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert not pipeline_compile(FIG2_SOURCE, cache=cache).cache_hit
+
+    def test_lru_evicts_oldest(self):
+        cache = CompileCache(max_entries=1)
+        pipeline_compile(FIG2_SOURCE, cache=cache)
+        pipeline_compile(FIG1_SOURCE, cache=cache)  # evicts fig2
+        assert not pipeline_compile(FIG2_SOURCE, cache=cache).cache_hit
+
+
+class TestContentAddressing:
+    def test_program_hash_is_structural_not_identity(self):
+        a = parse_program(FIG2_SOURCE, name="a")
+        b = parse_program(FIG2_SOURCE, name="b")
+        assert a is not b
+        assert hash_program(a) == hash_program(b)
+
+    def test_equivalent_program_objects_share_cache_entry(self):
+        cache = CompileCache()
+        cold = pipeline_compile(parse_program(FIG2_SOURCE), cache=cache)
+        warm = pipeline_compile(parse_program(FIG2_SOURCE), cache=cache)
+        assert warm.cache_hit
+        assert warm.fused is cold.fused
+
+    def test_source_hash_sensitive_to_text_and_impl_names(self):
+        assert hash_source(FIG2_SOURCE) == hash_source(FIG2_SOURCE)
+        assert hash_source(FIG2_SOURCE) != hash_source(FIG2_SOURCE + " ")
+        assert hash_source(FIG2_SOURCE) != hash_source(
+            FIG2_SOURCE, pure_impls={"f": len}
+        )
+
+    def test_different_pure_impls_do_not_share_cache_entry(self):
+        # the callables are baked into the compiled program, so two
+        # compiles of the same text with different impl objects must not
+        # alias — a hit here would silently run the first caller's impls
+        source = """
+        _pure_ int f(int x);
+        _tree_ class N {
+            _child_ N* kid;
+            int v = 0;
+            _traversal_ virtual void go() { this->v = f(this->v); }
+        };
+        _tree_ class L : public N { };
+        int main() { N* root = ...; root->go(); }
+        """
+        cache = CompileCache()
+        plus_one = pipeline_compile(
+            source, cache=cache, pure_impls={"f": lambda x: x + 1}
+        )
+        plus_hundred = pipeline_compile(
+            source, cache=cache, pure_impls={"f": lambda x: x + 100}
+        )
+        assert not plus_hundred.cache_hit
+        assert plus_one.program.pure_functions["f"].impl(1) == 2
+        assert plus_hundred.program.pure_functions["f"].impl(1) == 101
+        # the *same* impl objects do share
+        impls = {"f": lambda x: x * 2}
+        first = pipeline_compile(source, cache=cache, pure_impls=impls)
+        second = pipeline_compile(source, cache=cache, pure_impls=impls)
+        assert second.cache_hit
+        assert second.fused is first.fused
+
+
+class TestCodegenArtifactSharing:
+    def test_compile_program_memoizes_by_content(self):
+        program = parse_program(FIG2_SOURCE, name="fig2")
+        first = compile_program(program)
+        second = compile_program(program)
+        assert first is second
+        assert "def run_entry(" in first.source
+
+    def test_compile_fused_memoizes_by_content(self):
+        from repro.fusion import fuse_program
+
+        program = parse_program(FIG2_SOURCE, name="fig2")
+        fused = fuse_program(program)
+        first = compile_fused(fused)
+        second = compile_fused(fused)
+        assert first is second
+        assert "def run_fused(" in first.source
+
+    def test_text_and_program_entry_points_share_modules(self):
+        # a text-sourced pipeline compile and the Program-keyed codegen
+        # helpers must land on the same exec'd module artifacts
+        from repro.pipeline import GLOBAL_CACHE
+        from repro.fusion import fuse_program
+
+        result = pipeline_compile(FIG2_SOURCE, name="fig2")
+        program = parse_program(FIG2_SOURCE, name="fig2")
+        assert compile_program(program) is result.compiled_unfused
+        assert compile_fused(fuse_program(program)) is result.compiled_fused
+        assert GLOBAL_CACHE.stats()["artifacts"] >= 2
+
+    def test_entryless_program_compiles_without_fusion(self):
+        source = """
+        _tree_ class N {
+            _child_ N* kid;
+            int v = 0;
+            _traversal_ virtual void go() { this->v = 1; }
+        };
+        """
+        program = parse_program(source, name="entryless")
+        compiled = compile_program(program)
+        assert compiled is compile_program(program)
+        assert "def run_entry(" in compiled.source

@@ -85,3 +85,73 @@ class TestCli:
         assert main(["--mode", "treefuser", "fuse", conditional_file]) == 0
         out = capsys.readouterr().out
         assert "_fuse__" in out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestCompileCommand:
+    def test_compile_summary(self, fig2_file, capsys):
+        assert main(["compile", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out
+        assert "fused units:" in out
+        assert "generated python:" in out
+
+    def test_compile_timings_format(self, fig2_file, capsys):
+        assert main(["compile", fig2_file, "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline timings for" in out
+        # every stage appears as a row with a wall-time in ms
+        for stage in [
+            "parse", "validate", "access-analysis",
+            "dependence", "fusion", "schedule", "emit",
+        ]:
+            assert stage in out
+        assert "ms" in out
+        assert "total" in out
+
+    def test_compile_second_run_hits_cache(self, fig2_file, capsys):
+        assert main(["compile", fig2_file]) == 0
+        first = capsys.readouterr().out
+        assert main(["compile", fig2_file, "--timings"]) == 0
+        second = capsys.readouterr().out
+        # same process => global compile cache serves the second run
+        assert "cache hit" in second
+        assert "cache-lookup" in second
+        assert "cold compile (cached):" in second
+        assert "fused units:" in first and "fused units:" in second
+
+    def test_compile_no_emit(self, fig2_file, capsys):
+        assert main(["compile", fig2_file, "--no-emit"]) == 0
+        out = capsys.readouterr().out
+        assert "generated python:" not in out
+
+    def test_compile_emit_python_writes_module(self, fig2_file, capsys, tmp_path):
+        target = tmp_path / "fused_module.py"
+        assert main(["compile", fig2_file, "--emit-python", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert f"written to {target}" in out
+        text = target.read_text()
+        assert "def run_fused(" in text
+
+    def test_compile_emit_python_conflicts_with_no_emit(self, fig2_file, capsys, tmp_path):
+        target = tmp_path / "never.py"
+        assert main([
+            "compile", fig2_file, "--no-emit", "--emit-python", str(target),
+        ]) == 1
+        assert "requires emission" in capsys.readouterr().err
+        assert not target.exists()
+
+    def test_compile_treefuser_mode(self, conditional_file, capsys):
+        assert main(["--mode", "treefuser", "compile", conditional_file]) == 0
+        assert "compiled" in capsys.readouterr().out
+
+    def test_compile_missing_file_errors(self, capsys):
+        assert main(["compile", "/nonexistent.grafter"]) == 1
+        assert "error:" in capsys.readouterr().err
