@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro serve``.
+
+Starts the HTTP traversal service as a subprocess (ephemeral port),
+submits a render batch, polls the stats endpoint until the batch
+completes, then shuts the server down over HTTP. Exits non-zero on any
+failure. CI runs this with a cached ``--cache-dir`` so consecutive runs
+exercise the warm-store path; run it locally with::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [cache_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+TREES = 8
+PAGES = 2
+TIMEOUT_SECONDS = 120
+
+
+def call(base: str, path: str, payload=None):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json"},
+        method="POST" if payload is not None else "GET",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def main(argv: list[str]) -> int:
+    cache_dir = argv[1] if len(argv) > 1 else None
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--workers", "2",
+    ]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    server = subprocess.Popen(
+        command, stdout=subprocess.PIPE, text=True
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if not match:
+            print(f"FAIL: unexpected banner {line!r}", file=sys.stderr)
+            return 1
+        base = f"http://127.0.0.1:{match.group(1)}"
+        print(f"serve_smoke: {base} (cache_dir={cache_dir})")
+
+        assert call(base, "/healthz")["ok"]
+        submitted = call(
+            base, "/submit",
+            {"workload": "render", "trees": TREES, "pages": PAGES},
+        )
+        request_id = submitted["request_id"]
+        print(f"serve_smoke: submitted request {request_id}")
+
+        deadline = time.monotonic() + TIMEOUT_SECONDS
+        state = {"state": "pending"}
+        while time.monotonic() < deadline and state["state"] == "pending":
+            state = call(base, f"/result/{request_id}")
+            time.sleep(0.1)
+        if state.get("state") != "done" or state.get("trees") != TREES:
+            print(f"FAIL: result state {state}", file=sys.stderr)
+            return 1
+
+        stats = call(base, "/stats")
+        executor = stats["executor"]
+        if executor["completed_requests"] < 1:
+            print(f"FAIL: no completions in {executor}", file=sys.stderr)
+            return 1
+        if executor["completed_trees"] < TREES:
+            print(f"FAIL: tree count {executor}", file=sys.stderr)
+            return 1
+        print(
+            "serve_smoke: completed "
+            f"{executor['completed_trees']} trees, p99 "
+            f"{executor['tree_latency']['p99'] * 1e3:.2f} ms"
+        )
+        if cache_dir:
+            store = stats.get("store", {})
+            print(
+                f"serve_smoke: store entries={store.get('entries')} "
+                f"loads={store.get('loads')} spills={store.get('spills')}"
+            )
+            if store.get("entries", 0) < 1:
+                print("FAIL: store is empty", file=sys.stderr)
+                return 1
+
+        call(base, "/shutdown", {})
+        server.wait(timeout=30)
+        if server.returncode != 0:
+            print(f"FAIL: server exit {server.returncode}", file=sys.stderr)
+            return 1
+        print("serve_smoke: OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,24 +3,29 @@
 Compilation goes through ``repro.pipeline.compile()``: fusing the same
 program for one experiment after another is a content-addressed cache
 hit, not a re-synthesis (the old ad-hoc ``id()``-keyed dictionaries this
-module carried are gone). TreeFuser lowering is not a pipeline stage, so
-lowered programs keep a small per-object cache here.
+module carried are gone). TreeFuser lowering is not a pipeline stage,
+but its products live in the shared compile cache's artifact layer under
+content keys — the last private per-object cache this module carried is
+gone too.
+
+Forest experiments (many trees, one artifact) route through the
+traversal service's :class:`~repro.service.executor.BatchExecutor` via
+:func:`run_forest`, so benchmarks exercise the same grouping/sharding
+path production traffic takes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
 
 from repro.bench.metrics import Measurement, measure_run
 from repro.fusion import FusionLimits
 from repro.fusion.fused_ir import FusedProgram
 from repro.ir.program import Program
-from repro.pipeline import CompileOptions
+from repro.pipeline import GLOBAL_CACHE, CompileOptions, hash_program
 from repro.pipeline import compile as pipeline_compile
 from repro.treefuser import LoweredProgram, lower_program, lower_tree
-
-_LOWERED_CACHE: dict[int, LoweredProgram] = {}
 
 
 def fused_for(program: Program, limits: Optional[FusionLimits] = None) -> FusedProgram:
@@ -34,10 +39,16 @@ def fused_for(program: Program, limits: Optional[FusionLimits] = None) -> FusedP
 
 
 def lowered_for(program: Program) -> LoweredProgram:
-    key = id(program)
-    if key not in _LOWERED_CACHE:
-        _LOWERED_CACHE[key] = lower_program(program)
-    return _LOWERED_CACHE[key]
+    """TreeFuser lowering, memoized in the shared compile cache's
+    artifact layer under the program's *content* hash — two structurally
+    identical programs share one lowering, and the entry ages out with
+    the cache's LRU budget instead of leaking per object."""
+    key = ("treefuser-lowered", hash_program(program))
+    lowered = GLOBAL_CACHE.artifact(key)
+    if lowered is None:
+        lowered = lower_program(program)
+        GLOBAL_CACHE.store_artifact(key, lowered)
+    return lowered
 
 
 def lowered_fused_for(program: Program) -> FusedProgram:
@@ -74,6 +85,91 @@ def compare_fused_unfused(
         cache_scale=cache_scale,
     )
     return CompareResult(label=label, unfused=unfused, fused=fused)
+
+
+@dataclass
+class ForestRun:
+    """One forest execution through the service executor."""
+
+    label: str
+    trees: int
+    wall_seconds: float
+    summaries: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+
+def run_forest(
+    label: str,
+    source: Union[str, Program],
+    trees: Sequence,
+    build_tree: Callable,
+    *,
+    globals_map: Optional[dict] = None,
+    pure_impls: Optional[dict] = None,
+    options: Optional[CompileOptions] = None,
+    fused: bool = True,
+    workers: int = 2,
+    backend: str = "thread",
+    cache_dir: Optional[str] = None,
+    sequential: bool = False,
+    executor=None,
+) -> ForestRun:
+    """Execute a forest through the batch executor.
+
+    ``sequential=True`` is the single-tree baseline: every tree becomes
+    its own request executed in its own wave (each paying the full
+    per-request service overhead), exactly what a client that never
+    batches would experience. The default submits the whole forest as
+    one request — grouped, compiled once, and sharded across workers.
+
+    Pass an ``executor`` to reuse one across runs (how the throughput
+    benchmark holds the service constant while varying only the
+    submission pattern); otherwise a fresh one is created and closed.
+    """
+    import time
+
+    from repro.service.batching import ExecRequest
+    from repro.service.executor import BatchExecutor
+
+    def request(specs):
+        return ExecRequest(
+            source=source,
+            trees=list(specs),
+            build_tree=build_tree,
+            globals_map=globals_map,
+            pure_impls=pure_impls,
+            options=options if options is not None else CompileOptions(),
+            fused=fused,
+        )
+
+    owned = executor is None
+    if owned:
+        executor = BatchExecutor(
+            workers=workers, backend=backend, cache_dir=cache_dir
+        )
+    try:
+        start = time.perf_counter()
+        if sequential:
+            results = [
+                executor.run([request([spec])])[0] for spec in trees
+            ]
+        else:
+            results = executor.run([request(trees)])
+        wall = time.perf_counter() - start
+        failed = [r for r in results if not r.ok]
+        if failed:
+            raise RuntimeError(failed[0].error)
+        summaries = [t.summary for r in results for t in r.trees]
+        return ForestRun(
+            label=label,
+            trees=len(summaries),
+            wall_seconds=wall,
+            summaries=summaries,
+            stats=executor.stats(),
+        )
+    finally:
+        if owned:
+            executor.close()
 
 
 def compare_treefuser(

@@ -1,4 +1,5 @@
-"""Command-line interface: static operations on Grafter source files.
+"""Command-line interface: static operations on Grafter source files,
+plus the traversal service.
 
 Usage (also via ``python -m repro``)::
 
@@ -9,11 +10,16 @@ Usage (also via ``python -m repro``)::
     python -m repro dot     traversals.grafter   # dependence graph (dot)
     python -m repro compile traversals.grafter --timings
                                                 # full staged pipeline
+    python -m repro exec  --workload render --trees 64 --workers 2
+                                                # one-shot batch execution
+    python -m repro serve --port 8177 --cache-dir ./artifacts
+                                                # HTTP traversal service
 
 All compilation goes through ``repro.pipeline.compile()`` — repeated
 invocations of one process (and every library caller in between) share
-the content-addressed compile cache. ``compile --timings`` prints the
-per-pass wall-time and IR-size report.
+the content-addressed compile cache; ``--cache-dir`` extends that to an
+on-disk artifact store shared *across* processes. ``compile --timings``
+prints the per-pass wall-time and IR-size report.
 
 Pure functions referenced by the source are accepted without
 implementations; the static pipeline (parsing, analysis, fusion) never
@@ -52,7 +58,11 @@ def _load(path: str, mode: str):
 
 def _compile(args, emit: bool):
     """Run the staged pipeline on the file named by *args*."""
-    options = CompileOptions(mode=args.mode, emit=emit)
+    options = CompileOptions(
+        mode=args.mode,
+        emit=emit,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
     return pipeline_compile(
         _read(args.file), options=options, name=args.file
     )
@@ -157,6 +167,76 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_exec(args) -> int:
+    """One-shot batched execution of a named workload."""
+    from repro.service.api import WORKLOADS, TraversalService
+
+    if args.workload not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; "
+            f"have {', '.join(sorted(WORKLOADS))}"
+        )
+    with TraversalService(
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+    ) as service:
+        spec = WORKLOADS[args.workload]
+        kwargs = {"trees": args.trees, "pages": args.pages}
+        if args.sequential:
+            # one request per tree, executed one wave at a time — the
+            # single-tree baseline the batched mode is measured against
+            results = [
+                service.executor.run([spec.make_request(trees=1,
+                                                        pages=args.pages)])[0]
+                for _ in range(args.trees)
+            ]
+        else:
+            results = service.executor.run([spec.make_request(**kwargs)])
+        failed = [r for r in results if not r.ok]
+        if failed:
+            raise ReproError(failed[0].error or "execution failed")
+        stats = service.executor.stats()
+        trees = sum(len(r.trees) for r in results)
+        mode = "sequential" if args.sequential else "batched"
+        print(f"{args.workload}: {trees} trees executed ({mode}, "
+              f"{args.workers} workers, {args.backend} backend)")
+        latency = stats["tree_latency"]
+        print(f"  tree latency: p50 {latency['p50'] * 1e3:.3f} ms, "
+              f"p99 {latency['p99'] * 1e3:.3f} ms")
+        print(f"  batches: {stats['batches']}, "
+              f"completed requests: {stats['completed_requests']}")
+        if args.cache_dir:
+            store = service.stats()["store"]
+            print(f"  store: {store['entries']} entries, "
+                  f"{store['loads']} loads, {store['spills']} spills")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the HTTP traversal service until /shutdown or Ctrl-C."""
+    from repro.service.api import TraversalService, make_server
+
+    service = TraversalService(
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # the smoke test parses this line to find the ephemeral port
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    print("repro service stopped")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,7 +284,66 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the generated fused python module to PATH",
     )
+    compile_cmd.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist compiled artifacts to DIR (and reuse artifacts "
+             "other processes left there)",
+    )
     compile_cmd.set_defaults(handler=cmd_compile)
+
+    def add_service_args(command, workers_default: int):
+        command.add_argument(
+            "--workers", type=int, default=workers_default,
+            help=f"worker pool size (default {workers_default})",
+        )
+        command.add_argument(
+            "--backend", choices=["thread", "process", "inline"],
+            default="thread",
+            help="worker pool backend (default thread)",
+        )
+        command.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="persistent artifact store directory",
+        )
+
+    exec_cmd = sub.add_parser(
+        "exec",
+        help="execute a named workload forest through the batch executor",
+    )
+    exec_cmd.add_argument(
+        "--workload", default="render",
+        help="registered workload name (default render)",
+    )
+    exec_cmd.add_argument(
+        "--trees", type=int, default=8,
+        help="forest size (default 8)",
+    )
+    exec_cmd.add_argument(
+        "--pages", type=int, default=4,
+        help="tree size knob passed to the workload (default 4)",
+    )
+    exec_cmd.add_argument(
+        "--sequential", action="store_true",
+        help="submit one tree at a time instead of one batched forest",
+    )
+    add_service_args(exec_cmd, workers_default=2)
+    exec_cmd.set_defaults(handler=cmd_exec)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the HTTP traversal service (submit/result/stats)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8177,
+        help="port to listen on; 0 picks a free port (default 8177)",
+    )
+    add_service_args(serve_cmd, workers_default=2)
+    serve_cmd.set_defaults(handler=cmd_serve)
     return parser
 
 

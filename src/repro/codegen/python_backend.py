@@ -30,6 +30,7 @@ when the paper's semantics actually need it.
 from __future__ import annotations
 
 import keyword
+from typing import Optional
 
 from repro.errors import ReproError
 from repro.fusion.fused_ir import (
@@ -563,13 +564,48 @@ def _emit_group_call(
 # ===========================================================================
 
 
-class CompiledProgram:
+class _CompiledModule:
+    """Shared exec machinery for the two compiled-module classes.
+
+    The exec'd namespace is excluded from pickling (functions defined by
+    ``exec`` cannot be pickled) and rebuilt lazily on first use after an
+    unpickle — a disk-restored artifact pays the module exec only when
+    it is actually run, which keeps warm-store compiles to the cost of a
+    file read plus an unpickle.
+    """
+
+    source: str
+    _namespace: Optional[dict]
+
+    @property
+    def namespace(self) -> dict:
+        if self._namespace is None:
+            namespace: dict = {}
+            exec(compile(self.source, self._module_name(), "exec"), namespace)
+            self._namespace = namespace
+        return self._namespace
+
+    def _module_name(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_namespace"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class CompiledProgram(_CompiledModule):
     def __init__(self, program: Program):
         self.program = program
         self.source = emit_module(program)
-        self.namespace: dict = {}
-        exec(compile(self.source, f"<repro:{program.name}>", "exec"),
-             self.namespace)
+        self._namespace = None
+        self.namespace  # eager exec: surface bad codegen at compile time
+
+    def _module_name(self) -> str:
+        return f"<repro:{self.program.name}>"
 
     def run_entry(self, heap: Heap, root: Node, globals_map=None) -> RuntimeContext:
         context = RuntimeContext(self.program, heap, globals_map)
@@ -577,16 +613,20 @@ class CompiledProgram:
         return context
 
 
-class CompiledFused:
+class CompiledFused(_CompiledModule):
     def __init__(self, fused: FusedProgram):
         self.fused = fused
         self.program = fused.program
         # fused modules may fall back to unfused dispatch for leftover
         # conditional calls, so include the plain tables too
-        self.source = emit_module(self.program) + "\n" + emit_fused_module(fused)
-        self.namespace: dict = {}
-        exec(compile(self.source, f"<repro:{self.program.name}:fused>", "exec"),
-             self.namespace)
+        self.source = (
+            emit_module(self.program) + "\n" + emit_fused_module(fused)
+        )
+        self._namespace = None
+        self.namespace  # eager exec: surface bad codegen at compile time
+
+    def _module_name(self) -> str:
+        return f"<repro:{self.program.name}:fused>"
 
     def run_fused(self, heap: Heap, root: Node, globals_map=None) -> RuntimeContext:
         context = RuntimeContext(self.program, heap, globals_map)

@@ -17,17 +17,28 @@ Stages (each wall-timed, each reporting IR-size stats)::
 
 Results are memoized in a content-addressed :class:`CompileCache` keyed
 on ``(source hash, options hash)``; warm compiles are dictionary
-lookups. See :mod:`repro.pipeline.stages` for the pass implementations
-(the former monolithic fusion engine, decomposed).
+lookups. With ``CompileOptions(cache_dir=...)`` results also persist to
+an on-disk :class:`~repro.service.store.ArtifactStore`, so cold starts
+in *new processes* skip the pipeline entirely. See
+:mod:`repro.pipeline.stages` for the pass implementations (the former
+monolithic fusion engine, decomposed).
 """
 
 from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
 from repro.pipeline.driver import compile, hash_program, hash_source
 from repro.pipeline.manager import Pass, PassContext, PassManager
-from repro.pipeline.options import CompileOptions, CompileResult, PassTiming
+from repro.pipeline.options import (
+    CompileOptions,
+    CompileResult,
+    PassTiming,
+    impl_ref,
+    impls_portable,
+)
 from repro.pipeline.stages import default_passes
 
 __all__ = [
+    "impl_ref",
+    "impls_portable",
     "compile",
     "CompileOptions",
     "CompileResult",

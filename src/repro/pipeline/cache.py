@@ -13,12 +13,19 @@ Two layers share one LRU budget:
   different entry points.
 
 Keys are pure content hashes — compiling the *same text* through two
-different ``Program`` objects hits the same entry. The cache is
-process-local and unsynchronized (the reproduction is single-threaded).
+different ``Program`` objects hits the same entry.
+
+The on-disk layer lives in :class:`~repro.service.store.ArtifactStore`
+and is wired up by the driver when ``options.cache_dir`` is set: a
+memory miss falls through to the store there, and the disk hit comes
+home via :meth:`CompileCache.insert` (counted in ``disk_hits``).
+Operations take an internal lock — the batch executor's worker threads
+share one cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -30,62 +37,89 @@ class CompileCache:
 
     def __init__(self, max_entries: int = 128):
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self._results: OrderedDict[tuple[str, str], CompileResult] = (
             OrderedDict()
         )
         self._artifacts: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     # -- full compile results -------------------------------------------
 
     def lookup(self, key: tuple[str, str]) -> Optional[CompileResult]:
-        result = self._results.get(key)
-        if result is None:
+        with self._lock:
+            result = self._results.get(key)
+            if result is not None:
+                self._results.move_to_end(key)
+                self.hits += 1
+                return result
             self.misses += 1
             return None
-        self._results.move_to_end(key)
-        self.hits += 1
-        return result
+
+    def insert(
+        self,
+        key: tuple[str, str],
+        result: CompileResult,
+        from_disk: bool = False,
+    ) -> None:
+        """Adopt a result into the memory layer — how disk-loaded
+        entries come home (``from_disk`` keeps the stats honest: the
+        adoption converts this lookup's recorded miss into a disk
+        hit)."""
+        with self._lock:
+            self._results[key] = result
+            self._results.move_to_end(key)
+            while len(self._results) > self.max_entries:
+                self._results.popitem(last=False)
+            if from_disk:
+                self.disk_hits += 1
+                self.hits += 1
+                self.misses -= 1
 
     def store(self, key: tuple[str, str], result: CompileResult) -> None:
-        self._results[key] = result
-        self._results.move_to_end(key)
-        while len(self._results) > self.max_entries:
-            self._results.popitem(last=False)
+        self.insert(key, result)
 
     # -- emitted-module artifacts ---------------------------------------
 
     def artifact(self, key: Hashable) -> Optional[object]:
-        value = self._artifacts.get(key)
-        if value is not None:
-            self._artifacts.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._artifacts.get(key)
+            if value is not None:
+                self._artifacts.move_to_end(key)
+            return value
 
     def store_artifact(self, key: Hashable, value: object) -> None:
-        self._artifacts[key] = value
-        self._artifacts.move_to_end(key)
-        while len(self._artifacts) > self.max_entries:
-            self._artifacts.popitem(last=False)
+        with self._lock:
+            self._artifacts[key] = value
+            self._artifacts.move_to_end(key)
+            while len(self._artifacts) > self.max_entries:
+                self._artifacts.popitem(last=False)
 
     # -- maintenance ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def clear(self) -> None:
-        self._results.clear()
-        self._artifacts.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._results.clear()
+            self._artifacts.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._results),
-            "artifacts": len(self._artifacts),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._results),
+                "artifacts": len(self._artifacts),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+            }
 
 
 GLOBAL_CACHE = CompileCache()

@@ -43,9 +43,17 @@ def compile(
     set, ``timings`` reduced to the lookup cost, and the cold per-pass
     timings preserved under ``cold_timings``. An ``emit=False`` request
     is also served from a cached ``emit=True`` result of the same source
-    (a strict superset — the extra emitted fields just come along). Pass
-    ``cache=None`` (or ``options.use_cache=False``) to force a cold
-    compile.
+    (a strict superset — the extra emitted fields just come along). To
+    force a cold compile use ``options.use_cache=False`` (disables the
+    memory *and* disk layers); ``cache=None`` alone skips only the
+    memory layer — a configured ``options.cache_dir`` store can still
+    serve the result.
+
+    With ``options.cache_dir`` set, a memory miss falls through to the
+    on-disk :class:`~repro.service.store.ArtifactStore` rooted there
+    (disk hits are adopted into the memory cache), and cold results are
+    spilled (unless ``options.persist`` is off) so *other processes*
+    start warm.
     """
     options = options if options is not None else CompileOptions()
     start = time.perf_counter()
@@ -59,15 +67,27 @@ def compile(
         source_text = source
         source_hash = hash_source(source, pure_impls)
     key = (source_hash, options.options_hash())
+    disk_key = (source_hash, options.output_hash())
 
     use_cache = cache is not None and options.use_cache
-    if use_cache:
-        hit = cache.lookup(key)
+    disk = None
+    if options.use_cache and options.cache_dir is not None:
+        # lazy import: repro.service sits above the pipeline
+        from repro.service.store import store_for
+
+        disk = store_for(options.cache_dir)
+    if use_cache or disk is not None:
+        hit = _lookup(cache, disk, key, disk_key)
         if hit is None and not options.emit:
             # an emit=True result for the same source strictly contains
             # the emit=False one — serve it rather than re-fusing
             emitting = replace(options, emit=True)
-            hit = cache.lookup((source_hash, emitting.options_hash()))
+            hit = _lookup(
+                cache,
+                disk,
+                (source_hash, emitting.options_hash()),
+                (source_hash, emitting.output_hash()),
+            )
         if hit is not None:
             lookup = PassTiming(
                 name="cache-lookup",
@@ -107,4 +127,19 @@ def compile(
     )
     if use_cache:
         cache.store(key, result)
+    if disk is not None and options.persist:
+        disk.spill(result)
     return result
+
+
+def _lookup(cache, disk, key, disk_key):
+    """Memory layer first, then the ``options.cache_dir`` store (whose
+    key space excludes caching knobs — ``disk_key`` carries the output
+    options hash); disk hits are adopted into the memory cache for the
+    rest of the process."""
+    hit = cache.lookup(key) if cache is not None else None
+    if hit is None and disk is not None:
+        hit = disk.load(*disk_key)
+        if hit is not None and cache is not None:
+            cache.insert(key, hit, from_disk=True)
+    return hit

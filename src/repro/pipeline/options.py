@@ -10,7 +10,9 @@ cache instance) deliberately stays out of it.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import os
+import sys
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 from repro.fusion.grouping import FusionLimits
@@ -22,20 +24,54 @@ def hash_text(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def impl_ref(fn) -> str:
+    """Cache-key reference for one bound pure-function callable.
+
+    Importable module-level functions get a ``module:qualname``
+    reference — the same identity notion pickle uses, so it is stable
+    across processes and lets the on-disk artifact store serve compiles
+    of impl-bound programs to other processes. Anything else (lambdas,
+    closures, bound methods, shadowed definitions) falls back to
+    ``id()`` — which is safe for the in-memory cache because every live
+    cache entry holds a strong reference to its impls (through the
+    cached program): while an entry exists its impls' ids cannot be
+    reused, so an id match implies the same object. ``id()`` refs are
+    *not* stable across processes; :func:`impls_portable` gates disk
+    spilling on their absence.
+    """
+    module_name = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    if module_name and qualname and "<" not in qualname:
+        target = sys.modules.get(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part, None)
+            if target is None:
+                break
+        if target is fn:
+            return f"{module_name}:{qualname}"
+    return f"id:{id(fn)}"
+
+
 def _impl_signature(impls: dict) -> str:
-    """Identity signature of bound pure-function callables.
+    """Signature of bound pure-function callables (see :func:`impl_ref`).
 
     The callables are baked into the compiled program (the interpreter
     and the generated modules call them through it), so two compiles of
     identical text with *different* impl objects must not share a cache
-    entry. Python code objects can't be content-hashed reliably, so the
-    key uses ``id()`` — which is safe here precisely because every live
-    cache entry holds a strong reference to its impls (through the
-    cached program): while an entry exists its impls' ids cannot be
-    reused, so an id match implies the same object.
+    entry.
     """
     return ",".join(
-        f"{name}:{id(fn)}" for name, fn in sorted(impls.items())
+        f"{name}={impl_ref(fn)}" for name, fn in sorted(impls.items())
+    )
+
+
+def impls_portable(program) -> bool:
+    """True when every bound pure-function impl has a cross-process
+    stable reference (module-level function) — the precondition for
+    spilling a compile result to the on-disk artifact store."""
+    return all(
+        func.impl is None or not impl_ref(func.impl).startswith("id:")
+        for func in program.pure_functions.values()
     )
 
 
@@ -77,12 +113,20 @@ class CompileOptions:
       ``False`` the pipeline stops after fusion (cheaper when only the
       :class:`FusedProgram` is needed, e.g. for the interpreter).
     * ``use_cache`` — consult/populate the compile cache.
+    * ``cache_dir`` — root of an on-disk artifact store
+      (:class:`repro.service.store.ArtifactStore`): a memory-cache miss
+      falls through to disk, and cold compiles spill their results so a
+      later process skips the whole pipeline.
+    * ``persist`` — allow spilling results to the disk store; with
+      ``False`` an attached ``cache_dir`` is read-only.
     """
 
     mode: str = "grafter"
     limits: FusionLimits = field(default_factory=FusionLimits)
     emit: bool = True
     use_cache: bool = True
+    cache_dir: Optional[str] = None
+    persist: bool = True
 
     @property
     def language_mode(self) -> LanguageMode:
@@ -92,17 +136,55 @@ class CompileOptions:
             else LanguageMode.GRAFTER
         )
 
+    # fields that do not change what the pipeline *produces* — only how
+    # results are cached/persisted. They participate in canonical() (so
+    # no field can ever silently alias) but are excluded from the
+    # on-disk store key: a persist=False reader must hit entries a
+    # persist=True writer left, and a store directory must survive
+    # being moved/renamed/mounted elsewhere.
+    NON_OUTPUT_FIELDS = frozenset({"use_cache", "cache_dir", "persist"})
+
     def canonical(self) -> str:
-        """Stable text form of every output-affecting knob."""
-        return (
-            f"mode={self.mode};"
-            f"max_sequence={self.limits.max_sequence};"
-            f"max_repeat={self.limits.max_repeat};"
-            f"emit={self.emit}"
+        """Stable text form of *every* field, derived by reflection so a
+        new knob participates in the cache key the moment it is added —
+        forgetting would silently alias entries compiled under different
+        settings (tests/pipeline/test_options_reflection.py re-asserts
+        the invariant). ``cache_dir`` canonicalizes via ``abspath`` so
+        relative and absolute spellings of one directory agree."""
+        return ";".join(self._parts(fields(self)))
+
+    def output_canonical(self) -> str:
+        """Canonical text of the output-affecting fields only — the
+        on-disk store's key space (see ``NON_OUTPUT_FIELDS``)."""
+        return ";".join(
+            self._parts(
+                spec
+                for spec in fields(self)
+                if spec.name not in self.NON_OUTPUT_FIELDS
+            )
         )
+
+    def _parts(self, specs) -> list[str]:
+        parts = []
+        for spec in specs:
+            value = getattr(self, spec.name)
+            if spec.name == "limits":
+                for limit in fields(value):
+                    parts.append(
+                        f"{limit.name}={getattr(value, limit.name)}"
+                    )
+            elif spec.name == "cache_dir" and value is not None:
+                parts.append(f"cache_dir={os.path.abspath(value)}")
+            else:
+                parts.append(f"{spec.name}={value}")
+        return parts
 
     def options_hash(self) -> str:
         return hash_text(self.canonical())
+
+    def output_hash(self) -> str:
+        """Hash of :meth:`output_canonical` — the disk-store key half."""
+        return hash_text(self.output_canonical())
 
 
 @dataclass

@@ -88,3 +88,43 @@ class ExecStats:
         }
         result.update(self.miss_counts())
         return result
+
+
+@dataclass
+class LatencySeries:
+    """Latency samples with percentile summaries.
+
+    The service's batch executor records one sample per executed tree
+    (and per shard) and reports p50/p99 — the quantities a production
+    traffic dashboard watches. Percentiles use the nearest-rank method
+    on a sorted copy, which is exact for the sample counts involved
+    (no streaming sketch needed at this scale).
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def merge(self, other: "LatencySeries") -> None:
+        self.samples.extend(other.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]; 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
+        return ordered[min(len(ordered), int(rank)) - 1]
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "max": 0.0}
+        return {
+            "count": len(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": max(self.samples),
+        }

@@ -1,0 +1,272 @@
+"""Service front end: workload registry, facade, and HTTP server.
+
+:class:`TraversalService` is the programmatic face of the subsystem —
+submit/await/stats over a :class:`~repro.service.executor.BatchExecutor`
+with an optional persistent artifact store. The workload registry maps
+names (``"render"``) to request builders so callers (CLI, HTTP, tests)
+can say *what* to run without holding tree-builder callables.
+
+The HTTP layer is deliberately stdlib-only (``http.server``): the
+reproduction must not grow dependencies. Endpoints::
+
+    GET  /healthz            -> {"ok": true}
+    GET  /stats              -> executor + store + cache statistics
+    POST /submit             -> {"request_id": N}; JSON body names a
+                                workload, e.g. {"workload": "render",
+                                "trees": 64, "pages": 4}
+    GET  /result/<id>        -> completion state / summaries of one id
+    POST /shutdown           -> stop serving (used by the smoke test)
+
+Handlers never execute traversals inline — submits go through the
+executor's async queue, so the stats endpoint stays responsive while a
+batch runs (the point of a *service*).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.pipeline import GLOBAL_CACHE, CompileOptions
+from repro.service.batching import ExecRequest
+from repro.service.executor import BatchExecutor, RequestResult
+from repro.service.store import store_for
+
+
+# ===========================================================================
+# workload registry
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, service-runnable workload."""
+
+    name: str
+    description: str
+    make_request: Callable[..., ExecRequest]
+
+
+def _render_request(
+    trees: int = 8,
+    pages: int = 4,
+    fused: bool = True,
+    options: Optional[CompileOptions] = None,
+) -> ExecRequest:
+    from repro.workloads.render import (
+        DEFAULT_GLOBALS,
+        RENDER_PURE_IMPLS,
+        RENDER_SOURCE,
+        build_document,
+        replicated_pages_spec,
+    )
+
+    return ExecRequest(
+        source=RENDER_SOURCE,
+        trees=[replicated_pages_spec(pages) for _ in range(trees)],
+        build_tree=build_document,
+        globals_map=dict(DEFAULT_GLOBALS),
+        pure_impls=RENDER_PURE_IMPLS,
+        options=options if options is not None else CompileOptions(),
+        fused=fused,
+    )
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    # extensible: registering a workload only takes a make_request
+    # builder whose trees/build_tree/impls survive pickle (see
+    # repro.service.batching)
+    "render": WorkloadSpec(
+        name="render",
+        description="render-tree layout (paper §5.1): replicated pages",
+        make_request=_render_request,
+    ),
+}
+
+
+# ===========================================================================
+# the facade
+# ===========================================================================
+
+
+class TraversalService:
+    """Submit/await/stats over a batch executor + artifact store."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        backend: str = "thread",
+        cache_dir: Optional[str] = None,
+        max_tickets: int = 1024,
+    ):
+        self.cache_dir = cache_dir
+        self.store = store_for(cache_dir) if cache_dir else None
+        self.executor = BatchExecutor(
+            workers=workers, backend=backend, cache_dir=cache_dir
+        )
+        self.max_tickets = max_tickets
+        self._tickets: "OrderedDict[int, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, request: ExecRequest) -> int:
+        ticket = self.executor.submit(request)
+        with self._lock:
+            self._tickets[request.request_id] = ticket
+            # bounded retention: results are held for polling, not
+            # forever — a long-lived server must not accumulate every
+            # RequestResult it ever produced. Completed tickets age out
+            # first; only under max_tickets *in-flight* requests would
+            # an unfinished one be dropped.
+            while len(self._tickets) > self.max_tickets:
+                victim = next(
+                    (
+                        rid
+                        for rid, t in self._tickets.items()
+                        if t.done()
+                    ),
+                    next(iter(self._tickets)),
+                )
+                del self._tickets[victim]
+        return request.request_id
+
+    def submit_workload(self, name: str, **kwargs) -> int:
+        spec = WORKLOADS.get(name)
+        if spec is None:
+            raise KeyError(
+                f"unknown workload {name!r}; have {sorted(WORKLOADS)}"
+            )
+        return self.submit(spec.make_request(**kwargs))
+
+    # -- results --------------------------------------------------------
+
+    def result(
+        self, request_id: int, timeout: Optional[float] = None
+    ) -> RequestResult:
+        with self._lock:
+            ticket = self._tickets.get(request_id)
+        if ticket is None:
+            raise KeyError(f"unknown request id {request_id}")
+        return ticket.result(timeout)
+
+    def poll(self, request_id: int) -> dict:
+        """Non-blocking completion state of one request."""
+        with self._lock:
+            ticket = self._tickets.get(request_id)
+        if ticket is None:
+            return {"request_id": request_id, "state": "unknown"}
+        if not ticket.done():
+            return {"request_id": request_id, "state": "pending"}
+        try:
+            result = ticket.result(0)
+        except Exception as error:
+            return {
+                "request_id": request_id,
+                "state": "failed",
+                "error": str(error),
+            }
+        return {
+            "request_id": request_id,
+            "state": "done" if result.ok else "failed",
+            "error": result.error,
+            "trees": len(result.trees),
+            "wall_seconds": result.wall_seconds,
+            "summaries": [t.summary for t in result.trees[:3]],
+        }
+
+    # -- stats ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        stats = {
+            "executor": self.executor.stats(),
+            "compile_cache": GLOBAL_CACHE.stats(),
+            "workloads": sorted(WORKLOADS),
+        }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "TraversalService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ===========================================================================
+# HTTP front end
+# ===========================================================================
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: TraversalService  # set by make_server
+
+    # -- plumbing -------------------------------------------------------
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # quiet by default
+        pass
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        elif self.path.startswith("/result/"):
+            try:
+                request_id = int(self.path.rsplit("/", 1)[1])
+            except ValueError:
+                self._reply(400, {"error": "bad request id"})
+                return
+            self._reply(200, self.service.poll(request_id))
+        else:
+            self._reply(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path == "/shutdown":
+            self._reply(200, {"ok": True})
+            threading.Thread(
+                target=self.server.shutdown, daemon=True
+            ).start()
+            return
+        if self.path != "/submit":
+            self._reply(404, {"error": f"no route {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            name = payload.pop("workload")
+            request_id = self.service.submit_workload(name, **payload)
+        except Exception as error:
+            self._reply(400, {"error": str(error)})
+            return
+        self._reply(200, {"request_id": request_id})
+
+
+def make_server(
+    service: TraversalService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (0 picks a free port; read
+    the result from ``server.server_address``). Call ``serve_forever``
+    — the ``/shutdown`` route stops it."""
+    handler = type(
+        "BoundHandler", (_Handler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)

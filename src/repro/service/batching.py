@@ -1,0 +1,145 @@
+"""Execution requests, artifact grouping, and forest sharding.
+
+The service accepts many ``(program, forest)`` requests. Before
+anything executes, requests are **grouped by compiled artifact** — the
+same ``(source hash, options hash)`` key the compile cache uses — so an
+artifact is resolved once per wave however many requests name it. Each
+group's forests are then **sharded**: split into contiguous runs of
+trees sized to keep worker-pool round trips rare while still letting
+every worker pull work.
+
+Everything a worker receives must survive ``pickle`` (the process
+backend ships shards to forked/spawned workers): tree *specs* rather
+than built trees, module-level ``build_tree``/``collect`` callables
+rather than closures, and source text plus portable pure impls rather
+than live ``Program`` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.ir.program import Program
+from repro.pipeline import CompileOptions, hash_program, hash_source
+
+_request_ids = itertools.count(1)
+
+
+def default_collect(program, heap, root) -> dict:
+    """Per-tree summary when a request has no collector: enough to
+    cross-check batched against sequential execution (the snapshot is
+    hashed so shipping results between processes stays cheap)."""
+    import hashlib
+
+    snapshot = repr(root.snapshot(program))
+    return {
+        "snapshot_sha": hashlib.sha256(snapshot.encode()).hexdigest(),
+        "tree_bytes": heap.footprint_bytes,
+    }
+
+
+@dataclass
+class ExecRequest:
+    """One unit of service work: run a program over a forest.
+
+    * ``source`` — Grafter source text (preferred: its content hash is
+      stable everywhere) or a built ``Program``.
+    * ``trees`` — picklable tree specs; ``build_tree(program, heap,
+      spec)`` realizes each one in a worker.
+    * ``fused`` — run the fused module (the product under test) or the
+      unfused baseline.
+    * ``collect`` — optional ``(program, heap, root) -> picklable``
+      per-tree summary; defaults to :func:`default_collect`.
+    """
+
+    source: Union[str, Program]
+    trees: Sequence
+    build_tree: Callable
+    globals_map: Optional[dict] = None
+    pure_impls: Optional[dict] = None
+    options: CompileOptions = field(default_factory=CompileOptions)
+    fused: bool = True
+    collect: Optional[Callable] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def compile_key(self) -> tuple[str, str]:
+        """The cache key this request's artifact lives under."""
+        if isinstance(self.source, Program):
+            source_hash = hash_program(self.source)
+        else:
+            source_hash = hash_source(self.source, self.pure_impls)
+        return (source_hash, self.options.options_hash())
+
+
+@dataclass
+class TreeResult:
+    """One executed tree."""
+
+    request_id: int
+    index: int  # position in the request's forest
+    summary: object
+    seconds: float
+
+
+@dataclass
+class RequestGroup:
+    """Requests sharing one compiled artifact."""
+
+    key: tuple[str, str]
+    requests: list[ExecRequest] = field(default_factory=list)
+
+    @property
+    def tree_count(self) -> int:
+        return sum(len(r.trees) for r in self.requests)
+
+
+@dataclass
+class Shard:
+    """A contiguous run of one request's trees, the pool's work unit."""
+
+    request: ExecRequest
+    indexes: list[int]
+
+
+def group_requests(requests: Sequence[ExecRequest]) -> list[RequestGroup]:
+    """Group by compile key, preserving first-seen order."""
+    groups: dict[tuple[str, str], RequestGroup] = {}
+    for request in requests:
+        key = request.compile_key()
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = RequestGroup(key=key)
+        group.requests.append(request)
+    return list(groups.values())
+
+
+def shard_indexes(count: int, shards: int) -> list[list[int]]:
+    """Split ``range(count)`` into at most ``shards`` contiguous,
+    near-equal runs (the classic block distribution)."""
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    out: list[list[int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return [s for s in out if s]
+
+
+def shard_group(group: RequestGroup, workers: int,
+                shards_per_worker: int = 2) -> list[Shard]:
+    """Shard every forest in a group. The target shard count scales
+    with the worker pool (a couple of shards per worker keeps the pool
+    busy without paying a round trip per tree)."""
+    shards: list[Shard] = []
+    for request in group.requests:
+        count = len(request.trees)
+        if count == 0:
+            continue
+        target = max(1, workers * shards_per_worker)
+        for indexes in shard_indexes(count, target):
+            shards.append(Shard(request=request, indexes=indexes))
+    return shards

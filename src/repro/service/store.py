@@ -1,0 +1,282 @@
+"""Persistent, content-addressed artifact store.
+
+Spills :class:`~repro.pipeline.options.CompileResult` records to disk so
+a *different process* can skip the whole parse→fuse→emit pipeline — the
+torchinductor-style "cache dir full of hashed artifacts" idiom. Keys are
+``(source hash, output-options hash)``: like the in-memory
+:class:`~repro.pipeline.cache.CompileCache` key but restricted to the
+*output-affecting* options (``CompileOptions.output_hash``), so caching
+knobs don't fragment the key space — a ``persist=False`` reader hits
+entries a ``persist=True`` writer left, and a store directory keeps
+working after being moved or mounted at a different path.
+
+Layout (versioned so future formats never misread old files)::
+
+    <root>/v1/<source_hash[:2]>/<source_hash>-<output_hash>.pkl
+
+Each file is one pickled payload ``{"format": 1, "repro": <version>,
+"result": <CompileResult>}``. Both the format *and* the repro version
+are checked on load — pickled records mirror in-memory class layouts,
+so an entry written by a different repro version is treated as a clean
+miss (and deleted) rather than risking attribute drift at run time.
+Compiled modules travel as generated source (their exec'd namespaces
+are rebuilt lazily on first run — see ``codegen.python_backend``), so a
+warm-store compile costs a file read plus an unpickle, not a module
+exec.
+
+Concurrency: writes go to a temp file in the destination directory and
+are published with ``os.replace`` (atomic on POSIX), so a reader never
+observes a half-written artifact and two processes racing to spill the
+same key both leave a complete file. Corrupt or unreadable entries are
+deleted and treated as misses. Eviction is LRU by file mtime under a
+total byte budget; ``load`` touches the file's mtime so recently served
+artifacts survive.
+
+Results whose programs carry non-portable pure-function impls (lambdas,
+closures — anything keyed by ``id()``, see
+:func:`repro.pipeline.options.impl_ref`) are never spilled: their cache
+keys are not stable across processes, so persisting them could at best
+never hit and at worst alias.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional
+
+from repro import __version__
+from repro.pipeline.options import CompileResult, impls_portable
+
+FORMAT_VERSION = 1
+
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ArtifactStore:
+    """On-disk LRU store of compile results, keyed by content hashes."""
+
+    def __init__(
+        self, root: str, max_bytes: int = _DEFAULT_MAX_BYTES
+    ):
+        self.root = Path(root)
+        self.dir = self.root / f"v{FORMAT_VERSION}"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        # running spill-bytes estimate so evict() only pays a full
+        # directory scan when the budget is plausibly exceeded; the
+        # first spill always scans, so bytes a *previous* process left
+        # behind (a reopened or CI-restored store) count against the
+        # budget too
+        self._bytes_since_scan = 0
+        self._scanned = False
+        self.spills = 0
+        self.spill_skips = 0
+        self.spill_errors = 0
+        self.loads = 0
+        self.load_misses = 0
+        self.load_errors = 0
+        self.evictions = 0
+
+    # -- paths ----------------------------------------------------------
+
+    def path_for(self, source_hash: str, output_hash: str) -> Path:
+        return (
+            self.dir / source_hash[:2] / f"{source_hash}-{output_hash}.pkl"
+        )
+
+    # -- read -----------------------------------------------------------
+
+    def load(
+        self, source_hash: str, output_hash: str
+    ) -> Optional[CompileResult]:
+        """The stored result for a key, or ``None``. Touches the entry's
+        mtime (LRU recency); removes entries that fail to deserialize or
+        were written by a different format/repro version."""
+        path = self.path_for(source_hash, output_hash)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.load_misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if payload.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"format {payload.get('format')!r} != {FORMAT_VERSION}"
+                )
+            if payload.get("repro") != __version__:
+                # pickled records mirror in-memory class layouts; a
+                # version mismatch risks stale __dict__ shapes, so it
+                # is a clean miss, not a runtime surprise
+                raise ValueError(
+                    f"repro {payload.get('repro')!r} != {__version__}"
+                )
+            result = payload["result"]
+        except Exception:
+            # a corrupt/foreign file is a miss; drop it so it cannot
+            # keep failing (and cannot count against the byte budget)
+            with self._lock:
+                self.load_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.loads += 1
+        return result
+
+    # -- write ----------------------------------------------------------
+
+    def spill(self, result: CompileResult) -> bool:
+        """Persist one compile result (atomic publish; best-effort).
+
+        Returns ``True`` when the artifact is on disk afterwards.
+        Results with non-portable impls are skipped (counted in
+        ``spill_skips``); serialization/IO failures are counted in
+        ``spill_errors`` and never propagate — persistence is an
+        optimization, not a correctness requirement.
+        """
+        if result.program is None or not impls_portable(result.program):
+            with self._lock:
+                self.spill_skips += 1
+            return False
+        path = self.path_for(
+            result.source_hash, result.options.output_hash()
+        )
+        payload = {
+            "format": FORMAT_VERSION,
+            "repro": __version__,
+            # stored records are plain cold results: hit bookkeeping is
+            # the *loading* process's business
+            "result": replace(result, cache_hit=False, cold_timings=None),
+        }
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with self._lock:
+                self.spill_errors += 1
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".spill-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            with self._lock:
+                self.spill_errors += 1
+            return False
+        with self._lock:
+            self.spills += 1
+            self._bytes_since_scan += len(blob)
+            scan = (
+                not self._scanned
+                or self._bytes_since_scan > self.max_bytes
+            )
+        if scan:
+            # the running estimate only grows between scans, so after
+            # the initial scan a full one happens at most once per
+            # max_bytes of spilled data
+            self.evict()
+        return True
+
+    # -- eviction -------------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for every stored artifact."""
+        entries = []
+        for path in self.dir.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def evict(self) -> int:
+        """Delete least-recently-used artifacts until the store fits the
+        byte budget. Returns the number of files removed."""
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, size, _ in entries)
+            removed = 0
+            for _, size, path in sorted(entries):
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+            self.evictions += removed
+            self._bytes_since_scan = total
+            self._scanned = True
+            return removed
+
+    # -- maintenance ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def clear(self) -> None:
+        for _, _, path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        entries = self._entries()  # one directory walk for both gauges
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "spills": self.spills,
+            "spill_skips": self.spill_skips,
+            "spill_errors": self.spill_errors,
+            "loads": self.loads,
+            "load_misses": self.load_misses,
+            "load_errors": self.load_errors,
+            "evictions": self.evictions,
+        }
+
+
+_STORES: dict[str, ArtifactStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def store_for(root: str) -> ArtifactStore:
+    """Process-wide store registry, one instance per resolved directory
+    (so every compile naming the same ``cache_dir`` shares counters and
+    the eviction lock)."""
+    resolved = os.path.abspath(root)
+    with _STORES_LOCK:
+        store = _STORES.get(resolved)
+        if store is None:
+            store = ArtifactStore(resolved)
+            _STORES[resolved] = store
+        return store

@@ -23,7 +23,12 @@ type-specific, which is exactly what the TreeFuser baseline cannot
 express.
 """
 
-from repro.workloads.render.schema import render_program, RENDER_SOURCE
+from repro.workloads.render.schema import (
+    DEFAULT_GLOBALS,
+    RENDER_PURE_IMPLS,
+    RENDER_SOURCE,
+    render_program,
+)
 from repro.workloads.render.docs import (
     DocSpec,
     build_document,
@@ -37,6 +42,8 @@ from repro.workloads.render.oracle import layout_oracle
 __all__ = [
     "render_program",
     "RENDER_SOURCE",
+    "RENDER_PURE_IMPLS",
+    "DEFAULT_GLOBALS",
     "DocSpec",
     "build_document",
     "doc1_spec",

@@ -364,12 +364,35 @@ int main() {
 }
 """
 
+# module-level named functions (not lambdas): their impl references are
+# stable across processes, so compiled render artifacts can be served
+# from the on-disk store and shipped to worker processes
+def _imax(a, b):
+    return a if a >= b else b
+
+
+def _imin(a, b):
+    return a if a <= b else b
+
+
+def _idiv(a, b):
+    return a // b if b else a
+
+
+def _pos(a):
+    return a if a > 0 else 0
+
+
 _PURE_IMPLS = {
-    "imax": lambda a, b: a if a >= b else b,
-    "imin": lambda a, b: a if a <= b else b,
-    "idiv": lambda a, b: a // b if b else a,
-    "pos": lambda a: a if a > 0 else 0,
+    "imax": _imax,
+    "imin": _imin,
+    "idiv": _idiv,
+    "pos": _pos,
 }
+
+# public alias for callers (the traversal service) that compile
+# RENDER_SOURCE text directly instead of going through render_program()
+RENDER_PURE_IMPLS = _PURE_IMPLS
 
 DEFAULT_GLOBALS = {
     "PAGE_WIDTH": 800,

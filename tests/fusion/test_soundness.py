@@ -193,3 +193,25 @@ def test_random_program_equivalence_hypothesis(seed):
     snap_a, snap_b, interp_a, interp_b = run_both(program, build)
     assert snap_a == snap_b
     assert interp_a.globals == interp_b.globals
+
+
+@pytest.mark.xfail(
+    reason="known pre-existing fusion soundness gap (found by hypothesis "
+    "during PR 2, present at the seed commit): traversal-call arguments "
+    "that read globals (e.g. `this->c1->f1(G0)`) interleaved with member "
+    "traversals that write the same global can evaluate under a different "
+    "global state in the fused schedule — see ROADMAP open items",
+    strict=True,
+)
+def test_seed_765_global_argument_interleaving_divergence():
+    seed = 765
+    rng = random.Random(seed)
+    source = random_program_source(rng)
+    program = parse_program(source, name=f"hyp{seed}")
+
+    def build(p, heap):
+        return random_tree(p, heap, random.Random(seed ^ 0xABCDEF), max_depth=3)
+
+    snap_a, snap_b, interp_a, interp_b = run_both(program, build)
+    assert snap_a == snap_b
+    assert interp_a.globals == interp_b.globals

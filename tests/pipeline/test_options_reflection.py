@@ -1,0 +1,97 @@
+"""Every CompileOptions field must participate in the cache key.
+
+``canonical()`` is derived by reflection over the dataclass fields, so
+a newly added knob joins the key automatically — but that only holds
+while ``canonical()`` stays reflective. These tests pin the contract
+from the outside: for *every* field (present and future), (a) the field
+name appears in the canonical text, and (b) changing the field's value
+changes the options hash. A failure here means a knob was added whose
+settings would silently alias cache entries — the exact bug class the
+ROADMAP warned about after PR 1.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fusion.grouping import FusionLimits
+from repro.pipeline import CompileOptions
+
+
+def _variant(name: str, value):
+    """A value for field *name* that must produce a different hash."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, FusionLimits):
+        return dataclasses.replace(
+            value, max_sequence=value.max_sequence + 1
+        )
+    if name == "mode":
+        return "treefuser" if value != "treefuser" else "grafter"
+    if isinstance(value, str) or value is None:
+        return "/definitely/not/the/default"
+    raise AssertionError(
+        f"no variant rule for field {name!r} of type {type(value)!r}; "
+        f"extend _variant so the new knob stays covered"
+    )
+
+
+FIELDS = [f.name for f in dataclasses.fields(CompileOptions)]
+
+
+class TestEveryFieldParticipates:
+    @pytest.mark.parametrize("name", FIELDS)
+    def test_field_named_in_canonical(self, name):
+        options = CompileOptions()
+        canonical = options.canonical()
+        if name == "limits":
+            # the limits dataclass is inlined field by field
+            for limit in dataclasses.fields(FusionLimits):
+                assert f"{limit.name}=" in canonical
+        else:
+            assert f"{name}=" in canonical
+
+    @pytest.mark.parametrize("name", FIELDS)
+    def test_changing_field_changes_hash(self, name):
+        base = CompileOptions()
+        changed = dataclasses.replace(
+            base, **{name: _variant(name, getattr(base, name))}
+        )
+        assert changed.options_hash() != base.options_hash(), (
+            f"field {name!r} does not participate in canonical(): "
+            f"two compiles differing only in {name!r} would alias"
+        )
+
+    def test_nested_limits_fields_all_participate(self):
+        base = CompileOptions()
+        for limit in dataclasses.fields(FusionLimits):
+            bumped = dataclasses.replace(
+                base.limits,
+                **{limit.name: getattr(base.limits, limit.name) + 1},
+            )
+            changed = dataclasses.replace(base, limits=bumped)
+            assert changed.options_hash() != base.options_hash(), limit.name
+
+
+class TestCanonicalStability:
+    def test_equal_options_hash_alike(self):
+        assert (
+            CompileOptions().options_hash()
+            == CompileOptions().options_hash()
+        )
+
+    def test_cache_dir_spelling_is_normalized(self, tmp_path):
+        import os
+
+        absolute = CompileOptions(cache_dir=str(tmp_path))
+        cwd = os.getcwd()
+        try:
+            os.chdir(tmp_path.parent)
+            relative = CompileOptions(cache_dir=tmp_path.name)
+            assert (
+                relative.options_hash() == absolute.options_hash()
+            ), "relative and absolute spellings of one dir must agree"
+        finally:
+            os.chdir(cwd)

@@ -1,0 +1,46 @@
+"""The ``repro serve`` CLI end to end, via the CI smoke script.
+
+Runs the exact script CI uses (scripts/serve_smoke.py): start the
+server subprocess, submit a render batch over HTTP, assert the stats
+endpoint reports the completions, shut down cleanly — twice when
+persistence is involved, so the second pass exercises a warm store.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+SCRIPT = os.path.join(REPO, "scripts", "serve_smoke.py")
+
+
+def run_smoke(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.run(
+        [sys.executable, SCRIPT, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO,
+    )
+
+
+def test_serve_smoke():
+    proc = run_smoke()
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "serve_smoke: OK" in proc.stdout
+
+
+def test_serve_smoke_with_persistent_store(tmp_path):
+    store = str(tmp_path / "artifacts")
+    first = run_smoke(store)
+    assert first.returncode == 0, first.stderr or first.stdout
+    assert "spills=1" in first.stdout
+    # second server process starts warm from the store the first left
+    second = run_smoke(store)
+    assert second.returncode == 0, second.stderr or second.stdout
+    assert "loads=1" in second.stdout

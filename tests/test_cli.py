@@ -155,3 +155,38 @@ class TestCompileCommand:
     def test_compile_missing_file_errors(self, capsys):
         assert main(["compile", "/nonexistent.grafter"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCli:
+    def test_exec_batched(self, capsys):
+        assert main([
+            "exec", "--workload", "render", "--trees", "4", "--pages", "2",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 trees executed (batched, 2 workers, thread backend)" in out
+        assert "tree latency: p50" in out
+
+    def test_exec_sequential_inline(self, capsys):
+        assert main([
+            "exec", "--trees", "3", "--pages", "2", "--sequential",
+            "--backend", "inline", "--workers", "1",
+        ]) == 0
+        assert "(sequential, 1 workers, inline backend)" in capsys.readouterr().out
+
+    def test_exec_with_cache_dir_reports_store(self, capsys, tmp_path):
+        assert main([
+            "exec", "--trees", "2", "--pages", "2", "--backend", "inline",
+            "--workers", "1", "--cache-dir", str(tmp_path / "store"),
+        ]) == 0
+        assert "store: 1 entries" in capsys.readouterr().out
+
+    def test_exec_unknown_workload_errors(self, capsys):
+        assert main(["exec", "--workload", "nope"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_compile_cache_dir_spills(self, fig2_file, capsys, tmp_path):
+        store = tmp_path / "artifacts"
+        assert main(["compile", fig2_file, "--cache-dir", str(store)]) == 0
+        assert "compiled (cold)" in capsys.readouterr().out
+        assert list(store.glob("v*/*/*.pkl"))
