@@ -5,10 +5,15 @@ six optimization passes (desugaring, two-traversal constant propagation,
 folding, dead-branch removal) through the *fused* pipeline, and shows the
 optimized program plus the fusion statistics.
 
+The program reaches the compiler through its :class:`repro.Workload`
+bundle and a :class:`repro.Session` (the unified workload API).
+
 Run:  python examples/ast_optimizer.py
 """
 
-from repro.bench.runner import fused_for
+import os
+
+import repro
 from repro.runtime import Heap, Interpreter
 from repro.workloads.astlang import (
     AstBuilder,
@@ -20,7 +25,7 @@ from repro.workloads.astlang import (
     K_SUB,
     K_VAR,
     S_ASSIGN,
-    ast_program,
+    astlang_workload,
     evaluate_program,
 )
 
@@ -73,7 +78,10 @@ def show_program(root) -> str:
 
 
 def main():
-    program = ast_program()
+    workload = astlang_workload()
+    with repro.Session(cache_dir=os.environ.get("REPRO_CACHE_DIR")) as session:
+        compiled = session.compile(workload, emit=False)
+    program = compiled.result.program
     heap = Heap(program)
     b = AstBuilder(program, heap)
 
@@ -96,7 +104,7 @@ def main():
     print(show_program(root))
     meaning_before = evaluate_program(program, root)
 
-    fused = fused_for(program)
+    fused = compiled.fused
     interp = Interpreter(program, heap)
     interp.run_fused(fused, root)
 

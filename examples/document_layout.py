@@ -6,19 +6,20 @@ configured like the paper's Xeon — and reports the four metrics of the
 evaluation, then prints a small ASCII rendering of the first page to show
 the layout actually computed something sensible.
 
+The render program here is the Python-*embedded* definition
+(``repro.workloads.render.embedded``), reached through its
+:class:`repro.Workload` bundle and a :class:`repro.Session` — it
+compiles to byte-identical fused code as the string DSL.
+
 Run:  python examples/document_layout.py [pages]
 """
 
+import os
 import sys
 
-from repro.bench.metrics import measure_run
-from repro.bench.runner import fused_for
-from repro.workloads.render import (
-    build_document,
-    render_program,
-    replicated_pages_spec,
-)
-from repro.workloads.render.schema import DEFAULT_GLOBALS
+import repro
+from repro.bench.runner import compare_workload
+from repro.workloads.render import render_workload, replicated_pages_spec
 from repro.runtime import Heap, Interpreter
 
 
@@ -52,40 +53,41 @@ def render_page_ascii(program, document, width=64, height=18):
 
 def main():
     pages = int(sys.argv[1]) if len(sys.argv) > 1 else 24
-    program = render_program()
+    workload = render_workload()
     spec = replicated_pages_spec(pages)
 
     print(f"document: {pages} pages "
           f"({spec.count_elements()} leaf elements)")
-    print("passes:", ", ".join(c.method_name for c in program.entry))
 
-    unfused = measure_run(
-        program, lambda p, h: build_document(p, h, spec),
-        DEFAULT_GLOBALS, cache_scale=64,
-    )
-    fused = measure_run(
-        program, lambda p, h: build_document(p, h, spec),
-        DEFAULT_GLOBALS, fused=fused_for(program), cache_scale=64,
-    )
+    with repro.Session(cache_dir=os.environ.get("REPRO_CACHE_DIR")) as session:
+        compiled = session.compile(workload, emit=False)
+        program = compiled.result.program
+        print("passes:", ", ".join(c.method_name for c in program.entry))
 
-    print(f"\n{'':>14}  {'unfused':>12}  {'fused':>12}  {'ratio':>6}")
-    for label, a, b in [
-        ("node visits", unfused.node_visits, fused.node_visits),
-        ("instructions", unfused.instructions, fused.instructions),
-        ("L2 misses", unfused.misses["L2"], fused.misses["L2"]),
-        ("L3 misses", unfused.misses["L3"], fused.misses["L3"]),
-        ("cycles", unfused.modeled_cycles, fused.modeled_cycles),
-    ]:
-        print(f"{label:>14}  {a:>12}  {b:>12}  {b / a:>6.2f}")
+        comparison = compare_workload(
+            "document-layout", workload, spec,
+            cache_scale=64, options=session.options,
+        )
+        unfused, fused = comparison.unfused, comparison.fused
 
-    # draw the first page from a fresh fused run
-    heap = Heap(program)
-    document = build_document(program, heap, spec)
-    interp = Interpreter(program, heap)
-    interp.globals.update(DEFAULT_GLOBALS)
-    interp.run_fused(fused_for(program), document)
-    print("\nfirst page (t=text, i=image, b=button, v=nested box):")
-    print(render_page_ascii(program, document))
+        print(f"\n{'':>14}  {'unfused':>12}  {'fused':>12}  {'ratio':>6}")
+        for label, a, b in [
+            ("node visits", unfused.node_visits, fused.node_visits),
+            ("instructions", unfused.instructions, fused.instructions),
+            ("L2 misses", unfused.misses["L2"], fused.misses["L2"]),
+            ("L3 misses", unfused.misses["L3"], fused.misses["L3"]),
+            ("cycles", unfused.modeled_cycles, fused.modeled_cycles),
+        ]:
+            print(f"{label:>14}  {a:>12}  {b:>12}  {b / a:>6.2f}")
+
+        # draw the first page from a fresh fused run
+        heap = Heap(program)
+        document = workload.build_tree(program, heap, spec)
+        interp = Interpreter(program, heap)
+        interp.globals.update(workload.globals_map)
+        interp.run_fused(compiled.fused, document)
+        print("\nfirst page (t=text, i=image, b=button, v=nested box):")
+        print(render_page_ascii(program, document))
 
 
 if __name__ == "__main__":

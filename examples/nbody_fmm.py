@@ -5,37 +5,36 @@ the multipole / local-expansion / potential traversals. The two downward
 passes fuse into one; the upward pass provably cannot join them (its
 output feeds the fused pair at every node).
 
+The FMM program arrives as a :class:`repro.Workload` bundle measured
+through :func:`repro.bench.runner.compare_workload` and compiled by a
+:class:`repro.Session`.
+
 Run:  python examples/nbody_fmm.py [particles]
 """
 
+import os
 import sys
 
-from repro.bench.metrics import measure_run
-from repro.bench.runner import fused_for
+import repro
+from repro.bench.runner import compare_workload
 from repro.runtime import Heap, Interpreter
-from repro.workloads.fmm import (
-    FMM_DEFAULT_GLOBALS,
-    build_fmm_tree,
-    fmm_oracle,
-    fmm_program,
-    random_particles,
-)
+from repro.workloads.fmm import fmm_oracle, fmm_workload
 
 
 def main():
     count = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
-    program = fmm_program()
-    particles = random_particles(count)
+    workload = fmm_workload()
+    particles = workload.spec(particles=count)
 
-    unfused = measure_run(
-        program, lambda p, h: build_fmm_tree(p, h, particles),
-        FMM_DEFAULT_GLOBALS, cache_scale=64,
+    with repro.Session(cache_dir=os.environ.get("REPRO_CACHE_DIR")) as session:
+        compiled = session.compile(workload, emit=False)
+        options = session.options
+    program, fused_program = compiled.result.program, compiled.fused
+
+    comparison = compare_workload(
+        "nbody-fmm", workload, particles, cache_scale=64, options=options
     )
-    fused_program = fused_for(program)
-    fused = measure_run(
-        program, lambda p, h: build_fmm_tree(p, h, particles),
-        FMM_DEFAULT_GLOBALS, fused=fused_program, cache_scale=64,
-    )
+    unfused, fused = comparison.unfused, comparison.fused
 
     print(f"{count} particles, tree of "
           f"{unfused.tree_bytes >> 10}KB")
@@ -54,9 +53,9 @@ def main():
 
     # correctness: total potential matches the reference recurrences
     heap = Heap(program)
-    root = build_fmm_tree(program, heap, particles)
+    root = workload.build_tree(program, heap, particles)
     interp = Interpreter(program, heap)
-    interp.globals.update(FMM_DEFAULT_GLOBALS)
+    interp.globals.update(workload.globals_map)
     interp.run_fused(fused_program, root)
     expected = fmm_oracle(program, root)
     want = expected[id(root)]["Potential"]

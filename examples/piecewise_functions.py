@@ -5,20 +5,24 @@ three Table 6 equations, each a different schedule of traversals. Shows
 why automatic fusion matters here: every equation gets its own fused
 traversal set, which nobody would write by hand.
 
+Each equation becomes its own :class:`repro.Workload` (same classes,
+different entry schedule) compiled and measured through one
+:class:`repro.Session`.
+
 Run:  python examples/piecewise_functions.py
 """
 
-from repro.bench.metrics import measure_run
-from repro.bench.runner import fused_for
+import os
+
+import repro
+from repro.bench.runner import compare_workload
 from repro.runtime import Heap, Interpreter
 from repro.workloads.kdtree import (
     EQ1_SCHEDULE,
     EQ2_SCHEDULE,
     EQ3_SCHEDULE,
-    KD_DEFAULT_GLOBALS,
     PiecewiseOracle,
-    build_balanced_tree,
-    equation_program,
+    kdtree_workload,
     leaf_segments,
 )
 
@@ -32,29 +36,26 @@ EQUATIONS = [
 def main():
     depth = 8
     print(f"piecewise function: balanced kd-tree, {2**depth} cubic segments\n")
+    session = repro.Session(cache_dir=os.environ.get("REPRO_CACHE_DIR"))
     for label, schedule in EQUATIONS:
-        program = equation_program(schedule, label)
-        fused = fused_for(program)
+        workload = kdtree_workload(schedule, name=label)
+        compiled = session.compile(workload, emit=False)
+        program, fused = compiled.result.program, compiled.fused
 
-        unfused = measure_run(
-            program,
-            lambda p, h: build_balanced_tree(p, h, depth=depth),
-            KD_DEFAULT_GLOBALS,
+        spec = workload.spec(depth=depth)
+        comparison = compare_workload(
+            label, workload, spec, options=session.options
         )
-        fused_m = measure_run(
-            program,
-            lambda p, h: build_balanced_tree(p, h, depth=depth),
-            KD_DEFAULT_GLOBALS,
-            fused=fused,
-        )
+        unfused, fused_m = comparison.unfused, comparison.fused
 
-        # run once more to pull out the numeric answer + oracle check
+        # run once more on the same input to pull out the numeric
+        # answer + oracle check
         heap = Heap(program)
-        function = build_balanced_tree(program, heap, depth=depth)
+        function = workload.build_tree(program, heap, spec)
         oracle = PiecewiseOracle(leaf_segments(program, function))
         expected = oracle.apply_schedule(schedule)
         interp = Interpreter(program, heap)
-        interp.globals.update(KD_DEFAULT_GLOBALS)
+        interp.globals.update(workload.globals_map)
         interp.run_fused(fused, function)
 
         print(f"equation: {label}")

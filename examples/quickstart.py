@@ -1,62 +1,82 @@
-"""Quickstart: write two traversals, fuse them, run both, compare.
+"""Quickstart: write two traversals as typed Python, fuse them, run both.
 
 This walks the paper's running example (Fig. 2): a render-tree fragment
-whose elements compute widths and heights in two passes. Grafter fuses
-the passes into one traversal — same results, half the node visits.
-
-Compilation goes through the staged pipeline (`repro.pipeline.compile`):
-one call parses, validates, analyzes, fuses and schedules, with per-pass
-timings — and a second compile of the same source is a cache hit.
+whose elements compute widths and heights in two passes. The traversals
+are written with the *embedded* API — ``@repro.schema`` classes and
+``@repro.traversal`` methods that lower to the same IR (and the same
+content hashes) as the Grafter string DSL — then bundled into a
+:class:`repro.Workload` and compiled/run through one
+:class:`repro.Session`. Grafter fuses the passes into one traversal —
+same results, half the node visits.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import pipeline
+import os
+
+import repro
 from repro.fusion.fused_ir import print_fused_unit
-from repro.pipeline import CompileOptions
 from repro.runtime import Heap, Interpreter, Node
 from repro.runtime.values import ObjectValue
 
-SOURCE = """
-int CHAR_WIDTH;
+# --------------------------------------------------------- the program
 
-class String { int Length; };
+CHAR_WIDTH = repro.Global(int, 2)
 
-_abstract_ _tree_ class Element {
-    _child_ Element* Next;
-    int Height = 0;
-    int Width = 0;
-    int MaxHeight = 0;
-    int TotalWidth = 0;
-    _traversal_ virtual void computeWidth() {}
-    _traversal_ virtual void computeHeight() {}
-};
 
-_tree_ class TextBox : public Element {
-    String Text;
-    _traversal_ void computeWidth() {
-        this->Next->computeWidth();
-        this->Width = this->Text.Length;
-        this->TotalWidth = this->Next->Width + this->Width;
-    }
-    _traversal_ void computeHeight() {
-        this->Next->computeHeight();
-        this->Height = this->Text.Length * (this->Width / CHAR_WIDTH) + 1;
-        this->MaxHeight = this->Height;
-        if (this->Next->Height > this->Height) {
-            this->MaxHeight = this->Next->Height;
-        }
-    }
-};
+@repro.schema
+class String:
+    Length: int
 
-_tree_ class End : public Element { };
 
-int main() {
-    Element* ElementsList = ...;
-    ElementsList->computeWidth();
-    ElementsList->computeHeight();
-}
-"""
+@repro.schema(abstract=True)
+class Element:
+    Next: "Element"
+    Height: int = 0
+    Width: int = 0
+    MaxHeight: int = 0
+    TotalWidth: int = 0
+
+    @repro.traversal(virtual=True)
+    def computeWidth(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computeHeight(this):
+        pass
+
+
+@repro.schema
+class TextBox(Element):
+    Text: String
+
+    @repro.traversal
+    def computeWidth(this):
+        this.Next.computeWidth()
+        this.Width = this.Text.Length
+        this.TotalWidth = this.Next.Width + this.Width
+
+    @repro.traversal
+    def computeHeight(this):
+        this.Next.computeHeight()
+        this.Height = this.Text.Length * (this.Width // CHAR_WIDTH) + 1
+        this.MaxHeight = this.Height
+        if this.Next.Height > this.Height:
+            this.MaxHeight = this.Next.Height
+
+
+@repro.schema
+class End(Element):
+    pass
+
+
+@repro.entry(Element)
+def entry(root):
+    root.computeWidth()
+    root.computeHeight()
+
+
+# ----------------------------------------------------------- the input
 
 
 def build_chain(program, heap, lengths):
@@ -69,6 +89,15 @@ def build_chain(program, heap, lengths):
             Next=node,
         )
     return node
+
+
+def quickstart_workload() -> repro.Workload:
+    """Everything the compiler and runtime need, as one object."""
+    return repro.Workload.from_program(
+        repro.lower_module(__name__, name="quickstart"),
+        build_chain,
+        globals_map=repro.default_globals(__name__),
+    )
 
 
 def run(program, root, fused=None):
@@ -84,42 +113,51 @@ def run(program, root, fused=None):
 
 
 def main():
-    # 1. one compile() call: parse → validate → analyze → fuse → schedule
-    result = pipeline.compile(
-        SOURCE, name="quickstart", options=CompileOptions(emit=False)
-    )
-    program = result.program
-    print(f"parsed {len(program.tree_types)} tree types, "
-          f"{sum(1 for _ in program.all_methods())} traversal methods")
-    print()
-    print(result.timings_report())
+    # 1. one Session.compile() call: lower the embedded definitions,
+    #    then parse-free staged compilation (validate → analyze → fuse →
+    #    schedule), with per-pass timings — a second compile of the
+    #    same program is a cache hit
+    workload = quickstart_workload()
+    with repro.Session(cache_dir=os.environ.get("REPRO_CACHE_DIR")) as session:
+        compiled = session.compile(workload, emit=False)
+        program = compiled.result.program
+        print(f"parsed {len(program.tree_types)} tree types, "
+              f"{sum(1 for _ in program.all_methods())} traversal methods")
+        print()
+        print(compiled.result.timings_report())
 
-    # 2. the fused form: computeWidth + computeHeight became one traversal
-    fused = result.fused
-    print(f"\nsynthesized {fused.unit_count} fused traversal functions; "
-          "the TextBox unit:")
-    unit = fused.units[("TextBox::computeWidth", "TextBox::computeHeight")]
-    print(print_fused_unit(unit))
+        # 2. the fused form: computeWidth + computeHeight became one
+        fused = compiled.fused
+        print(f"\nsynthesized {fused.unit_count} fused traversal functions; "
+              "the TextBox unit:")
+        unit = fused.units[("TextBox::computeWidth", "TextBox::computeHeight")]
+        print(print_fused_unit(unit))
 
-    # 3. run unfused and fused on identical inputs
-    heap_a = Heap(program)
-    root_a = build_chain(program, heap_a, [5, 7, 3, 9])
-    stats_a = run(program, root_a)
+        # 3. run unfused and fused on identical inputs
+        heap_a = Heap(program)
+        root_a = build_chain(program, heap_a, [5, 7, 3, 9])
+        stats_a = run(program, root_a)
 
-    heap_b = Heap(program)
-    root_b = build_chain(program, heap_b, [5, 7, 3, 9])
-    stats_b = run(program, root_b, fused=fused)
+        heap_b = Heap(program)
+        root_b = build_chain(program, heap_b, [5, 7, 3, 9])
+        stats_b = run(program, root_b, fused=fused)
 
-    # 4. identical results, fewer visits
-    assert root_a.snapshot(program) == root_b.snapshot(program)
-    print(f"\nunfused: {stats_a.node_visits} node visits, "
-          f"{stats_a.instructions} instructions")
-    print(f"fused:   {stats_b.node_visits} node visits, "
-          f"{stats_b.instructions} instructions")
-    print(f"visit ratio: {stats_b.node_visits / stats_a.node_visits:.2f} "
-          "(two traversals -> one)")
-    print(f"\nroot TotalWidth = {root_a.get('TotalWidth')}, "
-          f"MaxHeight = {root_a.get('MaxHeight')}")
+        # 4. identical results, fewer visits
+        assert root_a.snapshot(program) == root_b.snapshot(program)
+        print(f"\nunfused: {stats_a.node_visits} node visits, "
+              f"{stats_a.instructions} instructions")
+        print(f"fused:   {stats_b.node_visits} node visits, "
+              f"{stats_b.instructions} instructions")
+        print(f"visit ratio: {stats_b.node_visits / stats_a.node_visits:.2f} "
+              "(two traversals -> one)")
+        print(f"\nroot TotalWidth = {root_a.get('TotalWidth')}, "
+              f"MaxHeight = {root_a.get('MaxHeight')}")
+
+        # 5. the service path: the same workload through the session's
+        #    batch executor (what `repro serve` does per request)
+        outcome = session.run(workload, [[5, 7, 3, 9]])
+        print(f"executor ran {len(outcome)} tree in "
+              f"{outcome.wall_seconds * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

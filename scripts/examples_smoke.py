@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Run every example script as a subprocess and fail loudly.
+
+The examples double as end-to-end documentation; CI runs this as a
+named job (separate from the pytest wrapper in
+``tests/test_examples.py``) so an example breaking is visible as
+"examples smoke" going red, not a line inside the test job. Each
+example honours ``REPRO_CACHE_DIR``, so passing a cache directory
+exercises — and on repeat CI runs, warms from — the on-disk artifact
+store::
+
+    PYTHONPATH=src python scripts/examples_smoke.py [cache_dir]
+
+Small input sizes keep the whole sweep under a minute on one core.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+# (script, argv, a line the output must contain)
+EXAMPLES = [
+    ("quickstart.py", [], "visit ratio: 0.50"),
+    ("document_layout.py", ["4"], "first page"),
+    ("ast_optimizer.py", [], "semantics preserved"),
+    ("piecewise_functions.py", [], "integral ="),
+    ("nbody_fmm.py", ["1000"], "total potential"),
+]
+
+
+def main(argv: list[str]) -> int:
+    cache_dir = argv[1] if len(argv) > 1 else None
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if cache_dir:
+        env["REPRO_CACHE_DIR"] = cache_dir
+    failures = 0
+    for script, args, needle in EXAMPLES:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script), *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        elapsed = time.perf_counter() - start
+        ok = proc.returncode == 0 and needle in proc.stdout
+        print(f"{'ok  ' if ok else 'FAIL'} {script:<28} {elapsed:6.1f}s")
+        if not ok:
+            failures += 1
+            sys.stderr.write(proc.stdout[-2000:])
+            sys.stderr.write(proc.stderr[-4000:])
+    if failures:
+        print(f"examples_smoke: {failures} failing", file=sys.stderr)
+        return 1
+    print("examples_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,47 @@
+"""Deprecation plumbing for the pre-Workload entry points.
+
+The unified workload API (PR 3) made :class:`repro.api.Workload` the one
+way to bundle a program with its impls, globals and tree builder. The
+old spellings — ``pipeline.compile(source, pure_impls=...)`` and direct
+``ExecRequest(source=..., build_tree=...)`` construction — keep working
+as thin shims, but each emits a :class:`DeprecationWarning` so callers
+migrate.
+
+The shims themselves are still what the *internal* plumbing executes
+(the executor replays requests, the runner builds them in bulk), and
+internal traffic must not spam warnings the user cannot act on. Those
+call sites wrap themselves in :func:`suppress_legacy_warnings`; the flag
+is thread-local because the executor constructs requests from its
+dispatcher and worker threads concurrently with user code.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+
+_STATE = threading.local()
+
+
+@contextmanager
+def suppress_legacy_warnings():
+    """Mark the current thread as internal plumbing: legacy-entry-point
+    shims stay silent inside this context."""
+    previous = getattr(_STATE, "internal", 0)
+    _STATE.internal = previous + 1
+    try:
+        yield
+    finally:
+        _STATE.internal = previous
+
+
+def legacy_warnings_suppressed() -> bool:
+    return getattr(_STATE, "internal", 0) > 0
+
+
+def warn_legacy(message: str, *, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` unless the caller is marked
+    as internal plumbing."""
+    if not legacy_warnings_suppressed():
+        warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

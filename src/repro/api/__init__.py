@@ -1,0 +1,45 @@
+"""The unified workload API.
+
+Three layers, importable from ``repro`` directly:
+
+* the **embedded frontend** (:mod:`repro.api.embed`) —
+  ``@repro.schema`` / ``@repro.traversal`` / ``@repro.pure`` /
+  ``@repro.entry`` / ``repro.Global`` declare traversal programs as
+  typed Python and lower them to the same IR (and the same content
+  hashes) as the string DSL;
+* the **workload bundle** (:mod:`repro.api.workload`) —
+  :class:`Workload` carries program/source, impls, globals and the tree
+  builder as one object accepted by ``pipeline.compile``, the service,
+  the bench runner and the CLI;
+* the **session facade** (:mod:`repro.api.session`) —
+  ``repro.Session(cache_dir=...).compile(w).run(trees)`` hides the
+  options/cache/executor plumbing.
+"""
+
+from repro.api.embed import (
+    Global,
+    default_globals,
+    entry,
+    lower,
+    lower_module,
+    pure,
+    schema,
+    traversal,
+)
+from repro.api.session import CompiledWorkload, RunOutcome, Session
+from repro.api.workload import Workload
+
+__all__ = [
+    "Global",
+    "default_globals",
+    "entry",
+    "lower",
+    "lower_module",
+    "pure",
+    "schema",
+    "traversal",
+    "Workload",
+    "Session",
+    "CompiledWorkload",
+    "RunOutcome",
+]

@@ -1,0 +1,1062 @@
+"""Python-embedded traversal definitions.
+
+The string DSL (:mod:`repro.frontend`) mirrors the paper's C++ surface
+syntax; this module is the Bonsai-style alternative: write tree schemas
+and traversals as *typed Python* and lower them to the exact same
+:class:`repro.ir.program.Program` the parser produces — same canonical
+print, same content hash, same fused output.
+
+::
+
+    import repro
+
+    CHAR_WIDTH = repro.Global(int, 6)
+
+    @repro.pure
+    def imax(a: int, b: int) -> int:
+        return a if a >= b else b
+
+    @repro.schema
+    class String:                       # only primitives, no traversals
+        Length: int                     #   -> an opaque data class
+
+    @repro.schema(abstract=True)
+    class Element:                      # has traversals -> a tree class
+        Width: int = 0
+        Next: "Element"                 # tree-typed field -> a child
+
+        @repro.traversal(virtual=True)
+        def computeWidth(this):
+            pass
+
+    @repro.schema
+    class TextBox(Element):
+        Text: String                    # opaque-typed field -> data
+
+        @repro.traversal
+        def computeWidth(this):
+            this.Next.computeWidth()    # traverse a child
+            this.Width = imax(this.Text.Length * CHAR_WIDTH, 1)
+
+    @repro.entry(Element)
+    def main(root):
+        root.computeWidth()
+
+    program = repro.api.lower_module(__name__, name="demo")
+
+Decorated bodies are **never executed**: ``@traversal`` captures the
+function's AST at decoration time and :func:`lower_module` translates it
+statement by statement through the same semantic layer the parser uses
+(:mod:`repro.ir.builder`), so member resolution, receiver restrictions
+(rule 7) and validation behave identically in both frontends.
+
+Statement forms understood inside a traversal body::
+
+    this.F = <expr>                    assignment (data fields only)
+    x: int = <expr>                    typed local definition
+    n: TreeClass = this.Child          constant alias to a descendant
+    this.Child.f(args) / this.f(args)  traversal call (rule 7)
+    p(args)                            pure call in statement position
+    if / elif / else, while            guarded / repeated simple stmts
+    return                             truncate the traversal here
+    this.Child = TreeClass()           `new` (leaf topology mutation)
+    del this.Child                     `delete`
+    pass                               empty body
+
+Expressions: ``+ - * / // %``, comparisons, ``and/or/not``, unary ``-``,
+int/float/bool literals, member chains, pure-function calls. Both ``/``
+and ``//`` lower to Grafter's ``/`` (which is integer division on
+ints — spell it ``//`` in embedded code so the Python reads honestly).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Iterable, Optional, Union
+
+from repro.errors import EmbedError
+from repro.ir.access import AccessPath, Receiver
+from repro.ir.builder import RawStep, ScopeInfo, resolve_member_chain
+from repro.ir.exprs import BinOp, Const, DataAccess, Expr, PureCall, UnaryOp
+from repro.ir.method import Param, PureFunction, TraversalMethod
+from repro.ir.program import EntryCall, Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+from repro.ir.types import OpaqueClass, TreeType, is_primitive
+from repro.ir.validate import LanguageMode, validate_program
+
+# Python annotation -> Grafter primitive type name. ``float`` maps to
+# ``double`` (the parser's literal type for floating constants).
+_PRIMITIVES = {
+    int: "int",
+    float: "double",
+    bool: "bool",
+    "int": "int",
+    "float": "double",
+    "double": "double",
+    "bool": "bool",
+    "char": "char",
+}
+
+_BIN_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "/",
+    ast.Mod: "%",
+}
+
+_CMP_OPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+
+# ===========================================================================
+# declaration markers (what the decorators attach)
+# ===========================================================================
+
+
+class Global:
+    """A module-level global-variable declaration.
+
+    ``PAGE_WIDTH = repro.Global(int, 800)`` declares an *off-tree*
+    location of Grafter type ``int`` whose runtime default is 800; the
+    name comes from the module attribute during :func:`lower_module`.
+    Globals are runtime state (paper §3.1), so the default lives
+    outside the program — harvest the module's defaults with
+    :func:`default_globals` and pass them as the workload's
+    ``globals_map``.
+    """
+
+    def __init__(self, type_=int, default=None):
+        type_name = _PRIMITIVES.get(type_)
+        if type_name is None:
+            raise EmbedError(
+                f"Global type must be a primitive (int/float/bool), "
+                f"got {type_!r}"
+            )
+        self.type_name = type_name
+        self.default = default
+
+
+@dataclass
+class _PureInfo:
+    name: str
+    params: tuple[tuple[str, str], ...]
+    return_type: str
+    reads_globals: tuple[str, ...]
+    fn: Callable
+
+
+@dataclass
+class _TraversalInfo:
+    name: str
+    params: tuple[tuple[str, str], ...]  # beyond the receiver
+    this_name: str
+    virtual: bool
+    node: ast.FunctionDef
+    filename: str
+    fn: Callable
+
+
+@dataclass
+class _SchemaInfo:
+    cls: type
+    name: str
+    abstract: bool
+    tree_override: Optional[bool]
+    bases: tuple[type, ...]
+    raw_fields: tuple[tuple[str, object, object], ...]  # (name, annot, default)
+    traversals: tuple[_TraversalInfo, ...]
+    is_tree: bool = dc_field(default=False)
+
+
+@dataclass
+class _EntryInfo:
+    root: object  # schema class or type name
+    node: ast.FunctionDef
+    filename: str
+
+
+def _annotation_of(fn: Callable, name: str, where: str) -> str:
+    annotation = fn.__annotations__.get(name)
+    type_name = _PRIMITIVES.get(annotation)
+    if type_name is None:
+        raise EmbedError(
+            f"{where}: parameter {name!r} needs a primitive annotation "
+            f"(int/float/bool), got {annotation!r}"
+        )
+    return type_name
+
+
+def _capture_function_ast(fn: Callable) -> ast.FunctionDef:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as error:
+        raise EmbedError(
+            f"cannot capture source of {fn.__qualname__}: {error}"
+        ) from error
+    node = ast.parse(source).body[0]
+    if not isinstance(node, ast.FunctionDef):  # pragma: no cover
+        raise EmbedError(f"{fn.__qualname__} is not a plain function")
+    return node
+
+
+# ===========================================================================
+# the decorators
+# ===========================================================================
+
+
+def pure(fn=None, *, name: Optional[str] = None, reads_globals: Iterable[str] = ()):
+    """Declare a module-level function as a Grafter ``_pure_`` function.
+
+    The signature (primitive annotations) becomes the declaration; the
+    function object itself becomes the bound impl — so impls are
+    captured automatically and, being module-level, stay portable
+    across processes (see :func:`repro.pipeline.options.impl_ref`).
+    """
+
+    def decorate(func):
+        params = tuple(
+            (p, _annotation_of(func, p, f"pure {func.__qualname__}"))
+            for p in inspect.signature(func).parameters
+        )
+        return_type = _annotation_of(
+            func, "return", f"pure {func.__qualname__}"
+        )
+        func.__repro_pure__ = _PureInfo(
+            name=name or func.__name__,
+            params=params,
+            return_type=return_type,
+            reads_globals=tuple(reads_globals),
+            fn=func,
+        )
+        return func
+
+    return decorate(fn) if fn is not None else decorate
+
+
+def traversal(fn=None, *, virtual: bool = False):
+    """Declare a method of a ``@schema`` class as a traversal.
+
+    The body is captured as an AST at decoration time and lowered when
+    the surrounding module is built into a program; it never runs as
+    Python. The first parameter is the receiver (conventionally named
+    ``this``); remaining parameters need primitive annotations.
+    """
+
+    def decorate(func):
+        node = _capture_function_ast(func)
+        arg_names = [a.arg for a in node.args.args]
+        if not arg_names:
+            raise EmbedError(
+                f"traversal {func.__qualname__} needs a receiver "
+                f"parameter (conventionally `this`)"
+            )
+        params = tuple(
+            (p, _annotation_of(func, p, f"traversal {func.__qualname__}"))
+            for p in arg_names[1:]
+        )
+        func.__repro_traversal__ = _TraversalInfo(
+            name=func.__name__,
+            params=params,
+            this_name=arg_names[0],
+            virtual=virtual,
+            node=node,
+            filename=func.__code__.co_filename,
+            fn=func,
+        )
+        return func
+
+    return decorate(fn) if fn is not None else decorate
+
+
+def schema(cls=None, *, tree: Optional[bool] = None, abstract: bool = False):
+    """Declare a class as part of a traversal program's schema.
+
+    Whether the class is a *tree* class or an *opaque* data class is
+    inferred: traversal methods, tree-typed fields, a tree base class or
+    ``abstract=True`` all make it a tree class; a plain bag of primitive
+    fields is opaque. Pass ``tree=True``/``tree=False`` to override.
+    """
+
+    def decorate(klass):
+        raw_fields = tuple(
+            (field_name, annotation, getattr(klass, field_name, None))
+            for field_name, annotation in vars(klass)
+            .get("__annotations__", {})
+            .items()
+        )
+        traversals = tuple(
+            value.__repro_traversal__
+            for value in vars(klass).values()
+            if isinstance(value, types.FunctionType)
+            and hasattr(value, "__repro_traversal__")
+        )
+        klass.__repro_schema__ = _SchemaInfo(
+            cls=klass,
+            name=klass.__name__,
+            abstract=abstract,
+            tree_override=tree,
+            bases=tuple(
+                base
+                for base in klass.__bases__
+                if hasattr(base, "__repro_schema__")
+            ),
+            raw_fields=raw_fields,
+            traversals=traversals,
+        )
+        return klass
+
+    return decorate(cls) if cls is not None else decorate
+
+
+def entry(root):
+    """Declare the program's ``main``: the entry traversal sequence.
+
+    ``root`` is the tree root's schema class (or its name); the
+    decorated function's single parameter stands for the root node and
+    each body statement must be a traversal call on it with constant
+    arguments — exactly the shape the string DSL's ``main`` allows.
+    """
+
+    def decorate(fn):
+        node = _capture_function_ast(fn)
+        fn.__repro_entry__ = _EntryInfo(
+            root=root, node=node, filename=fn.__code__.co_filename
+        )
+        return fn
+
+    return decorate
+
+
+# ===========================================================================
+# lowering
+# ===========================================================================
+
+
+def default_globals(module) -> dict:
+    """The runtime defaults of every :class:`Global` declared in
+    *module* — ready to use as a workload's ``globals_map``::
+
+        workload = repro.Workload.from_program(
+            repro.lower_module(__name__),
+            build_tree,
+            globals_map=repro.default_globals(__name__),
+        )
+    """
+    import importlib
+    import sys
+
+    if isinstance(module, str):
+        module = sys.modules.get(module) or importlib.import_module(module)
+    return {
+        attr_name: declared.default
+        for attr_name, declared in vars(module).items()
+        if isinstance(declared, Global)
+    }
+
+
+def lower_module(module, name: str = "program", validate: bool = True) -> Program:
+    """Build a :class:`Program` from every declaration in *module*.
+
+    *module* is a module object or importable/imported module name.
+    Declarations are collected in definition order (module namespace
+    order), so the canonical print — and therefore the content hash —
+    is deterministic and matches an equivalently ordered string-DSL
+    source.
+    """
+    import importlib
+    import sys
+
+    if isinstance(module, str):
+        module = sys.modules.get(module) or importlib.import_module(module)
+    namespace = vars(module)
+    classes: list[_SchemaInfo] = []
+    pures: list[_PureInfo] = []
+    globals_: dict[str, Global] = {}
+    entry_info: Optional[_EntryInfo] = None
+    for attr_name, value in namespace.items():
+        if isinstance(value, Global):
+            globals_[attr_name] = value
+        elif isinstance(value, type) and "__repro_schema__" in vars(value):
+            if not any(
+                info.cls is value for info in classes
+            ):
+                classes.append(value.__repro_schema__)
+        elif callable(value) and hasattr(value, "__repro_pure__"):
+            if not any(
+                info.fn is value.__repro_pure__.fn for info in pures
+            ):
+                pures.append(value.__repro_pure__)
+        elif callable(value) and hasattr(value, "__repro_entry__"):
+            if (
+                entry_info is not None
+                and entry_info is not value.__repro_entry__
+            ):
+                raise EmbedError(
+                    f"module {module.__name__!r} declares more than one "
+                    f"@entry function; a program has one main"
+                )
+            entry_info = value.__repro_entry__
+    return lower(
+        name,
+        classes=[info.cls for info in classes],
+        pures=[info.fn for info in pures],
+        globals_={n: g for n, g in globals_.items()},
+        entry=entry_info,
+        validate=validate,
+    )
+
+
+def lower(
+    name: str,
+    *,
+    classes: Iterable[type],
+    pures: Iterable[Callable] = (),
+    globals_: Optional[dict[str, Global]] = None,
+    entry: Optional[Union[Callable, _EntryInfo]] = None,
+    validate: bool = True,
+    mode: LanguageMode = LanguageMode.GRAFTER,
+) -> Program:
+    """Lower explicit collections of decorated declarations to a
+    finalized (and by default validated) :class:`Program` — the
+    list-driven spelling of :func:`lower_module`."""
+    infos = [_schema_info(cls) for cls in classes]
+    _infer_tree_classes(infos)
+    lowerer = _ProgramLowerer(
+        name=name,
+        infos=infos,
+        pures=[fn.__repro_pure__ for fn in pures],
+        globals_=globals_ or {},
+        mode=mode,
+    )
+    if entry is not None and not isinstance(entry, _EntryInfo):
+        entry = entry.__repro_entry__
+    program = lowerer.build(entry)
+    if validate:
+        validate_program(program, mode)
+    return program
+
+
+def _schema_info(cls: type) -> _SchemaInfo:
+    info = getattr(cls, "__repro_schema__", None)
+    if info is None or info.cls is not cls:
+        raise EmbedError(f"{cls!r} is not decorated with @repro.schema")
+    return info
+
+
+def _infer_tree_classes(infos: list[_SchemaInfo]) -> None:
+    """Fixpoint classification: tree-ness propagates along bases (both
+    directions — Grafter hierarchies are tree-only) and from tree-typed
+    fields to their owners (a node holding a child is itself a node)."""
+    by_cls = {info.cls: info for info in infos}
+    by_name = {info.name: info for info in infos}
+    for info in infos:
+        if info.tree_override is not None:
+            info.is_tree = info.tree_override
+        else:
+            info.is_tree = bool(
+                info.traversals or info.abstract or info.bases
+            )
+    changed = True
+    while changed:
+        changed = False
+        for info in infos:
+            if info.is_tree or info.tree_override is not None:
+                continue
+            makes_tree = any(
+                base in by_cls and by_cls[base].is_tree
+                for base in info.bases
+            )
+            for _, annotation, _ in info.raw_fields:
+                target = None
+                if isinstance(annotation, str):
+                    target = by_name.get(annotation)
+                elif isinstance(annotation, type):
+                    target = by_cls.get(annotation)
+                if target is not None and target.is_tree:
+                    makes_tree = True
+            if makes_tree:
+                info.is_tree = True
+                changed = True
+    # subclasses of a tree are trees even with explicit overrides absent
+    for info in infos:
+        for base in info.bases:
+            base_info = by_cls.get(base)
+            if base_info is not None and info.is_tree and not base_info.is_tree:
+                raise EmbedError(
+                    f"{info.name} is a tree class but its base "
+                    f"{base_info.name} is opaque; tree classes may only "
+                    f"extend tree classes"
+                )
+
+
+class _ProgramLowerer:
+    """Assembles a Program from collected schema/pure/global/entry info,
+    mirroring the parser's two-pass structure: declarations and frozen
+    types first, then method bodies, then the virtual-flag fixup and the
+    entry sequence."""
+
+    def __init__(self, name, infos, pures, globals_, mode):
+        self.program = Program(name)
+        self.infos = infos
+        self.pures = pures
+        self.globals = globals_
+        self.mode = mode
+        self.class_names = {info.name: info for info in infos}
+
+    def build(self, entry_info: Optional[_EntryInfo]) -> Program:
+        program = self.program
+        for name, declared in self.globals.items():
+            program.add_global(name, declared.type_name)
+        for info in self.infos:
+            if not info.is_tree:
+                self._add_opaque(info)
+        for pure_info in self.pures:
+            program.add_pure_function(
+                PureFunction(
+                    name=pure_info.name,
+                    params=tuple(
+                        Param(n, t) for n, t in pure_info.params
+                    ),
+                    return_type=pure_info.return_type,
+                    impl=pure_info.fn,
+                    reads_globals=frozenset(pure_info.reads_globals),
+                )
+            )
+        for info in self.infos:
+            if info.is_tree:
+                self._add_tree_type(info)
+        program.finalize_types()
+        # register every method signature before lowering any body so
+        # forward references and mutual recursion resolve (the parser
+        # does the same with its pending-method list)
+        registered: list[tuple[_SchemaInfo, _TraversalInfo, TraversalMethod]] = []
+        for info in self.infos:
+            if not info.is_tree:
+                continue
+            for trav in info.traversals:
+                method = TraversalMethod(
+                    name=trav.name,
+                    owner=info.name,
+                    params=tuple(Param(n, t) for n, t in trav.params),
+                    virtual=trav.virtual,
+                )
+                program.tree_types[info.name].add_method(method)
+                registered.append((info, trav, method))
+        for info, trav, method in registered:
+            method.body = _BodyLowerer(self, info.name, trav).lower()
+        self._fixup_virtual_flags()
+        if entry_info is not None:
+            self._lower_entry(entry_info)
+        program.finalize()
+        return program
+
+    # -- declarations ---------------------------------------------------
+
+    def _add_opaque(self, info: _SchemaInfo) -> None:
+        cls = OpaqueClass(info.name)
+        for field_name, annotation, default in info.raw_fields:
+            type_name = self._resolve_type(annotation, info, field_name)
+            if not is_primitive(type_name):
+                raise EmbedError(
+                    f"opaque class {info.name} field {field_name!r} must "
+                    f"be primitive, got {type_name!r}"
+                )
+            cls.add_field(field_name, type_name)
+        self.program.add_opaque_class(cls)
+
+    def _add_tree_type(self, info: _SchemaInfo) -> None:
+        tree_type = TreeType(
+            info.name,
+            bases=[base.__name__ for base in info.bases],
+            abstract=info.abstract,
+        )
+        for field_name, annotation, default in info.raw_fields:
+            type_name = self._resolve_type(annotation, info, field_name)
+            target = self.class_names.get(type_name)
+            if target is not None and target.is_tree:
+                if default is not None:
+                    raise EmbedError(
+                        f"{info.name}.{field_name}: child fields take no "
+                        f"default (children start null)"
+                    )
+                tree_type.add_child(field_name, type_name)
+            else:
+                tree_type.add_data(field_name, type_name, default=default)
+        self.program.add_tree_type(tree_type)
+
+    def _resolve_type(self, annotation, info: _SchemaInfo, field_name: str) -> str:
+        if annotation in _PRIMITIVES:
+            return _PRIMITIVES[annotation]
+        if isinstance(annotation, type) and annotation in {
+            i.cls for i in self.infos
+        }:
+            return annotation.__name__
+        if isinstance(annotation, str) and annotation in self.class_names:
+            return annotation
+        raise EmbedError(
+            f"{info.name}.{field_name}: unknown field type {annotation!r} "
+            f"(primitives, @schema classes, or their names)"
+        )
+
+    # -- virtual fixup (same rule as the parser) ------------------------
+
+    def _fixup_virtual_flags(self) -> None:
+        program = self.program
+        order = sorted(
+            program.tree_types, key=lambda n: len(program.mro(n))
+        )
+        for type_name in order:
+            tree_type = program.tree_types[type_name]
+            for method in tree_type.methods.values():
+                if method.virtual:
+                    continue
+                for ancestor_name in program.mro(type_name)[1:]:
+                    ancestor = program.tree_types[ancestor_name]
+                    base_method = ancestor.methods.get(method.name)
+                    if base_method is not None and base_method.virtual:
+                        method.virtual = True
+                        break
+
+    # -- entry ----------------------------------------------------------
+
+    def _lower_entry(self, info: _EntryInfo) -> None:
+        root = info.root
+        root_name = root if isinstance(root, str) else root.__name__
+        if root_name not in self.program.tree_types:
+            raise EmbedError(
+                f"entry root {root_name!r} is not a tree class"
+            )
+        node = info.node
+        if len(node.args.args) != 1:
+            raise EmbedError(
+                "an @entry function takes exactly one parameter (the "
+                "tree root)",
+                info.filename,
+                node.lineno,
+            )
+        root_var = node.args.args[0].arg
+        calls: list[EntryCall] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and isinstance(stmt.value.func.value, ast.Name)
+                and stmt.value.func.value.id == root_var
+            ):
+                args = tuple(
+                    self._entry_arg(arg, info) for arg in stmt.value.args
+                )
+                calls.append(
+                    EntryCall(
+                        method_name=stmt.value.func.attr, args=args
+                    )
+                )
+                continue
+            raise EmbedError(
+                f"entry statements must be `{root_var}.traversal(...)` "
+                f"calls",
+                info.filename,
+                stmt.lineno,
+            )
+        self.program.set_entry(root_name, calls)
+
+    def _entry_arg(self, node: ast.expr, info: _EntryInfo) -> Expr:
+        negate = False
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            negate = True
+            node = node.operand
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool):
+                return Const(value, "bool")
+            if isinstance(value, int):
+                return Const(-value if negate else value, "int")
+            if isinstance(value, float):
+                return Const(-value if negate else value, "double")
+        raise EmbedError(
+            "entry-call arguments must be constants",
+            info.filename,
+            node.lineno,
+        )
+
+
+class _BodyLowerer:
+    """Lowers one captured traversal body (a Python AST) to IR
+    statements — the embedded counterpart of the parser's
+    ``_BodyParser``, sharing its resolution layer."""
+
+    def __init__(self, owner: _ProgramLowerer, type_name: str, trav: _TraversalInfo):
+        self.ctx = owner
+        self.program = owner.program
+        self.owner = type_name
+        self.trav = trav
+        self.this_name = trav.this_name
+        self.scope = ScopeInfo()
+        for param_name, param_type in trav.params:
+            self.scope.locals[param_name] = param_type
+
+    def lower(self) -> list[Stmt]:
+        return self._lower_block(self.trav.node.body)
+
+    def error(self, message: str, node: ast.AST) -> EmbedError:
+        return EmbedError(
+            f"in traversal {self.owner}.{self.trav.name}: {message}",
+            self.trav.filename,
+            getattr(node, "lineno", 0),
+        )
+
+    # -- statements -----------------------------------------------------
+
+    def _lower_block(self, stmts: list[ast.stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            lowered = self._lower_stmt(stmt)
+            if lowered is not None:
+                out.append(lowered)
+        return out
+
+    def _lower_stmt(self, node: ast.stmt) -> Optional[Stmt]:
+        if isinstance(node, ast.Pass):
+            return None
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                raise self.error("traversals return no value", node)
+            return Return()
+        if isinstance(node, ast.If):
+            return If(
+                cond=self._lower_expr(node.test),
+                then_body=self._lower_block(node.body),
+                else_body=self._lower_block(node.orelse),
+            )
+        if isinstance(node, ast.While):
+            if node.orelse:
+                raise self.error("while/else is not representable", node)
+            return While(
+                cond=self._lower_expr(node.test),
+                body=self._lower_block(node.body),
+            )
+        if isinstance(node, ast.AnnAssign):
+            return self._lower_ann_assign(node)
+        if isinstance(node, ast.Assign):
+            return self._lower_assign(node)
+        if isinstance(node, ast.AugAssign):
+            return self._lower_aug_assign(node)
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant) and (
+                node.value.value is Ellipsis
+                or isinstance(node.value.value, str)
+            ):
+                return None  # `...` placeholder bodies and docstrings
+            return self._lower_call_stmt(node)
+        if isinstance(node, ast.Delete):
+            if len(node.targets) != 1:
+                raise self.error("delete one node at a time", node)
+            return Delete(target=self._lower_path(node.targets[0]))
+        raise self.error(
+            f"unsupported statement {type(node).__name__}", node
+        )
+
+    def _lower_ann_assign(self, node: ast.AnnAssign) -> Stmt:
+        if not isinstance(node.target, ast.Name):
+            raise self.error(
+                "only local definitions take annotations", node
+            )
+        local_name = node.target.id
+        annotation = self._annotation_name(node)
+        info = self.ctx.class_names.get(annotation)
+        if info is not None and info.is_tree:
+            # n: TreeClass = this.Child  ->  an alias definition
+            if node.value is None:
+                raise self.error(
+                    "tree aliases need a target node", node
+                )
+            target = self._lower_path(node.value)
+            stmt = AliasDef(
+                name=local_name, type_name=annotation, target=target
+            )
+            self.scope.aliases[local_name] = annotation
+            return stmt
+        init = (
+            self._lower_expr(node.value) if node.value is not None else None
+        )
+        self.scope.locals[local_name] = annotation
+        return LocalDef(name=local_name, type_name=annotation, init=init)
+
+    def _annotation_name(self, node: ast.AnnAssign) -> str:
+        annotation = node.annotation
+        if isinstance(annotation, ast.Name):
+            name = annotation.id
+        elif isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            name = annotation.value
+        else:
+            raise self.error(
+                "local annotations must be plain names", node
+            )
+        if name in _PRIMITIVES:
+            return _PRIMITIVES[name]
+        if (
+            name in self.ctx.class_names
+            or name in self.program.opaque_classes
+        ):
+            return name
+        raise self.error(f"unknown local type {name!r}", node)
+
+    def _lower_assign(self, node: ast.Assign) -> Stmt:
+        if len(node.targets) != 1:
+            raise self.error("chained assignment is not supported", node)
+        target = node.targets[0]
+        # this.Child = TreeClass()  ->  new-statement
+        if (
+            isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id in self.ctx.class_names
+            and self.ctx.class_names[node.value.func.id].is_tree
+        ):
+            if node.value.args or node.value.keywords:
+                raise self.error(
+                    "tree constructors take no arguments (trivial "
+                    "ctor, paper §3.5)",
+                    node,
+                )
+            return New(
+                target=self._lower_path(target),
+                type_name=node.value.func.id,
+            )
+        return Assign(
+            target=self._lower_path(target),
+            value=self._lower_expr(node.value),
+        )
+
+    def _lower_aug_assign(self, node: ast.AugAssign) -> Stmt:
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise self.error(
+                f"unsupported augmented op {type(node.op).__name__}", node
+            )
+        path = self._lower_path(node.target)
+        return Assign(
+            target=path,
+            value=BinOp(
+                op=op,
+                lhs=DataAccess(path=path),
+                rhs=self._lower_expr(node.value),
+            ),
+        )
+
+    def _lower_call_stmt(self, node: ast.Expr) -> Stmt:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            raise self.error(
+                "expression statements must be calls", node
+            )
+        if call.keywords:
+            raise self.error("calls take positional arguments only", call)
+        args = tuple(self._lower_expr(arg) for arg in call.args)
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.program.pure_functions:
+                return PureStmt(
+                    call=PureCall(func_name=func.id, args=args)
+                )
+            raise self.error(f"unknown function {func.id!r}", call)
+        if isinstance(func, ast.Attribute):
+            return self._make_traverse(func, args)
+        raise self.error("unsupported call form", call)
+
+    def _make_traverse(
+        self, func: ast.Attribute, args: tuple[Expr, ...]
+    ) -> TraverseStmt:
+        base, steps = self._chain(func.value)
+        method_name = func.attr
+        if base != self.this_name:
+            raise self.error(
+                "traversal calls must be invoked on the receiver or a "
+                "direct child (rule 7)",
+                func,
+            )
+        if len(steps) == 0:
+            receiver = Receiver(child=None)
+            receiver_type = self.owner
+        elif len(steps) == 1:
+            field = self.program.resolve_field(self.owner, steps[0].name)
+            if not field.is_child:
+                raise self.error(
+                    f"{steps[0].name!r} is not a child field", func
+                )
+            receiver = Receiver(child=field)
+            receiver_type = field.type_name
+        else:
+            raise self.error(
+                "traversal receivers are the receiver or one child hop "
+                "(rule 7)",
+                func,
+            )
+        if not self.program.has_method(receiver_type, method_name):
+            raise self.error(
+                f"type {receiver_type} has no traversal {method_name!r}",
+                func,
+            )
+        return TraverseStmt(
+            receiver=receiver, method_name=method_name, args=args
+        )
+
+    # -- paths ----------------------------------------------------------
+
+    def _chain(self, node: ast.expr) -> tuple[str, list[RawStep]]:
+        steps: list[RawStep] = []
+        while isinstance(node, ast.Attribute):
+            steps.append(RawStep(name=node.attr))
+            node = node.value
+        if not isinstance(node, ast.Name):
+            raise self.error(
+                "member chains must be rooted at the receiver, a "
+                "local, or a global",
+                node,
+            )
+        steps.reverse()
+        return node.id, steps
+
+    def _lower_path(self, node: ast.expr) -> AccessPath:
+        base, steps = self._chain(node)
+        if base == self.this_name:
+            return resolve_member_chain(
+                self.program, "this", self.owner, steps, start_is_tree=True
+            )
+        if base in self.scope.aliases:
+            return resolve_member_chain(
+                self.program,
+                f"local:{base}",
+                self.scope.aliases[base],
+                steps,
+                start_is_tree=True,
+            )
+        if base in self.scope.locals:
+            return resolve_member_chain(
+                self.program,
+                f"local:{base}",
+                self.scope.locals[base],
+                steps,
+                start_is_tree=False,
+            )
+        if base in self.program.globals:
+            return resolve_member_chain(
+                self.program,
+                f"global:{base}",
+                self.program.globals[base].type_name,
+                steps,
+                start_is_tree=False,
+            )
+        raise self.error(f"unknown name {base!r}", node)
+
+    # -- expressions ----------------------------------------------------
+
+    def _lower_expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool):
+                return Const(value, "bool")
+            if isinstance(value, int):
+                return Const(value, "int")
+            if isinstance(value, float):
+                return Const(value, "double")
+            if isinstance(value, str) and len(value) == 1:
+                return Const(value, "char")
+            raise self.error(f"unsupported literal {value!r}", node)
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise self.error(
+                    f"unsupported operator {type(node.op).__name__}", node
+                )
+            return BinOp(
+                op=op,
+                lhs=self._lower_expr(node.left),
+                rhs=self._lower_expr(node.right),
+            )
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.error(
+                    "chained comparisons are not representable; split "
+                    "them with `and`",
+                    node,
+                )
+            op = _CMP_OPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.error(
+                    f"unsupported comparison "
+                    f"{type(node.ops[0]).__name__}",
+                    node,
+                )
+            return BinOp(
+                op=op,
+                lhs=self._lower_expr(node.left),
+                rhs=self._lower_expr(node.comparators[0]),
+            )
+        if isinstance(node, ast.BoolOp):
+            op = "&&" if isinstance(node.op, ast.And) else "||"
+            lowered = [self._lower_expr(v) for v in node.values]
+            result = lowered[0]
+            for rhs in lowered[1:]:
+                result = BinOp(op=op, lhs=result, rhs=rhs)
+            return result
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return UnaryOp(op="-", operand=self._lower_expr(node.operand))
+            if isinstance(node.op, ast.Not):
+                return UnaryOp(op="!", operand=self._lower_expr(node.operand))
+            raise self.error(
+                f"unsupported unary {type(node.op).__name__}", node
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name):
+                raise self.error(
+                    "only pure functions are callable inside "
+                    "expressions (traversal calls are statements)",
+                    node,
+                )
+            if node.func.id not in self.program.pure_functions:
+                raise self.error(
+                    f"unknown pure function {node.func.id!r}", node
+                )
+            if node.keywords:
+                raise self.error(
+                    "calls take positional arguments only", node
+                )
+            return PureCall(
+                func_name=node.func.id,
+                args=tuple(self._lower_expr(a) for a in node.args),
+            )
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return DataAccess(path=self._lower_path(node))
+        raise self.error(
+            f"unsupported expression {type(node).__name__}", node
+        )

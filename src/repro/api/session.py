@@ -1,0 +1,221 @@
+"""The :class:`Session` facade: compile + cache + execute behind one object.
+
+Everything the compile/runtime/service stack can do for a workload is
+reachable from here::
+
+    import repro
+    from repro.workloads.render import render_workload
+
+    with repro.Session(cache_dir="./artifacts") as session:
+        compiled = session.compile(render_workload())
+        outcome = compiled.run(trees=8, pages=2)
+        print(outcome.summaries[0], session.stats()["executor"]["waves"])
+
+``Session`` owns a :class:`~repro.pipeline.options.CompileOptions`
+template (so one ``cache_dir`` covers the in-memory compile cache, the
+on-disk artifact store, and the executor's workers), and a lazily
+created :class:`~repro.service.executor.BatchExecutor` (so sessions that
+only compile never spin up a pool). The old spellings — calling
+``pipeline.compile`` with loose impls, hand-building ``ExecRequest``s,
+wiring a ``BatchExecutor`` yourself — keep working as deprecation
+shims, but this is the supported front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence, Union
+
+from repro.api.workload import Workload
+from repro.pipeline import CompileOptions, CompileResult
+from repro.pipeline import compile as pipeline_compile
+
+
+@dataclass
+class RunOutcome:
+    """One forest execution: per-tree results plus the wave's stats."""
+
+    workload: Workload
+    trees: list  # TreeResult, in forest order
+    wall_seconds: float
+
+    @property
+    def summaries(self) -> list:
+        return [t.summary for t in self.trees]
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+
+@dataclass
+class CompiledWorkload:
+    """A workload bound to its compile result and owning session —
+    what :meth:`Session.compile` returns; ``.run(trees)`` executes."""
+
+    session: "Session"
+    workload: Workload
+    result: CompileResult
+
+    @property
+    def source_hash(self) -> str:
+        return self.result.source_hash
+
+    @property
+    def fused(self):
+        return self.result.fused
+
+    @property
+    def fused_source(self) -> Optional[str]:
+        return self.result.fused_source
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.result.cache_hit
+
+    def run(
+        self,
+        trees: Union[int, Sequence] = 1,
+        *,
+        fused: bool = True,
+        collect: Optional[Callable] = None,
+        **spec_kwargs,
+    ) -> RunOutcome:
+        return self.session.run(
+            self.workload,
+            trees,
+            fused=fused,
+            collect=collect,
+            **spec_kwargs,
+        )
+
+
+class Session:
+    """Compile and run workloads with shared caching and one executor."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        *,
+        options: Optional[CompileOptions] = None,
+        workers: int = 2,
+        backend: str = "thread",
+    ):
+        base = options if options is not None else CompileOptions()
+        if cache_dir is not None and base.cache_dir is None:
+            base = replace(base, cache_dir=cache_dir)
+        self.options = base
+        self.cache_dir = self.options.cache_dir
+        self.workers = workers
+        self.backend = backend
+        self._executor = None
+
+    # -- compilation ----------------------------------------------------
+
+    def compile(
+        self,
+        workload: Union[Workload, str],
+        *,
+        options: Optional[CompileOptions] = None,
+        **option_overrides,
+    ) -> CompiledWorkload:
+        """Compile a workload (or raw Grafter source) through the staged
+        pipeline under this session's options. Keyword overrides patch
+        individual option fields (``emit=False``, ``mode=...``, …)."""
+        effective = options if options is not None else self.options
+        if option_overrides:
+            effective = replace(effective, **option_overrides)
+        if isinstance(workload, str):
+            workload = Workload(
+                name="inline",
+                source=workload,
+                build_tree=_no_build_tree,
+            )
+        result = pipeline_compile(workload, options=effective)
+        return CompiledWorkload(
+            session=self, workload=workload, result=result
+        )
+
+    # -- execution ------------------------------------------------------
+
+    @property
+    def executor(self):
+        """The session's batch executor (created on first use)."""
+        if self._executor is None:
+            from repro.service.executor import BatchExecutor
+
+            self._executor = BatchExecutor(
+                workers=self.workers,
+                backend=self.backend,
+                cache_dir=self.cache_dir,
+            )
+        return self._executor
+
+    def run(
+        self,
+        workload: Workload,
+        trees: Union[int, Sequence] = 1,
+        *,
+        fused: bool = True,
+        collect: Optional[Callable] = None,
+        options: Optional[CompileOptions] = None,
+        **spec_kwargs,
+    ) -> RunOutcome:
+        """Compile-if-needed and execute a forest; raises on failure."""
+        request = workload.request(
+            trees,
+            options=options if options is not None else self.options,
+            fused=fused,
+            collect=collect,
+            **spec_kwargs,
+        )
+        result = self.executor.run([request])[0]
+        if not result.ok:
+            raise RuntimeError(
+                f"workload {workload.name!r} failed: {result.error}"
+            )
+        return RunOutcome(
+            workload=workload,
+            trees=result.trees,
+            wall_seconds=result.wall_seconds,
+        )
+
+    def submit(self, workload: Workload, trees=1, **kwargs):
+        """Async variant of :meth:`run`: returns the executor's future."""
+        request = workload.request(
+            trees, options=kwargs.pop("options", self.options), **kwargs
+        )
+        return self.executor.submit(request)
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        from repro.pipeline import GLOBAL_CACHE
+
+        stats = {"compile_cache": GLOBAL_CACHE.stats()}
+        if self._executor is not None:
+            stats["executor"] = self._executor.stats()
+        if self.cache_dir is not None:
+            from repro.service.store import store_for
+
+            stats["store"] = store_for(self.cache_dir).stats()
+        return stats
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _no_build_tree(program, heap, spec):  # pragma: no cover - guard only
+    raise RuntimeError(
+        "this inline-source workload has no tree builder; construct a "
+        "Workload with build_tree to execute it"
+    )

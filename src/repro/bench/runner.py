@@ -28,14 +28,68 @@ from repro.pipeline import compile as pipeline_compile
 from repro.treefuser import LoweredProgram, lower_program, lower_tree
 
 
-def fused_for(program: Program, limits: Optional[FusionLimits] = None) -> FusedProgram:
-    """Fuse via the pipeline (synthesis is compile-time work; repeated
-    requests for the same program + limits hit the compile cache)."""
+def fused_for(
+    program: Union[Program, "Workload"],
+    limits: Optional[FusionLimits] = None,
+) -> FusedProgram:
+    """Fuse a program or workload via the pipeline (synthesis is
+    compile-time work; repeated requests for the same program + limits
+    hit the compile cache)."""
     options = CompileOptions(
         limits=limits if limits is not None else FusionLimits(),
         emit=False,
     )
     return pipeline_compile(program, options=options).fused
+
+
+def compare_workload(
+    label: str,
+    workload: "Workload",
+    spec=None,
+    *,
+    cache_scale: Optional[int] = None,
+    limits: Optional[FusionLimits] = None,
+    options: Optional[CompileOptions] = None,
+    **spec_kwargs,
+) -> "CompareResult":
+    """Grafter experiment over a workload bundle: one input tree (the
+    default spec, or an explicit one), unfused then fused — the
+    Workload-native face of :func:`compare_fused_unfused`.
+
+    Pass a session's ``options`` so the compile shares its caches (in
+    particular an on-disk ``cache_dir`` — a warm store then serves the
+    fusion instead of a cold pipeline run)."""
+    from dataclasses import replace
+
+    from repro.api.workload import Workload as _W  # narrow import
+
+    if not isinstance(workload, _W):
+        raise TypeError(
+            f"compare_workload takes a Workload, got {type(workload).__name__}; "
+            f"use compare_fused_unfused for a bare Program"
+        )
+    base = options if options is not None else CompileOptions()
+    if limits is not None:
+        base = replace(base, limits=limits)
+    result = pipeline_compile(workload, options=replace(base, emit=False))
+    program = result.program
+    if spec is None:
+        spec = workload.spec(**spec_kwargs)
+
+    def build(p, h):
+        return workload.build_tree(p, h, spec)
+
+    unfused = measure_run(
+        program, build, workload.globals_map, cache_scale=cache_scale
+    )
+    fused = measure_run(
+        program,
+        build,
+        workload.globals_map,
+        fused=result.fused,
+        cache_scale=cache_scale,
+    )
+    return CompareResult(label=label, unfused=unfused, fused=fused)
 
 
 def lowered_for(program: Program) -> LoweredProgram:
@@ -100,9 +154,9 @@ class ForestRun:
 
 def run_forest(
     label: str,
-    source: Union[str, Program],
+    source: Union[str, Program, "Workload"],
     trees: Sequence,
-    build_tree: Callable,
+    build_tree: Optional[Callable] = None,
     *,
     globals_map: Optional[dict] = None,
     pure_impls: Optional[dict] = None,
@@ -116,6 +170,11 @@ def run_forest(
 ) -> ForestRun:
     """Execute a forest through the batch executor.
 
+    ``source`` is preferably a :class:`~repro.api.workload.Workload`
+    (its builder/impls/globals come along; ``build_tree`` and friends
+    stay ``None``); raw source/Program plus loose fields is the legacy
+    spelling and still works.
+
     ``sequential=True`` is the single-tree baseline: every tree becomes
     its own request executed in its own wave (each paying the full
     per-request service overhead), exactly what a client that never
@@ -128,19 +187,32 @@ def run_forest(
     """
     import time
 
+    from repro._compat import suppress_legacy_warnings
+    from repro.api.workload import Workload
     from repro.service.batching import ExecRequest
     from repro.service.executor import BatchExecutor
 
+    effective = options if options is not None else CompileOptions()
+
     def request(specs):
-        return ExecRequest(
-            source=source,
-            trees=list(specs),
-            build_tree=build_tree,
-            globals_map=globals_map,
-            pure_impls=pure_impls,
-            options=options if options is not None else CompileOptions(),
-            fused=fused,
-        )
+        if isinstance(source, Workload):
+            return ExecRequest.from_workload(
+                source, list(specs), options=effective, fused=fused
+            )
+        if build_tree is None:
+            raise TypeError(
+                "run_forest needs a Workload or an explicit build_tree"
+            )
+        with suppress_legacy_warnings():
+            return ExecRequest(
+                source=source,
+                trees=list(specs),
+                build_tree=build_tree,
+                globals_map=globals_map,
+                pure_impls=pure_impls,
+                options=effective,
+                fused=fused,
+            )
 
     owned = executor is None
     if owned:

@@ -49,6 +49,27 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _read_source(arg: str) -> tuple[str, str]:
+    """Resolve the ``compile`` command's source argument.
+
+    Accepts a file path, ``-`` for stdin, or inline Grafter source
+    (anything containing a brace that is not an existing file). Returns
+    ``(source_text, display_name)``.
+    """
+    import os
+
+    if arg == "-":
+        return sys.stdin.read(), "<stdin>"
+    if os.path.exists(arg):
+        return _read(arg), arg
+    if "{" in arg or "\n" in arg:
+        return arg, "<inline>"
+    raise ReproError(
+        f"no such file {arg!r} (pass '-' to read stdin, or inline "
+        f"source containing a class declaration)"
+    )
+
+
 def _load(path: str, mode: str):
     language_mode = (
         LanguageMode.TREEFUSER if mode == "treefuser" else LanguageMode.GRAFTER
@@ -57,15 +78,19 @@ def _load(path: str, mode: str):
 
 
 def _compile(args, emit: bool):
-    """Run the staged pipeline on the file named by *args*."""
+    """Run the staged pipeline on the source named by *args* (a file
+    path for every command; also ``-``/inline text for ``compile``)."""
     options = CompileOptions(
         mode=args.mode,
         emit=emit,
         cache_dir=getattr(args, "cache_dir", None),
     )
-    return pipeline_compile(
-        _read(args.file), options=options, name=args.file
-    )
+    if getattr(args, "flexible_source", False):
+        source, name = _read_source(args.file)
+    else:
+        source, name = _read(args.file), args.file
+    args.display_name = name
+    return pipeline_compile(source, options=options, name=name)
 
 
 def _entry_members(program):
@@ -148,7 +173,7 @@ def cmd_compile(args) -> int:
     result = _compile(args, emit=not args.no_emit)
     stats = result.fused.stats()
     status = "cache hit" if result.cache_hit else "cold"
-    print(f"{args.file}: compiled ({status})")
+    print(f"{args.display_name}: compiled ({status})")
     print(f"  fused units: {stats['units']}, "
           f"max width {stats['max_width']}, "
           f"fused call sites: {stats['group_calls']}")
@@ -176,23 +201,35 @@ def cmd_exec(args) -> int:
             f"unknown workload {args.workload!r}; "
             f"have {', '.join(sorted(WORKLOADS))}"
         )
+    spec = WORKLOADS[args.workload]
+    if args.pages is not None and spec.size_kwarg != "pages":
+        raise ReproError(
+            f"--pages is the render size knob; {args.workload} scales "
+            f"with --size (its {spec.size_kwarg!r})"
+        )
+    if args.pages is not None and args.size is not None:
+        raise ReproError(
+            "--pages and --size are the same knob; pass one of them"
+        )
+    size = args.size if args.size is not None else args.pages
     with TraversalService(
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
     ) as service:
-        spec = WORKLOADS[args.workload]
-        kwargs = {"trees": args.trees, "pages": args.pages}
         if args.sequential:
             # one request per tree, executed one wave at a time — the
             # single-tree baseline the batched mode is measured against
             results = [
-                service.executor.run([spec.make_request(trees=1,
-                                                        pages=args.pages)])[0]
+                service.executor.run(
+                    [spec.make_request(trees=1, size=size)]
+                )[0]
                 for _ in range(args.trees)
             ]
         else:
-            results = service.executor.run([spec.make_request(**kwargs)])
+            results = service.executor.run(
+                [spec.make_request(trees=args.trees, size=size)]
+            )
         failed = [r for r in results if not r.ok]
         if failed:
             raise ReproError(failed[0].error or "execution failed")
@@ -268,7 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         "compile",
         help="run the full staged pipeline (parse through python emission)",
     )
-    compile_cmd.add_argument("file", help="Grafter source file")
+    compile_cmd.add_argument(
+        "file",
+        help="Grafter source file, '-' for stdin, or inline source text",
+    )
+    compile_cmd.set_defaults(flexible_source=True)
     compile_cmd.add_argument(
         "--timings",
         action="store_true",
@@ -313,15 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exec_cmd.add_argument(
         "--workload", default="render",
-        help="registered workload name (default render)",
+        help="registered workload name (render, astlang, kdtree, fmm)",
     )
     exec_cmd.add_argument(
         "--trees", type=int, default=8,
         help="forest size (default 8)",
     )
     exec_cmd.add_argument(
-        "--pages", type=int, default=4,
-        help="tree size knob passed to the workload (default 4)",
+        "--size", type=int, default=None,
+        help="per-tree size knob (pages for render, functions for "
+             "astlang, depth for kdtree, particles for fmm); each "
+             "workload has its own default",
+    )
+    exec_cmd.add_argument(
+        "--pages", type=int, default=None,
+        help="legacy spelling of --size for the render workload",
     )
     exec_cmd.add_argument(
         "--sequential", action="store_true",

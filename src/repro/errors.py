@@ -28,6 +28,21 @@ class ValidationError(ReproError):
     """The program violates Grafter's language restrictions (paper Fig. 3)."""
 
 
+class EmbedError(ReproError):
+    """A Python-embedded traversal definition could not be lowered to IR.
+
+    Carries the offending construct's source location (``filename``,
+    ``line``) when known, so the message points at the decorated Python
+    code rather than at the lowering machinery."""
+
+    def __init__(self, message: str, filename: str = "", line: int = 0):
+        self.filename = filename
+        self.line = line
+        if filename:
+            message = f"{filename}:{line}: {message}"
+        super().__init__(message)
+
+
 class AnalysisError(ReproError):
     """Dependence/access analysis failure (internal invariant violations)."""
 

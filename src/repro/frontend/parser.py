@@ -565,6 +565,7 @@ class _BodyParser:
             return LocalDef(name=local_name, type_name=name, init=init)
         # pure call statement: p(args);
         if name in self.program.pure_functions and cursor.at("(", 1):
+            cursor.next()  # consume the function name
             call = self._parse_pure_call(name)
             cursor.expect(";")
             return PureStmt(call=call)

@@ -15,6 +15,7 @@ import time
 from dataclasses import replace
 from typing import Optional, Union
 
+from repro._compat import warn_legacy
 from repro.ir.program import Program
 from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
 from repro.pipeline.manager import PassContext, PassManager
@@ -29,14 +30,15 @@ from repro.pipeline.stages import default_passes
 
 
 def compile(
-    source: Union[str, Program],
+    source: Union[str, Program, "Workload"],
     *,
     options: Optional[CompileOptions] = None,
     name: str = "program",
     cache: Optional[CompileCache] = GLOBAL_CACHE,
     pure_impls: Optional[dict] = None,
 ) -> CompileResult:
-    """Compile Grafter source (or a Program) through the staged pipeline.
+    """Compile a Workload, Grafter source, or Program through the
+    staged pipeline.
 
     A second call with the same content and options is served from the
     cache: the returned result is the cached record with ``cache_hit``
@@ -55,6 +57,29 @@ def compile(
     spilled (unless ``options.persist`` is off) so *other processes*
     start warm.
     """
+    # Workload bundles carry their own impls and name; unpack them
+    # first so the rest of the driver sees the two primitive forms.
+    # Lazy import: repro.api sits above the pipeline.
+    from repro.api.workload import Workload
+
+    if isinstance(source, Workload):
+        if pure_impls is not None:
+            raise TypeError(
+                "pass impls inside the Workload, not as pure_impls"
+            )
+        name = source.name
+        pure_impls = (
+            dict(source.pure_impls) if source.pure_impls else None
+        )
+        source = source.source
+    elif pure_impls is not None:
+        # the pre-Workload spelling: loose impls threaded alongside the
+        # source. Kept as a shim (internal plumbing suppresses the
+        # warning; see repro._compat).
+        warn_legacy(
+            "pipeline.compile(source, pure_impls=...) is deprecated; "
+            "bundle the program and its impls in a repro.Workload"
+        )
     options = options if options is not None else CompileOptions()
     start = time.perf_counter()
     if isinstance(source, Program):

@@ -10,11 +10,15 @@ The HTTP layer is deliberately stdlib-only (``http.server``): the
 reproduction must not grow dependencies. Endpoints::
 
     GET  /healthz            -> {"ok": true}
-    GET  /stats              -> executor + store + cache statistics
+    GET  /stats              -> executor + store (eviction/compaction
+                                counters) + cache statistics
     POST /submit             -> {"request_id": N}; JSON body names a
                                 workload, e.g. {"workload": "render",
-                                "trees": 64, "pages": 4}
+                                "trees": 64, "pages": 4} or any
+                                registered name with its size knob
+                                ({"workload": "kdtree", "depth": 5})
     GET  /result/<id>        -> completion state / summaries of one id
+    POST /compact            -> drop unservable store entries
     POST /shutdown           -> stop serving (used by the smoke test)
 
 Handlers never execute traversals inline — submits go through the
@@ -24,6 +28,7 @@ batch runs (the point of a *service*).
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 from collections import OrderedDict
@@ -44,46 +49,104 @@ from repro.service.store import store_for
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A named, service-runnable workload."""
+    """A named, service-runnable workload.
+
+    ``make_workload`` resolves the underlying
+    :class:`~repro.api.workload.Workload` bundle lazily (workload
+    packages parse/lower their programs on first use — the registry
+    must import cheaply). ``size_kwarg`` names the bundle's size knob
+    (``pages``, ``depth``, ``particles``) so generic callers — the CLI's
+    ``--size``, the HTTP ``/submit`` body — can scale any workload
+    without knowing its vocabulary.
+    """
 
     name: str
     description: str
-    make_request: Callable[..., ExecRequest]
+    make_workload: Callable[[], "object"]
+    size_kwarg: str
+
+    def workload(self):
+        return self.make_workload()
+
+    def make_request(
+        self,
+        trees: int = 8,
+        fused: bool = True,
+        options: Optional[CompileOptions] = None,
+        size: Optional[int] = None,
+        **spec_kwargs,
+    ) -> ExecRequest:
+        if size is not None:
+            spec_kwargs.setdefault(self.size_kwarg, size)
+        return self.workload().request(
+            trees,
+            options=options if options is not None else CompileOptions(),
+            fused=fused,
+            **spec_kwargs,
+        )
 
 
-def _render_request(
-    trees: int = 8,
-    pages: int = 4,
-    fused: bool = True,
-    options: Optional[CompileOptions] = None,
-) -> ExecRequest:
-    from repro.workloads.render import (
-        DEFAULT_GLOBALS,
-        RENDER_PURE_IMPLS,
-        RENDER_SOURCE,
-        build_document,
-        replicated_pages_spec,
-    )
+# memoized: a sequential wave builds one request per tree, and the
+# bundle (program lowering + content hash) must not be re-derived per
+# request
+@functools.lru_cache(maxsize=None)
+def _render_workload():
+    from repro.workloads.render import render_workload
 
-    return ExecRequest(
-        source=RENDER_SOURCE,
-        trees=[replicated_pages_spec(pages) for _ in range(trees)],
-        build_tree=build_document,
-        globals_map=dict(DEFAULT_GLOBALS),
-        pure_impls=RENDER_PURE_IMPLS,
-        options=options if options is not None else CompileOptions(),
-        fused=fused,
-    )
+    return render_workload()
+
+
+@functools.lru_cache(maxsize=None)
+def _kdtree_workload():
+    from repro.workloads.kdtree import kdtree_workload
+
+    return kdtree_workload()
+
+
+@functools.lru_cache(maxsize=None)
+def _fmm_workload():
+    from repro.workloads.fmm import fmm_workload
+
+    return fmm_workload()
+
+
+@functools.lru_cache(maxsize=None)
+def _astlang_workload():
+    from repro.workloads.astlang import astlang_workload
+
+    return astlang_workload()
 
 
 WORKLOADS: dict[str, WorkloadSpec] = {
-    # extensible: registering a workload only takes a make_request
-    # builder whose trees/build_tree/impls survive pickle (see
-    # repro.service.batching)
+    # extensible: registering a workload takes one Workload bundle
+    # whose specs/build_tree/impls survive pickle (see
+    # repro.service.batching) plus the name of its size knob
     "render": WorkloadSpec(
         name="render",
         description="render-tree layout (paper §5.1): replicated pages",
-        make_request=_render_request,
+        make_workload=_render_workload,
+        size_kwarg="pages",
+    ),
+    "astlang": WorkloadSpec(
+        name="astlang",
+        description="AST optimization passes (paper §5.2): desugar, "
+        "propagate, fold, prune",
+        make_workload=_astlang_workload,
+        size_kwarg="functions",
+    ),
+    "kdtree": WorkloadSpec(
+        name="kdtree",
+        description="piecewise functions on kd-trees (paper §5.3): "
+        "equation schedules over balanced trees",
+        make_workload=_kdtree_workload,
+        size_kwarg="depth",
+    ),
+    "fmm": WorkloadSpec(
+        name="fmm",
+        description="fast multipole method (paper §5.4): 1D monopole "
+        "kernel over spatial trees",
+        make_workload=_fmm_workload,
+        size_kwarg="particles",
     ),
 }
 
@@ -182,14 +245,21 @@ class TraversalService:
     # -- stats ----------------------------------------------------------
 
     def stats(self) -> dict:
-        stats = {
+        # "store" is always present so dashboards can key on it: the
+        # eviction/compaction counters ride alongside the executor
+        # metrics when a store is attached, and read as null otherwise
+        return {
             "executor": self.executor.stats(),
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
+            "store": self.store.stats() if self.store is not None else None,
         }
-        if self.store is not None:
-            stats["store"] = self.store.stats()
-        return stats
+
+    def compact_store(self) -> dict:
+        """Run one artifact-store compaction (no-op without a store)."""
+        if self.store is None:
+            return {"removed": 0, "reclaimed_bytes": 0}
+        return self.store.compact()
 
     def close(self) -> None:
         self.executor.close()
@@ -240,6 +310,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:
+        if self.path == "/compact":
+            self._reply(200, self.service.compact_store())
+            return
         if self.path == "/shutdown":
             self._reply(200, {"ok": True})
             threading.Thread(

@@ -19,10 +19,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
+from repro._compat import warn_legacy
 from repro.ir.program import Program
 from repro.pipeline import CompileOptions, hash_program, hash_source
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.workload import Workload
 
 _request_ids = itertools.count(1)
 
@@ -44,8 +48,14 @@ def default_collect(program, heap, root) -> dict:
 class ExecRequest:
     """One unit of service work: run a program over a forest.
 
-    * ``source`` — Grafter source text (preferred: its content hash is
-      stable everywhere) or a built ``Program``.
+    The supported construction path is a :class:`~repro.api.workload.
+    Workload` — :meth:`from_workload` (or ``workload.request(...)``)
+    fills ``source``/``build_tree``/``globals_map``/``pure_impls`` from
+    the bundle. Filling those fields by hand still works as a
+    deprecation shim.
+
+    * ``source`` — Grafter source text (its content hash is stable
+      everywhere) or a built ``Program``.
     * ``trees`` — picklable tree specs; ``build_tree(program, heap,
       spec)`` realizes each one in a worker.
     * ``fused`` — run the fused module (the product under test) or the
@@ -54,15 +64,59 @@ class ExecRequest:
       per-tree summary; defaults to :func:`default_collect`.
     """
 
-    source: Union[str, Program]
-    trees: Sequence
-    build_tree: Callable
+    source: Union[str, Program, None] = None
+    trees: Sequence = ()
+    build_tree: Optional[Callable] = None
     globals_map: Optional[dict] = None
     pure_impls: Optional[dict] = None
     options: CompileOptions = field(default_factory=CompileOptions)
     fused: bool = True
     collect: Optional[Callable] = None
+    workload: Optional["Workload"] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self):
+        if self.workload is not None:
+            if self.source is None:
+                self.source = self.workload.source
+            if self.build_tree is None:
+                self.build_tree = self.workload.build_tree
+            if self.globals_map is None and self.workload.globals_map:
+                self.globals_map = dict(self.workload.globals_map)
+            if self.pure_impls is None and self.workload.pure_impls:
+                self.pure_impls = dict(self.workload.pure_impls)
+        else:
+            warn_legacy(
+                "constructing ExecRequest from loose source/build_tree "
+                "fields is deprecated; use Workload.request(...) or "
+                "ExecRequest.from_workload(...)"
+            )
+        if self.source is None or self.build_tree is None:
+            raise TypeError(
+                "ExecRequest needs a workload or explicit "
+                "source + build_tree"
+            )
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: "Workload",
+        trees: Sequence,
+        *,
+        options: Optional[CompileOptions] = None,
+        fused: bool = True,
+        collect: Optional[Callable] = None,
+    ) -> "ExecRequest":
+        """The canonical constructor: everything program-shaped comes
+        from the workload bundle; only the forest and execution knobs
+        are per-request."""
+        return cls(
+            trees=list(trees),
+            options=options if options is not None else CompileOptions(),
+            fused=fused,
+            collect=collect,
+            workload=workload,
+        )
 
     def compile_key(self) -> tuple[str, str]:
         """The cache key this request's artifact lives under."""

@@ -44,6 +44,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro._compat import suppress_legacy_warnings
 from repro.pipeline import compile as pipeline_compile
 from repro.runtime import Heap
 from repro.runtime.stats import LatencySeries
@@ -64,11 +65,12 @@ def _execute_shard(request: ExecRequest, indexes: list[int]) -> list[TreeResult]
     """Run one shard: compile (warm in every interesting case — see the
     pre-resolve in ``BatchExecutor._run_group``) then build and traverse
     each tree. Module-level so the process backend can pickle it."""
-    result = pipeline_compile(
-        request.source,
-        options=request.options,
-        pure_impls=request.pure_impls,
-    )
+    with suppress_legacy_warnings():
+        result = pipeline_compile(
+            request.source,
+            options=request.options,
+            pure_impls=request.pure_impls,
+        )
     program = result.program
     compiled = (
         result.compiled_fused if request.fused else result.compiled_unfused
@@ -250,11 +252,12 @@ class BatchExecutor:
         try:
             first = group.requests[0]
             compile_start = time.perf_counter()
-            resolved = pipeline_compile(
-                first.source,
-                options=first.options,
-                pure_impls=first.pure_impls,
-            )
+            with suppress_legacy_warnings():
+                resolved = pipeline_compile(
+                    first.source,
+                    options=first.options,
+                    pure_impls=first.pure_impls,
+                )
             metrics.compile_seconds = (
                 time.perf_counter() - compile_start
             )
@@ -324,12 +327,15 @@ class BatchExecutor:
     def _effective(self, request: ExecRequest) -> ExecRequest:
         """Apply executor-level defaults (the artifact cache dir)."""
         if self.cache_dir and request.options.cache_dir is None:
-            return replace(
-                request,
-                options=replace(
-                    request.options, cache_dir=self.cache_dir
-                ),
-            )
+            # dataclasses.replace re-runs __post_init__; this is the
+            # executor's own copy, not a user construction
+            with suppress_legacy_warnings():
+                return replace(
+                    request,
+                    options=replace(
+                        request.options, cache_dir=self.cache_dir
+                    ),
+                )
         return request
 
     # -- async API ------------------------------------------------------

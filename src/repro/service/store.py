@@ -45,6 +45,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Optional
@@ -55,6 +56,10 @@ from repro.pipeline.options import CompileResult, impls_portable
 FORMAT_VERSION = 1
 
 _DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+# compact() only reclaims .tmp files older than this: younger ones may
+# be a concurrent writer between mkstemp and os.replace
+_TMP_GRACE_SECONDS = 60.0
 
 
 class ArtifactStore:
@@ -82,6 +87,9 @@ class ArtifactStore:
         self.load_misses = 0
         self.load_errors = 0
         self.evictions = 0
+        self.compactions = 0
+        self.compacted_entries = 0
+        self.compacted_bytes = 0
 
     # -- paths ----------------------------------------------------------
 
@@ -235,6 +243,85 @@ class ArtifactStore:
             self._scanned = True
             return removed
 
+    # -- compaction -----------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Drop every entry the current process could never serve.
+
+        A long-lived store accumulates dead weight that LRU eviction
+        alone never reclaims promptly: whole directory trees left by
+        other *format* versions (normal loads never look inside them),
+        entries written by other *repro* versions (every load of one is
+        a miss-and-delete, but only when its exact key is asked for),
+        corrupt files, and stale ``.spill-*.tmp`` droppings from
+        crashed writers (fresh ones are spared — they may be a live
+        writer mid-publish). Compaction scans once, deletes all of
+        them, and refreshes the byte estimate. Returns the per-run
+        summary; cumulative counters land in :meth:`stats` (and
+        therefore the service ``/stats`` endpoint).
+        """
+        import shutil
+
+        removed = 0
+        reclaimed = 0
+        # whole trees left by other *format* versions (a FORMAT_VERSION
+        # bump with a shared or CI-restored store dir): normal loads
+        # never even look inside them, so only compaction can reclaim
+        for version_dir in self.root.glob("v*"):
+            if version_dir == self.dir or not version_dir.is_dir():
+                continue
+            for stale in version_dir.rglob("*"):
+                if stale.is_file():
+                    removed += 1
+                    try:
+                        reclaimed += stale.stat().st_size
+                    except OSError:
+                        pass
+            shutil.rmtree(version_dir, ignore_errors=True)
+        now = time.time()
+        for tmp in self.dir.glob("*/.spill-*.tmp"):
+            try:
+                stat = tmp.stat()
+                # a fresh tmp file may be a concurrent writer mid-spill
+                # (created by mkstemp, not yet os.replace'd) — only
+                # files old enough to be crash droppings are dead
+                if now - stat.st_mtime < _TMP_GRACE_SECONDS:
+                    continue
+                size = stat.st_size
+                tmp.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += size
+        for path in self.dir.glob("*/*.pkl"):
+            try:
+                payload = pickle.loads(path.read_bytes())
+                keep = (
+                    payload.get("format") == FORMAT_VERSION
+                    and payload.get("repro") == __version__
+                )
+            except Exception:
+                keep = False
+            if keep:
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += size
+        with self._lock:
+            self.compactions += 1
+            self.compacted_entries += removed
+            self.compacted_bytes += reclaimed
+            # the estimate drove eviction scans; refresh it from disk
+            self._bytes_since_scan = sum(
+                size for _, size, _ in self._entries()
+            )
+            self._scanned = True
+        return {"removed": removed, "reclaimed_bytes": reclaimed}
+
     # -- maintenance ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -262,6 +349,9 @@ class ArtifactStore:
             "load_misses": self.load_misses,
             "load_errors": self.load_errors,
             "evictions": self.evictions,
+            "compactions": self.compactions,
+            "compacted_entries": self.compacted_entries,
+            "compacted_bytes": self.compacted_bytes,
         }
 
 

@@ -47,7 +47,36 @@ from repro.workloads.astlang.oracle import (
     evaluate_program,
 )
 
+
+def astlang_spec(functions: int = 12, seed: int = 3) -> tuple:
+    """Default input spec: ``functions`` replicated template functions
+    (shipped as a tuple so it pickles into service workers)."""
+    return (functions, seed)
+
+
+def build_astlang_tree(program, heap, spec):
+    """Realize one AST from an :func:`astlang_spec` tuple."""
+    functions, seed = spec
+    return replicated_functions(program, heap, functions, seed)
+
+
+def astlang_workload():
+    """The AST-optimizer case study as a one-object workload bundle."""
+    from repro.api import Workload
+
+    return Workload.from_program(
+        ast_program(),
+        build_astlang_tree,
+        make_spec=astlang_spec,
+        description="AST optimization passes (paper §5.2): desugar, "
+        "propagate, fold, prune",
+    )
+
+
 __all__ = [
+    "astlang_workload",
+    "astlang_spec",
+    "build_astlang_tree",
     "AST_SOURCE",
     "ast_program",
     "K_CONST", "K_VAR", "K_ADD", "K_SUB", "K_MUL", "K_INCR", "K_DECR",

@@ -21,7 +21,30 @@ from repro.workloads.fmm.schema import FMM_SOURCE, fmm_program, FMM_DEFAULT_GLOB
 from repro.workloads.fmm.build import build_fmm_tree, random_particles
 from repro.workloads.fmm.oracle import fmm_oracle
 
+
+def fmm_spec(particles: int = 128, seed: int = 31) -> list:
+    """Default input spec: ``particles`` random (position, mass) pairs
+    (the spec is the particle list itself — plainly picklable)."""
+    return random_particles(particles, seed)
+
+
+def fmm_workload():
+    """The fast-multipole case study as a one-object workload bundle."""
+    from repro.api import Workload
+
+    return Workload.from_program(
+        fmm_program(),
+        build_fmm_tree,
+        globals_map=dict(FMM_DEFAULT_GLOBALS),
+        make_spec=fmm_spec,
+        description="fast multipole method (paper §5.4): 1D monopole "
+        "kernel over spatial trees",
+    )
+
+
 __all__ = [
+    "fmm_workload",
+    "fmm_spec",
     "FMM_SOURCE",
     "fmm_program",
     "FMM_DEFAULT_GLOBALS",

@@ -33,7 +33,42 @@ from repro.workloads.kdtree.equations import (
 )
 from repro.workloads.kdtree.oracle import PiecewiseOracle
 
+
+def kdtree_spec(depth: int = 5, seed: int = 23) -> tuple:
+    """Default input spec: a balanced tree of ``2**depth`` leaves."""
+    return (depth, seed)
+
+
+def build_kdtree(program, heap, spec):
+    """Realize one function kd-tree from a :func:`kdtree_spec` tuple."""
+    depth, seed = spec
+    return build_balanced_tree(program, heap, depth, seed=seed)
+
+
+def kdtree_workload(schedule=None, name: str = "kdtree-eq1"):
+    """A piecewise-function equation as a one-object workload bundle.
+
+    Defaults to the Table 6 equation-1 schedule; pass another schedule
+    (and a distinct ``name``) for the other equations.
+    """
+    from repro.api import Workload
+
+    return Workload.from_program(
+        equation_program(
+            schedule if schedule is not None else EQ1_SCHEDULE, name=name
+        ),
+        build_kdtree,
+        globals_map=dict(KD_DEFAULT_GLOBALS),
+        make_spec=kdtree_spec,
+        description="piecewise functions on kd-trees (paper §5.3): "
+        "equation schedules over balanced trees",
+    )
+
+
 __all__ = [
+    "kdtree_workload",
+    "kdtree_spec",
+    "build_kdtree",
     "KD_SOURCE",
     "kd_program",
     "KD_DEFAULT_GLOBALS",

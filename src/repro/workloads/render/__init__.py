@@ -37,10 +37,18 @@ from repro.workloads.render.docs import (
     doc3_spec,
     replicated_pages_spec,
 )
+from repro.workloads.render.embedded import (
+    render_embedded_program,
+    render_spec,
+    render_workload,
+)
 from repro.workloads.render.oracle import layout_oracle
 
 __all__ = [
     "render_program",
+    "render_embedded_program",
+    "render_workload",
+    "render_spec",
     "RENDER_SOURCE",
     "RENDER_PURE_IMPLS",
     "DEFAULT_GLOBALS",

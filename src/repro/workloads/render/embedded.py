@@ -1,0 +1,558 @@
+"""The render-tree workload as a Python-embedded definition.
+
+The same 17 tree types and 5 traversal passes as
+:data:`repro.workloads.render.schema.RENDER_SOURCE`, written with
+``@repro.schema`` / ``@repro.traversal`` instead of a source string.
+Lowering produces a structurally identical program: the canonical print,
+the content hash, and the fused generated Python are byte-for-byte the
+ones the string DSL yields (pinned by
+``tests/api/test_render_equivalence.py``) — the embedded frontend is a
+second *spelling*, not a second *language*.
+
+The pure-function impls (`imax`/`imin`/`idiv`/`pos`) are declared here
+with ``@repro.pure`` — which captures them as the bound impls
+automatically — and re-exported by :mod:`repro.workloads.render.schema`
+so both frontends bind the *same* callables and therefore hash alike.
+
+Width modes: 0 = AUTO (content-sized), 1 = REL (fixed pixels in
+``RelWidth``), 2 = FLEX (takes a share of leftover space per
+``FlexGrow``).
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.ir.program import Program
+
+# ---------------------------------------------------------------- globals
+
+PAGE_WIDTH = repro.Global(int, 800)
+CHAR_WIDTH = repro.Global(int, 6)
+BASE_FONT = repro.Global(int, 12)
+PAGE_MARGIN = repro.Global(int, 10)
+BUTTON_PAD = repro.Global(int, 4)
+PAGE_GAP = repro.Global(int, 20)
+
+
+# ----------------------------------------------------------- opaque data
+
+
+@repro.schema
+class String:
+    Length: int
+
+
+@repro.schema
+class BorderInfo:
+    Size: int
+
+
+# -------------------------------------------------------- pure functions
+
+
+@repro.pure
+def imax(a: int, b: int) -> int:
+    return a if a >= b else b
+
+
+@repro.pure
+def imin(a: int, b: int) -> int:
+    return a if a <= b else b
+
+
+@repro.pure
+def idiv(a: int, b: int) -> int:
+    return a // b if b else a
+
+
+@repro.pure
+def pos(a: int) -> int:
+    return a if a > 0 else 0
+
+
+# ---------------------------------------------------------------- elements
+
+
+@repro.schema(abstract=True)
+class Element:
+    PrefWidth: int = 0
+    Width: int = 0
+    Height: int = 0
+    RelWidth: int = 0
+    FlexGrow: int = 0
+    FontSize: int = 0
+    PosX: int = 0
+    PosY: int = 0
+    WidthMode: int = 0
+
+    @repro.traversal(virtual=True)
+    def resolveFlexWidths(this):
+        this.PrefWidth = this.RelWidth
+
+    @repro.traversal(virtual=True)
+    def resolveRelativeWidths(this, avail: int):
+        this.Width = this.PrefWidth
+        if this.WidthMode == 2:
+            this.Width = this.PrefWidth + pos(avail) * this.FlexGrow // 10
+
+    @repro.traversal(virtual=True)
+    def setFontStyle(this, size: int):
+        this.FontSize = size
+
+    @repro.traversal(virtual=True)
+    def computeHeights(this):
+        this.Height = this.FontSize
+
+    @repro.traversal(virtual=True)
+    def computePositions(this, x: int, y: int):
+        this.PosX = x
+        this.PosY = y
+
+
+@repro.schema
+class TextBox(Element):
+    Text: String
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.PrefWidth = this.Text.Length * CHAR_WIDTH
+        if this.WidthMode == 1:
+            this.PrefWidth = this.RelWidth
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Height = this.FontSize * (
+            this.Text.Length * CHAR_WIDTH // imax(this.Width, 1) + 1
+        )
+
+
+@repro.schema
+class Image(Element):
+    NaturalWidth: int = 0
+    NaturalHeight: int = 0
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.PrefWidth = this.NaturalWidth
+        if this.WidthMode == 1:
+            this.PrefWidth = this.RelWidth
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Height = this.NaturalHeight * imax(this.Width, 1) // imax(
+            this.NaturalWidth, 1
+        )
+
+
+@repro.schema
+class Button(Element):
+    Label: String
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.PrefWidth = this.Label.Length * CHAR_WIDTH + 2 * BUTTON_PAD
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.FontSize = size - 1
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Height = this.FontSize + 2 * BUTTON_PAD
+
+
+# -------------------------------------------------------- element lists
+
+
+@repro.schema(abstract=True)
+class ElementList:
+    TotalPref: int = 0
+    TotalFlex: int = 0
+    TotalHeight: int = 0
+    MaxHeight: int = 0
+
+    @repro.traversal(virtual=True)
+    def resolveFlexWidths(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def resolveRelativeWidths(this, avail: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def setFontStyle(this, size: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computeHeights(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computePositions(this, x: int, y: int):
+        pass
+
+
+@repro.schema
+class ElementListInner(ElementList):
+    Item: Element
+    Next: ElementList
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Item.resolveFlexWidths()
+        this.Next.resolveFlexWidths()
+        this.TotalPref = this.Item.PrefWidth + this.Next.TotalPref
+        this.TotalFlex = this.Item.FlexGrow + this.Next.TotalFlex
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Item.resolveRelativeWidths(avail)
+        this.Next.resolveRelativeWidths(avail)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Item.setFontStyle(size)
+        this.Next.setFontStyle(size)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Item.computeHeights()
+        this.Next.computeHeights()
+        this.TotalHeight = this.Item.Height + this.Next.TotalHeight
+        this.MaxHeight = imax(this.Item.Height, this.Next.MaxHeight)
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.Item.computePositions(x, y)
+        this.Next.computePositions(x + this.Item.Width, y)
+
+
+@repro.schema
+class ElementListEnd(ElementList):
+    pass
+
+
+# ------------------------------------------------------ vertical container
+
+
+@repro.schema
+class VerticalContainer(Element):
+    Children: ElementList
+    Border: BorderInfo
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Children.resolveFlexWidths()
+        this.PrefWidth = this.Children.TotalPref + 2 * this.Border.Size
+        if this.WidthMode == 1:
+            this.PrefWidth = this.RelWidth
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Width = this.PrefWidth
+        if this.WidthMode == 2:
+            this.Width = this.PrefWidth + pos(avail) * this.FlexGrow // 10
+        this.Children.resolveRelativeWidths(
+            this.Width - 2 * this.Border.Size - this.Children.TotalPref
+        )
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.FontSize = size
+        this.Children.setFontStyle(size - 1)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Children.computeHeights()
+        this.Height = this.Children.TotalHeight + 2 * this.Border.Size
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.PosX = x
+        this.PosY = y
+        this.Children.computePositions(
+            x + this.Border.Size, y + this.Border.Size
+        )
+
+
+# ------------------------------------------------------------------- rows
+
+
+@repro.schema
+class HorizontalContainer:
+    Items: ElementList
+    PrefWidth: int = 0
+    TotalFlex: int = 0
+    Width: int = 0
+    Height: int = 0
+    PosX: int = 0
+    PosY: int = 0
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Items.resolveFlexWidths()
+        this.PrefWidth = this.Items.TotalPref
+        this.TotalFlex = this.Items.TotalFlex
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Width = avail
+        this.Items.resolveRelativeWidths(avail - this.PrefWidth)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Items.setFontStyle(size)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Items.computeHeights()
+        this.Height = this.Items.MaxHeight
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.PosX = x
+        this.PosY = y
+        this.Items.computePositions(x, y)
+
+
+@repro.schema(abstract=True)
+class HorizList:
+    MaxPref: int = 0
+    TotalHeight: int = 0
+
+    @repro.traversal(virtual=True)
+    def resolveFlexWidths(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def resolveRelativeWidths(this, avail: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def setFontStyle(this, size: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computeHeights(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computePositions(this, x: int, y: int):
+        pass
+
+
+@repro.schema
+class HorizListInner(HorizList):
+    Row: HorizontalContainer
+    Next: HorizList
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Row.resolveFlexWidths()
+        this.Next.resolveFlexWidths()
+        this.MaxPref = imax(this.Row.PrefWidth, this.Next.MaxPref)
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Row.resolveRelativeWidths(avail)
+        this.Next.resolveRelativeWidths(avail)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Row.setFontStyle(size)
+        this.Next.setFontStyle(size)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Row.computeHeights()
+        this.Next.computeHeights()
+        this.TotalHeight = this.Row.Height + this.Next.TotalHeight
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.Row.computePositions(x, y)
+        this.Next.computePositions(x, y + this.Row.Height)
+
+
+@repro.schema
+class HorizListEnd(HorizList):
+    pass
+
+
+# ------------------------------------------------------------------ pages
+
+
+@repro.schema
+class Page:
+    Rows: HorizList
+    PrefWidth: int = 0
+    Width: int = 0
+    Height: int = 0
+    PosX: int = 0
+    PosY: int = 0
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Rows.resolveFlexWidths()
+        this.PrefWidth = this.Rows.MaxPref
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Width = avail
+        this.Rows.resolveRelativeWidths(avail - 2 * PAGE_MARGIN)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Rows.setFontStyle(size)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Rows.computeHeights()
+        this.Height = this.Rows.TotalHeight + 2 * PAGE_MARGIN
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.PosX = x
+        this.PosY = y
+        this.Rows.computePositions(x + PAGE_MARGIN, y + PAGE_MARGIN)
+
+
+@repro.schema(abstract=True)
+class PageList:
+    TotalHeight: int = 0
+
+    @repro.traversal(virtual=True)
+    def resolveFlexWidths(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def resolveRelativeWidths(this, avail: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def setFontStyle(this, size: int):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computeHeights(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def computePositions(this, x: int, y: int):
+        pass
+
+
+@repro.schema
+class PageListInner(PageList):
+    Content: Page
+    Next: PageList
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Content.resolveFlexWidths()
+        this.Next.resolveFlexWidths()
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Content.resolveRelativeWidths(avail)
+        this.Next.resolveRelativeWidths(avail)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Content.setFontStyle(size)
+        this.Next.setFontStyle(size)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Content.computeHeights()
+        this.Next.computeHeights()
+        this.TotalHeight = (
+            this.Content.Height + this.Next.TotalHeight + PAGE_GAP
+        )
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.Content.computePositions(x, y)
+        this.Next.computePositions(x, y + this.Content.Height + PAGE_GAP)
+
+
+@repro.schema
+class PageListEnd(PageList):
+    pass
+
+
+# --------------------------------------------------------------- document
+
+
+@repro.schema
+class Document:
+    Pages: PageList
+    Height: int = 0
+
+    @repro.traversal
+    def resolveFlexWidths(this):
+        this.Pages.resolveFlexWidths()
+
+    @repro.traversal
+    def resolveRelativeWidths(this, avail: int):
+        this.Pages.resolveRelativeWidths(PAGE_WIDTH)
+
+    @repro.traversal
+    def setFontStyle(this, size: int):
+        this.Pages.setFontStyle(BASE_FONT)
+
+    @repro.traversal
+    def computeHeights(this):
+        this.Pages.computeHeights()
+        this.Height = this.Pages.TotalHeight
+
+    @repro.traversal
+    def computePositions(this, x: int, y: int):
+        this.Pages.computePositions(0, 0)
+
+
+@repro.entry(Document)
+def main(doc):
+    doc.resolveFlexWidths()
+    doc.resolveRelativeWidths(0)
+    doc.setFontStyle(0)
+    doc.computeHeights()
+    doc.computePositions(0, 0)
+
+
+# ------------------------------------------------------------ the workload
+
+# the single source of the render globals' runtime defaults:
+# schema.DEFAULT_GLOBALS is derived from this, so the two frontends
+# cannot drift apart
+RENDER_EMBEDDED_GLOBALS = repro.default_globals(__name__)
+
+_PROGRAM_CACHE: Program | None = None
+
+
+def render_embedded_program() -> Program:
+    """The lowered, validated render program (cached per process)."""
+    global _PROGRAM_CACHE
+    if _PROGRAM_CACHE is None:
+        _PROGRAM_CACHE = repro.lower_module(__name__, name="render")
+    return _PROGRAM_CACHE
+
+
+def render_spec(pages: int = 4, seed: int = 7):
+    """Default input: the Fig. 9 replicated-pages document."""
+    from repro.workloads.render.docs import replicated_pages_spec
+
+    return replicated_pages_spec(pages, seed)
+
+
+def render_workload() -> "repro.Workload":
+    """The render case study as a one-object workload bundle."""
+    from repro.workloads.render.docs import build_document
+
+    return repro.Workload.from_program(
+        render_embedded_program(),
+        build_document,
+        globals_map=dict(RENDER_EMBEDDED_GLOBALS),
+        make_spec=render_spec,
+        description="render-tree layout (paper §5.1): replicated pages",
+    )

@@ -364,44 +364,33 @@ int main() {
 }
 """
 
-# module-level named functions (not lambdas): their impl references are
-# stable across processes, so compiled render artifacts can be served
-# from the on-disk store and shipped to worker processes
-def _imax(a, b):
-    return a if a >= b else b
-
-
-def _imin(a, b):
-    return a if a <= b else b
-
-
-def _idiv(a, b):
-    return a // b if b else a
-
-
-def _pos(a):
-    return a if a > 0 else 0
-
+# The bound impls live with the embedded definition (module-level named
+# functions — their impl references are stable across processes, so
+# compiled render artifacts can be served from the on-disk store and
+# shipped to worker processes). Both frontends bind the *same*
+# callables, which is what makes the embedded program hash identically
+# to this source string's parse. The globals' runtime defaults are
+# shared the same way, so the twins cannot drift at run time either.
+from repro.workloads.render.embedded import (
+    RENDER_EMBEDDED_GLOBALS,
+    idiv,
+    imax,
+    imin,
+    pos,
+)
 
 _PURE_IMPLS = {
-    "imax": _imax,
-    "imin": _imin,
-    "idiv": _idiv,
-    "pos": _pos,
+    "imax": imax,
+    "imin": imin,
+    "idiv": idiv,
+    "pos": pos,
 }
 
 # public alias for callers (the traversal service) that compile
 # RENDER_SOURCE text directly instead of going through render_program()
 RENDER_PURE_IMPLS = _PURE_IMPLS
 
-DEFAULT_GLOBALS = {
-    "PAGE_WIDTH": 800,
-    "CHAR_WIDTH": 6,
-    "BASE_FONT": 12,
-    "PAGE_MARGIN": 10,
-    "BUTTON_PAD": 4,
-    "PAGE_GAP": 20,
-}
+DEFAULT_GLOBALS = dict(RENDER_EMBEDDED_GLOBALS)
 
 _PROGRAM_CACHE: Program | None = None
 

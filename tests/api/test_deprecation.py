@@ -1,0 +1,120 @@
+"""The legacy entry points still work and warn exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.pipeline import CompileOptions
+from repro.pipeline import compile as pipeline_compile
+from repro.service.batching import ExecRequest
+from repro.service.executor import BatchExecutor
+from repro.workloads.render import (
+    DEFAULT_GLOBALS,
+    RENDER_PURE_IMPLS,
+    RENDER_SOURCE,
+    build_document,
+    render_workload,
+    replicated_pages_spec,
+)
+
+
+def deprecations(caught):
+    return [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+class TestLegacyCompile:
+    def test_loose_pure_impls_warn_once_and_work(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = pipeline_compile(
+                RENDER_SOURCE,
+                pure_impls=dict(RENDER_PURE_IMPLS),
+                options=CompileOptions(emit=False),
+            )
+        assert result.fused is not None
+        assert len(deprecations(caught)) == 1
+
+    def test_plain_source_does_not_warn(self):
+        # source without impls is the (supported) advanced DSL path
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pipeline_compile(
+                RENDER_SOURCE, options=CompileOptions(emit=False)
+            )
+        assert deprecations(caught) == []
+
+    def test_workload_path_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pipeline_compile(
+                render_workload(), options=CompileOptions(emit=False)
+            )
+        assert deprecations(caught) == []
+
+    def test_workload_plus_loose_impls_is_an_error(self):
+        with pytest.raises(TypeError, match="inside the Workload"):
+            pipeline_compile(
+                render_workload(), pure_impls=dict(RENDER_PURE_IMPLS)
+            )
+
+
+class TestLegacyExecRequest:
+    def legacy_request(self):
+        return ExecRequest(
+            source=RENDER_SOURCE,
+            trees=[replicated_pages_spec(1)],
+            build_tree=build_document,
+            globals_map=dict(DEFAULT_GLOBALS),
+            pure_impls=dict(RENDER_PURE_IMPLS),
+        )
+
+    def test_construction_warns_once_and_still_works(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = self.legacy_request()
+        assert len(deprecations(caught)) == 1
+        assert request.compile_key()  # hashes like it always did
+
+    def test_legacy_request_executes_without_further_warnings(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = self.legacy_request()
+            with BatchExecutor(workers=1, backend="inline") as executor:
+                result = executor.run([request])[0]
+        assert result.ok and len(result.trees) == 1
+        # the internal plumbing (executor replace, shard compiles) is
+        # exempt: exactly the one construction-time warning
+        assert len(deprecations(caught)) == 1
+
+    def test_from_workload_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = ExecRequest.from_workload(
+                render_workload(), [replicated_pages_spec(1)]
+            )
+        assert deprecations(caught) == []
+        assert request.build_tree is not None
+
+    def test_missing_pieces_still_raise(self):
+        with pytest.raises(TypeError, match="workload or explicit"), \
+                warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ExecRequest(source=RENDER_SOURCE, trees=[])
+
+    def test_legacy_and_workload_requests_group_together(self):
+        from repro.service.batching import group_requests
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy = self.legacy_request()
+        modern = render_workload().request(1, pages=1)
+        # same source text + impls on one side, Program on the other:
+        # the legacy string request and the embedded-program request
+        # hash differently (text vs canonical print), but two modern
+        # requests for one workload share an artifact
+        again = render_workload().request(1, pages=1)
+        groups = group_requests([modern, again, legacy])
+        assert len(groups) == 2
+        assert groups[0].tree_count == 2

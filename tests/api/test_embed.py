@@ -1,0 +1,260 @@
+"""The embedded frontend: lowering, inference, and rejection."""
+
+import pytest
+
+import repro
+from repro.api import embed
+from repro.errors import EmbedError, ValidationError
+from repro.ir.printer import print_program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    TraverseStmt,
+    While,
+)
+
+# --------------------------------------------------------------------------
+# a small program exercising every supported construct
+# --------------------------------------------------------------------------
+
+LIMIT = repro.Global(int, 10)
+
+
+@repro.pure
+def clamp(a: int, b: int) -> int:
+    return a if a <= b else b
+
+
+@repro.schema
+class Meta:
+    Tag: int
+
+
+@repro.schema(abstract=True)
+class Node_:
+    Left: "Node_"
+    Right: "Node_"
+    Value: int = 0
+    Count: int = 0
+    Info: Meta
+
+    @repro.traversal(virtual=True)
+    def count(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def rebuild(this, bound: int):
+        pass
+
+
+@repro.schema
+class Inner(Node_):
+    @repro.traversal
+    def count(this):
+        this.Left.count()
+        this.Right.count()
+        this.Count = this.Left.Count + this.Right.Count
+        this.Count += this.Info.Tag
+
+    @repro.traversal
+    def rebuild(this, bound: int):
+        total: int = 0
+        while total < bound:
+            total = total + 1
+        if this.Count > LIMIT and total != 0:
+            del this.Left
+            this.Left = Leaf()
+        elif this.Count < 0:
+            return
+        else:
+            clamp(this.Count, bound)
+        this.Value = clamp(-this.Count, bound)
+
+
+@repro.schema
+class Leaf(Node_):
+    pass
+
+
+@repro.entry(Node_)
+def run(root):
+    root.count()
+    root.rebuild(3)
+
+
+def lowered():
+    return embed.lower(
+        "embed-demo",
+        classes=[Meta, Node_, Inner, Leaf],
+        pures=[clamp],
+        globals_={"LIMIT": LIMIT},
+        entry=run,
+    )
+
+
+class TestLowering:
+    def test_classification(self):
+        program = lowered()
+        assert set(program.tree_types) == {"Node_", "Inner", "Leaf"}
+        assert set(program.opaque_classes) == {"Meta"}
+        assert program.tree_types["Node_"].abstract
+        assert set(program.tree_types["Node_"].children) == {
+            "Left",
+            "Right",
+        }
+        assert program.tree_types["Node_"].data_defaults["Value"] == 0
+
+    def test_statement_forms(self):
+        program = lowered()
+        count = program.tree_types["Inner"].methods["count"]
+        kinds = [type(s) for s in count.body]
+        assert kinds == [
+            TraverseStmt,
+            TraverseStmt,
+            Assign,
+            Assign,  # += sugar lowers to a read-modify-write
+        ]
+        rebuild = program.tree_types["Inner"].methods["rebuild"]
+        kinds = [type(s) for s in rebuild.body]
+        assert kinds == [LocalDef, While, If, Assign]
+        branch = rebuild.body[2]
+        assert [type(s) for s in branch.then_body] == [Delete, New]
+        # elif becomes a nested If in the else arm
+        (nested,) = branch.else_body
+        assert isinstance(nested, If)
+        assert [type(s) for s in nested.then_body] == [Return]
+        assert [type(s) for s in nested.else_body] == [PureStmt]
+
+    def test_virtual_fixup_and_entry(self):
+        program = lowered()
+        assert program.tree_types["Inner"].methods["count"].virtual
+        assert program.root_type_name == "Node_"
+        assert [c.method_name for c in program.entry] == [
+            "count",
+            "rebuild",
+        ]
+        assert program.entry[1].args[0].value == 3
+
+    def test_round_trips_through_the_parser(self):
+        from repro.frontend import parse_program
+
+        program = lowered()
+        printed = print_program(program)
+        reparsed = parse_program(
+            printed, name="embed-demo", pure_impls={"clamp": clamp}
+        )
+        assert print_program(reparsed) == printed
+
+    def test_lower_module_collects_by_definition_order(self):
+        program = embed.lower_module(__name__, name="embed-demo")
+        assert list(program.tree_types) == ["Node_", "Inner", "Leaf"]
+        assert list(program.globals) == ["LIMIT"]
+        assert list(program.pure_functions) == ["clamp"]
+
+    def test_default_globals_harvests_runtime_values(self):
+        assert embed.default_globals(__name__) == {"LIMIT": 10}
+
+    def test_alias_definition(self):
+        @repro.schema(abstract=True)
+        class Chain:
+            Next: "Chain"
+            V: int = 0
+
+            @repro.traversal(virtual=True)
+            def go(this):
+                pass
+
+        @repro.schema
+        class ChainInner(Chain):
+            @repro.traversal
+            def go(this):
+                spine: Chain = this.Next
+                spine.V = 1
+                this.Next.go()
+
+        @repro.schema
+        class ChainEnd(Chain):
+            pass
+
+        program = embed.lower(
+            "alias-demo", classes=[Chain, ChainInner, ChainEnd]
+        )
+        body = program.tree_types["ChainInner"].methods["go"].body
+        assert isinstance(body[0], AliasDef)
+        assert body[0].type_name == "Chain"
+
+
+class TestRejection:
+    def test_unknown_name(self):
+        @repro.schema(tree=True)
+        class Broken:
+            X: int = 0
+
+            @repro.traversal
+            def go(this):
+                this.X = mystery  # noqa: F821
+
+        with pytest.raises(EmbedError, match="unknown name 'mystery'"):
+            embed.lower("broken", classes=[Broken])
+
+    def test_receiver_restriction(self):
+        @repro.schema(tree=True)
+        class Deep:
+            Kid: "Deep"
+
+            @repro.traversal
+            def go(this):
+                this.Kid.Kid.go()
+
+        with pytest.raises(EmbedError, match="rule 7"):
+            embed.lower("deep", classes=[Deep])
+
+    def test_chained_comparison_rejected(self):
+        @repro.schema(tree=True)
+        class Cmp:
+            X: int = 0
+
+            @repro.traversal
+            def go(this):
+                if 0 < this.X < 10:
+                    this.X = 0
+
+        with pytest.raises(EmbedError, match="chained comparisons"):
+            embed.lower("cmp", classes=[Cmp])
+
+    def test_untyped_local_rejected(self):
+        @repro.schema(tree=True)
+        class Local:
+            X: int = 0
+
+            @repro.traversal
+            def go(this):
+                t = this.X
+                this.X = t
+
+        with pytest.raises(EmbedError, match="unknown name 't'"):
+            embed.lower("local", classes=[Local])
+
+    def test_pure_needs_annotations(self):
+        with pytest.raises(EmbedError, match="primitive annotation"):
+            @repro.pure
+            def untyped(a, b):
+                return a + b
+
+    def test_opaque_with_tree_field_is_contradiction(self):
+        @repro.schema(tree=True)
+        class T:
+            X: int = 0
+
+        @repro.schema(tree=False)
+        class Bad:
+            Kid: T
+
+        with pytest.raises((EmbedError, ValidationError)):
+            embed.lower("contradiction", classes=[T, Bad])

@@ -190,3 +190,51 @@ class TestServiceCli:
         assert main(["compile", fig2_file, "--cache-dir", str(store)]) == 0
         assert "compiled (cold)" in capsys.readouterr().out
         assert list(store.glob("v*/*/*.pkl"))
+
+
+class TestFlexibleCompileSource:
+    def test_compile_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(CONDITIONAL_SOURCE))
+        assert main(["--mode", "treefuser", "compile", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "<stdin>: compiled" in out
+
+    def test_compile_inline_source(self, capsys):
+        assert main(["--mode", "treefuser", "compile", CONDITIONAL_SOURCE]) == 0
+        out = capsys.readouterr().out
+        assert "<inline>: compiled" in out
+        assert "fused units" in out
+
+    def test_file_path_still_wins_over_inline(self, fig2_file, capsys):
+        assert main(["compile", fig2_file]) == 0
+        assert f"{fig2_file}: compiled" in capsys.readouterr().out
+
+    def test_non_source_argument_stays_an_error(self, capsys):
+        assert main(["compile", "definitely-missing.grafter"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestRegistryCli:
+    def test_exec_kdtree_with_size(self, capsys):
+        assert main([
+            "exec", "--workload", "kdtree", "--trees", "2", "--size", "2",
+            "--backend", "inline", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kdtree: 2 trees executed" in out
+
+    def test_exec_fmm(self, capsys):
+        assert main([
+            "exec", "--workload", "fmm", "--trees", "2", "--size", "16",
+            "--backend", "inline", "--workers", "1",
+        ]) == 0
+        assert "fmm: 2 trees executed" in capsys.readouterr().out
+
+    def test_pages_on_non_render_workload_errors(self, capsys):
+        assert main([
+            "exec", "--workload", "kdtree", "--pages", "3",
+            "--backend", "inline", "--workers", "1",
+        ]) == 1
+        assert "--size" in capsys.readouterr().err
