@@ -15,7 +15,7 @@ interpreter) or :mod:`repro.codegen` (generated Python); serve with
 :mod:`repro.service`.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 # the public API surface re-exported from repro.api, resolved lazily so
 # `from repro import __version__` (used by low-level modules like the
@@ -23,8 +23,10 @@ __version__ = "0.3.0"
 _API_EXPORTS = frozenset(
     {
         "Global",
+        "cast",
         "default_globals",
         "entry",
+        "entry_calls",
         "lower",
         "lower_module",
         "pure",

@@ -59,6 +59,13 @@ class AnalysisContext:
             )
         return self._method_accesses[key]
 
+    def seed_accesses(
+        self, qualified_name: str, accesses: list[StatementAccesses]
+    ) -> None:
+        """Adopt precomputed (possibly unit-cache-loaded) raw accesses
+        for one method, so later summary queries skip the collection."""
+        self._method_accesses[qualified_name] = accesses
+
     def call_summary(
         self, caller: TraversalMethod, stmt: TraverseStmt
     ) -> StatementSummary:

@@ -41,7 +41,10 @@ class Vertex:
     index: int  # position in the inlined program order
     member: int  # which traversal copy of the sequence this came from
     stmt: Stmt
-    summary: StatementSummary
+    # None when the vertices were built summary-free to replay a cached
+    # structure (see build_vertices) — nothing downstream of grouping
+    # reads the automata
+    summary: Optional[StatementSummary]
     has_return: bool
     # call-vertex info (None for simple statements). A vertex is a *call
     # vertex* when the whole statement is a traverse call; in TreeFuser
@@ -49,6 +52,13 @@ class Vertex:
     # never groupable with plain calls (guards must match — see grouping).
     call: Optional[TraverseStmt] = None
     nested_calls: list[TraverseStmt] = field(default_factory=list)
+    # the statement's *own* accesses (arguments, guards, receiver
+    # pointer) without the transitive callee summary — what a fused call
+    # site evaluates in the caller's frame. Grouping hoists these above
+    # earlier group members, so it must check them separately (see
+    # grouping._argument_hazard). Same object as ``summary`` for
+    # non-call vertices.
+    site_summary: Optional[StatementSummary] = None
 
     @property
     def is_call(self) -> bool:
@@ -109,7 +119,10 @@ def _member_summary(
     method: TraversalMethod,
     accesses: StatementAccesses,
     member: int,
-) -> StatementSummary:
+) -> tuple[StatementSummary, StatementSummary]:
+    """(site summary, full summary) for one vertex: the statement's own
+    accesses, and those merged with the Algorithm-1 summaries of any
+    traversing calls it contains."""
     stmt_summary = StatementSummary.from_accesses(
         tree_reads=[_rename_locals(i, member) for i in accesses.tree_reads],
         tree_writes=[_rename_locals(i, member) for i in accesses.tree_writes],
@@ -118,11 +131,60 @@ def _member_summary(
     )
     calls = nested_traversals(accesses.stmt)
     if not calls:
-        return stmt_summary
+        return stmt_summary, stmt_summary
     parts = [stmt_summary]
     for call in calls:
         parts.append(ctx.call_summary(method, call))
-    return merge_summaries(parts)
+    return stmt_summary, merge_summaries(parts)
+
+
+def build_vertices(
+    ctx: AnalysisContext,
+    members: list[TraversalMethod],
+    with_summaries: bool = True,
+) -> list[Vertex]:
+    """The vertex list of the inlined sequence *members*, one per
+    top-level statement in member order — the positional layout every
+    cached dependence/grouping *structure* refers to.
+
+    ``with_summaries=False`` skips the access automata (the expensive
+    part: per-statement machines plus Algorithm-1 call summaries); a
+    caller replaying a cached edge/group structure only needs the
+    statements and call shapes.
+    """
+    vertices: list[Vertex] = []
+    for member_index, method in enumerate(members):
+        for accesses in ctx.method_accesses(method):
+            stmt = accesses.stmt
+            if with_summaries:
+                site, full = _member_summary(
+                    ctx, method, accesses, member_index
+                )
+            else:
+                site = full = None
+            vertex = Vertex(
+                index=len(vertices),
+                member=member_index,
+                stmt=stmt,
+                summary=full,
+                has_return=contains_return(stmt),
+                call=stmt if isinstance(stmt, TraverseStmt) else None,
+                nested_calls=nested_traversals(stmt),
+                site_summary=site,
+            )
+            vertices.append(vertex)
+    return vertices
+
+
+def graph_from_edges(
+    vertices: list[Vertex], edges
+) -> DependenceGraph:
+    """A DependenceGraph from prebuilt vertices and an edge list — how
+    a cached structure is replayed over current statements."""
+    graph = DependenceGraph(vertices)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph
 
 
 def build_dependence_graph(
@@ -130,20 +192,7 @@ def build_dependence_graph(
 ) -> DependenceGraph:
     """Dependence graph for the inlined sequence *members* (paper §3.3:
     the graph :math:`G_L` for a sequence label L)."""
-    vertices: list[Vertex] = []
-    for member_index, method in enumerate(members):
-        for accesses in ctx.method_accesses(method):
-            stmt = accesses.stmt
-            vertex = Vertex(
-                index=len(vertices),
-                member=member_index,
-                stmt=stmt,
-                summary=_member_summary(ctx, method, accesses, member_index),
-                has_return=contains_return(stmt),
-                call=stmt if isinstance(stmt, TraverseStmt) else None,
-                nested_calls=nested_traversals(stmt),
-            )
-            vertices.append(vertex)
+    vertices = build_vertices(ctx, members, with_summaries=True)
     graph = DependenceGraph(vertices)
     for j, vj in enumerate(vertices):
         for i in range(j):

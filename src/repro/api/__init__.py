@@ -18,8 +18,10 @@ Three layers, importable from ``repro`` directly:
 
 from repro.api.embed import (
     Global,
+    cast,
     default_globals,
     entry,
+    entry_calls,
     lower,
     lower_module,
     pure,
@@ -31,8 +33,10 @@ from repro.api.workload import Workload
 
 __all__ = [
     "Global",
+    "cast",
     "default_globals",
     "entry",
+    "entry_calls",
     "lower",
     "lower_module",
     "pure",

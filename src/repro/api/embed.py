@@ -67,6 +67,17 @@ Expressions: ``+ - * / // %``, comparisons, ``and/or/not``, unary ``-``,
 int/float/bool literals, member chains, pure-function calls. Both ``/``
 and ``//`` lower to Grafter's ``/`` (which is integer division on
 ints — spell it ``//`` in embedded code so the Python reads honestly).
+
+Member chains may downcast with :func:`repro.cast` — the embedded
+spelling of ``static_cast<T*>(x)->m``::
+
+    cast(KdLeaf, this.Left).C0                      # read through a cast
+    cast(Interior, this.Left).Split = mid           # write through one
+    cast(KdLeaf, cast(Interior, this.Left).Left).C0 # casts nest
+
+``cast`` is a pure marker: it resolves at lowering time (the builder
+checks the target is a related tree type, exactly like the parser) and
+never executes.
 """
 
 from __future__ import annotations
@@ -137,6 +148,20 @@ _CMP_OPS = {
 # ===========================================================================
 
 
+def cast(type_, value):  # pragma: no cover - lowering-time marker
+    """Downcast marker for embedded member chains.
+
+    ``repro.cast(KdLeaf, this.Left).C0`` lowers to the string DSL's
+    ``static_cast<KdLeaf*>(this->Left)->C0``. Only meaningful inside
+    ``@traversal`` bodies, which are captured as ASTs and never run —
+    calling it as ordinary Python is always a mistake.
+    """
+    raise EmbedError(
+        "repro.cast marks static_cast member chains inside @traversal "
+        "bodies; it is resolved at lowering time and never called"
+    )
+
+
 class Global:
     """A module-level global-variable declaration.
 
@@ -195,8 +220,11 @@ class _SchemaInfo:
 @dataclass
 class _EntryInfo:
     root: object  # schema class or type name
-    node: ast.FunctionDef
+    node: Optional[ast.FunctionDef]
     filename: str
+    # prebuilt entry calls (from entry_calls) take precedence over the
+    # captured @entry function body
+    calls: Optional[list[EntryCall]] = None
 
 
 def _annotation_of(fn: Callable, name: str, where: str) -> str:
@@ -330,6 +358,41 @@ def schema(cls=None, *, tree: Optional[bool] = None, abstract: bool = False):
         return klass
 
     return decorate(cls) if cls is not None else decorate
+
+
+def entry_calls(root, schedule) -> _EntryInfo:
+    """A programmatic ``@entry``: the entry sequence as data.
+
+    ``schedule`` is a list of ``(method_name, args)`` pairs with
+    constant arguments — the shape workloads whose schedules are data
+    (the kd-tree equations) already carry. Pass the result as the
+    ``entry`` argument of :func:`lower`::
+
+        program = repro.api.lower(
+            "kdtree-eq1",
+            classes=[...],
+            entry=repro.api.embed.entry_calls("FunctionKd", EQ1_SCHEDULE),
+        )
+    """
+    calls = []
+    for method_name, args in schedule:
+        rendered = []
+        for value in args:
+            if isinstance(value, bool):
+                rendered.append(Const(value, "bool"))
+            elif isinstance(value, int):
+                rendered.append(Const(value, "int"))
+            elif isinstance(value, float):
+                rendered.append(Const(value, "double"))
+            else:
+                raise EmbedError(
+                    f"entry-call arguments must be constants, got "
+                    f"{value!r} for {method_name!r}"
+                )
+        calls.append(
+            EntryCall(method_name=method_name, args=tuple(rendered))
+        )
+    return _EntryInfo(root=root, node=None, filename="<entry_calls>", calls=calls)
 
 
 def entry(root):
@@ -650,6 +713,9 @@ class _ProgramLowerer:
             raise EmbedError(
                 f"entry root {root_name!r} is not a tree class"
             )
+        if info.calls is not None:
+            self.program.set_entry(root_name, list(info.calls))
+            return
         node = info.node
         if len(node.args.args) != 1:
             raise EmbedError(
@@ -933,9 +999,29 @@ class _BodyLowerer:
 
     def _chain(self, node: ast.expr) -> tuple[str, list[RawStep]]:
         steps: list[RawStep] = []
-        while isinstance(node, ast.Attribute):
-            steps.append(RawStep(name=node.attr))
-            node = node.value
+        while True:
+            if isinstance(node, ast.Attribute):
+                steps.append(RawStep(name=node.attr))
+                node = node.value
+                continue
+            cast_to = self._cast_parts(node)
+            if cast_to is not None:
+                # cast(T, x).m — the cast applies to the chain built so
+                # far, i.e. to the step we appended last (walking
+                # outside-in), mirroring RawStep's pre_cast convention
+                type_name, inner = cast_to
+                if not steps or steps[-1].pre_cast is not None:
+                    raise self.error(
+                        "a cast must be followed by a member access "
+                        "(cast(T, x).member)",
+                        node,
+                    )
+                steps[-1] = RawStep(
+                    name=steps[-1].name, pre_cast=type_name
+                )
+                node = inner
+                continue
+            break
         if not isinstance(node, ast.Name):
             raise self.error(
                 "member chains must be rooted at the receiver, a "
@@ -944,6 +1030,37 @@ class _BodyLowerer:
             )
         steps.reverse()
         return node.id, steps
+
+    def _cast_parts(
+        self, node: ast.expr
+    ) -> Optional[tuple[str, ast.expr]]:
+        """(target type name, inner expression) when *node* is a
+        ``cast(T, x)`` / ``repro.cast(T, x)`` call, else None."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        is_cast = (isinstance(func, ast.Name) and func.id == "cast") or (
+            isinstance(func, ast.Attribute) and func.attr == "cast"
+        )
+        if not is_cast:
+            return None
+        if len(node.args) != 2 or node.keywords:
+            raise self.error(
+                "cast takes exactly (TreeClass, expression)", node
+            )
+        target = node.args[0]
+        if isinstance(target, ast.Name):
+            type_name = target.id
+        elif isinstance(target, ast.Constant) and isinstance(
+            target.value, str
+        ):
+            type_name = target.value
+        else:
+            raise self.error(
+                "the cast target must be a tree class (or its name)",
+                node,
+            )
+        return type_name, node.args[1]
 
     def _lower_path(self, node: ast.expr) -> AccessPath:
         base, steps = self._chain(node)

@@ -116,6 +116,8 @@ class Session:
         workload: Union[Workload, str],
         *,
         options: Optional[CompileOptions] = None,
+        incremental: bool = True,
+        reuse_result: bool = True,
         **option_overrides,
     ) -> CompiledWorkload:
         """Compile a workload (or raw Grafter source) through the staged
@@ -130,9 +132,45 @@ class Session:
                 source=workload,
                 build_tree=_no_build_tree,
             )
-        result = pipeline_compile(workload, options=effective)
+        result = pipeline_compile(
+            workload,
+            options=effective,
+            incremental=incremental,
+            reuse_result=reuse_result,
+        )
         return CompiledWorkload(
             session=self, workload=workload, result=result
+        )
+
+    def recompile(
+        self,
+        workload: Union[Workload, str],
+        *,
+        options: Optional[CompileOptions] = None,
+        **option_overrides,
+    ) -> CompiledWorkload:
+        """Re-run the pipeline for a (possibly edited) workload, reusing
+        unchanged compilation units.
+
+        The whole-result cache is deliberately bypassed — ``recompile``
+        means "the workload may have changed; rebuild it" — but every
+        pass still consults the per-unit artifact layer, so after
+        editing one traversal in a multi-traversal workload only the
+        dirtied units re-run analysis/fusion/emit while the rest load
+        from the unit store (byte-identical output, see
+        ``result.unit_report()``)::
+
+            compiled = session.compile(workload_v1)
+            ...edit one traversal...
+            recompiled = session.recompile(workload_v2)
+            print(recompiled.result.unit_report())
+        """
+        return self.compile(
+            workload,
+            options=options,
+            incremental=True,
+            reuse_result=False,
+            **option_overrides,
         )
 
     # -- execution ------------------------------------------------------

@@ -3,10 +3,10 @@
 Compilation goes through ``repro.pipeline.compile()``: fusing the same
 program for one experiment after another is a content-addressed cache
 hit, not a re-synthesis (the old ad-hoc ``id()``-keyed dictionaries this
-module carried are gone). TreeFuser lowering is not a pipeline stage,
-but its products live in the shared compile cache's artifact layer under
-content keys — the last private per-object cache this module carried is
-gone too.
+module carried are gone). TreeFuser lowering is a pipeline *pre-pass*
+(``CompileOptions(lower=True)``): lowered programs get the same
+per-pass timings and per-unit caching as everything else, and the
+lowering metadata rides on ``CompileResult.lowered``.
 
 Forest experiments (many trees, one artifact) route through the
 traversal service's :class:`~repro.service.executor.BatchExecutor` via
@@ -23,9 +23,9 @@ from repro.bench.metrics import Measurement, measure_run
 from repro.fusion import FusionLimits
 from repro.fusion.fused_ir import FusedProgram
 from repro.ir.program import Program
-from repro.pipeline import GLOBAL_CACHE, CompileOptions, hash_program
+from repro.pipeline import CompileOptions
 from repro.pipeline import compile as pipeline_compile
-from repro.treefuser import LoweredProgram, lower_program, lower_tree
+from repro.treefuser import LoweredProgram, lower_tree
 
 
 def fused_for(
@@ -93,20 +93,27 @@ def compare_workload(
 
 
 def lowered_for(program: Program) -> LoweredProgram:
-    """TreeFuser lowering, memoized in the shared compile cache's
-    artifact layer under the program's *content* hash — two structurally
-    identical programs share one lowering, and the entry ages out with
-    the cache's LRU budget instead of leaking per object."""
-    key = ("treefuser-lowered", hash_program(program))
-    lowered = GLOBAL_CACHE.artifact(key)
+    """The TreeFuser lowering alone — the ``lower`` pipeline pass's
+    unit artifact, addressed through the *same* key space a full
+    ``CompileOptions(lower=True)`` compile uses, so the two entry
+    points share one lowering per program content. Computed directly
+    when cold: callers that only need the tagged-union twin (LoC
+    reports, tree converters) never pay for analysis and fusion."""
+    from repro.pipeline import GLOBAL_CACHE, hash_program
+    from repro.pipeline.options import hash_text
+    from repro.treefuser.lowering import lower_program
+
+    key = hash_text(f"lower\x00{hash_program(program)}")
+    lowered = GLOBAL_CACHE.unit_lookup("lower", key)
     if lowered is None:
         lowered = lower_program(program)
-        GLOBAL_CACHE.store_artifact(key, lowered)
+        GLOBAL_CACHE.unit_store("lower", key, lowered)
     return lowered
 
 
 def lowered_fused_for(program: Program) -> FusedProgram:
-    return fused_for(lowered_for(program).program)
+    options = CompileOptions(lower=True, emit=False)
+    return pipeline_compile(program, options=options).fused
 
 
 @dataclass

@@ -90,7 +90,16 @@ def _compile(args, emit: bool):
     else:
         source, name = _read(args.file), args.file
     args.display_name = name
-    return pipeline_compile(source, options=options, name=name)
+    # --explain demonstrates per-unit reuse, so it skips the
+    # whole-result lookup (which would short-circuit every pass) while
+    # keeping the unit layer — the second run of a warm store then
+    # reports all-hits instead of "served from cache"
+    return pipeline_compile(
+        source,
+        options=options,
+        name=name,
+        reuse_result=not getattr(args, "explain", False),
+    )
 
 
 def _entry_members(program):
@@ -189,6 +198,8 @@ def cmd_compile(args) -> int:
         print(f"  fused module written to {args.emit_python}")
     if args.timings:
         print(result.timings_report())
+    if args.explain:
+        print(result.unit_report())
     return 0
 
 
@@ -314,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print the per-pass wall-time and IR-size report",
+    )
+    compile_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="recompile unit by unit (skipping the whole-result cache) "
+             "and print how many compilation units each pass reused",
     )
     compile_cmd.add_argument(
         "--no-emit",

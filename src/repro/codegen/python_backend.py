@@ -303,16 +303,33 @@ class _StmtCompiler:
 # ===========================================================================
 
 
-def emit_module(program: Program) -> str:
-    """Python source for the original (unfused) program."""
-    program.finalize()
-    lines = [f'"""Generated from program {program.name!r} (unfused)."""']
-    lines.append(_PRELUDE)
+def module_methods(program: Program) -> dict[str, TraversalMethod]:
+    """The methods an unfused module emits, keyed by qualified name in
+    emission order (declaration order, overrides deduplicated)."""
     method_names: dict[str, TraversalMethod] = {}
     for method in program.all_methods():
         method_names[method.qualified_name] = method
-    for method in method_names.values():
-        lines.extend(_emit_method(program, method))
+    return method_names
+
+
+def emit_method_source(program: Program, method: TraversalMethod) -> str:
+    """Python source of one unfused method function — the unfused
+    module's per-method compilation unit."""
+    return "\n".join(_emit_method(program, method))
+
+
+def assemble_module(
+    program: Program, method_sources: dict[str, str]
+) -> str:
+    """Stitch per-method sources (:func:`emit_method_source`, keyed by
+    qualified name) into the full unfused module. The incremental emit
+    pass calls this with a mix of cached and fresh pieces; the result is
+    byte-identical to a monolithic :func:`emit_module`."""
+    program.finalize()
+    lines = [f'"""Generated from program {program.name!r} (unfused)."""']
+    lines.append(_PRELUDE)
+    for qualified in module_methods(program):
+        lines.append(method_sources[qualified])
         lines.append("")
     # dispatch dictionaries per traversal name
     by_name: dict[str, dict[str, TraversalMethod]] = {}
@@ -340,6 +357,18 @@ def emit_module(program: Program) -> str:
         lines.append("    pass")
     lines.append("")
     return "\n".join(lines)
+
+
+def emit_module(program: Program) -> str:
+    """Python source for the original (unfused) program."""
+    program.finalize()
+    return assemble_module(
+        program,
+        {
+            qualified: emit_method_source(program, method)
+            for qualified, method in module_methods(program).items()
+        },
+    )
 
 
 def _compiled_args(program, method_owner, method_name, args, exprc) -> str:
@@ -387,16 +416,34 @@ def _emit_method(program: Program, method: TraversalMethod) -> list[str]:
 # ===========================================================================
 
 
-def emit_fused_module(fused: FusedProgram) -> str:
-    """Python source for a fused program (units + stub dispatch)."""
+def emit_unit_source(
+    program: Program, unit: FusedUnit
+) -> tuple[str, list[str]]:
+    """(function source, dispatch-table lines) of one fused unit — the
+    fused module's per-unit compilation unit. The table lines are
+    separate because the module hoists every group's dispatch dict below
+    the function definitions (the targets must exist before the dicts
+    reference them)."""
+    group_tables: list[str] = []
+    lines = _emit_unit(program, unit, group_tables)
+    return "\n".join(lines), group_tables
+
+
+def assemble_fused_module(
+    fused: FusedProgram, unit_sources: dict[tuple[str, ...], tuple[str, list[str]]]
+) -> str:
+    """Stitch per-unit sources (:func:`emit_unit_source`, keyed by the
+    unit's sequence key) into the full fused module — byte-identical to
+    a monolithic :func:`emit_fused_module`."""
     program = fused.program
     lines = [f'"""Generated from program {program.name!r} (fused)."""']
     lines.append(_PRELUDE)
     group_tables: list[str] = []
     for key in sorted(fused.units):
-        unit = fused.units[key]
-        lines.extend(_emit_unit(program, unit, group_tables))
+        text, tables = unit_sources[key]
+        lines.append(text)
         lines.append("")
+        group_tables.extend(tables)
     lines.extend(group_tables)
     lines.append("")
     lines.append("def run_fused(RT, root):")
@@ -419,6 +466,17 @@ def emit_fused_module(fused: FusedProgram) -> str:
         )
     lines.append("")
     return "\n".join(lines)
+
+
+def emit_fused_module(fused: FusedProgram) -> str:
+    """Python source for a fused program (units + stub dispatch)."""
+    return assemble_fused_module(
+        fused,
+        {
+            key: emit_unit_source(fused.program, fused.units[key])
+            for key in fused.units
+        },
+    )
 
 
 def _unit_param_names(unit: FusedUnit) -> list[str]:
@@ -604,6 +662,18 @@ class CompiledProgram(_CompiledModule):
         self._namespace = None
         self.namespace  # eager exec: surface bad codegen at compile time
 
+    @classmethod
+    def from_source(cls, program: Program, source: str) -> "CompiledProgram":
+        """Wrap already-assembled module source (the incremental emit
+        pass stitches cached per-method pieces). The namespace is built
+        lazily on first run, like a disk-restored artifact — a warm
+        recompile does not pay the module exec."""
+        self = cls.__new__(cls)
+        self.program = program
+        self.source = source
+        self._namespace = None
+        return self
+
     def _module_name(self) -> str:
         return f"<repro:{self.program.name}>"
 
@@ -624,6 +694,17 @@ class CompiledFused(_CompiledModule):
         )
         self._namespace = None
         self.namespace  # eager exec: surface bad codegen at compile time
+
+    @classmethod
+    def from_source(cls, fused: FusedProgram, source: str) -> "CompiledFused":
+        """Wrap already-assembled module source (unfused tables + fused
+        units); lazy namespace, see :meth:`CompiledProgram.from_source`."""
+        self = cls.__new__(cls)
+        self.fused = fused
+        self.program = fused.program
+        self.source = source
+        self._namespace = None
+        return self
 
     def _module_name(self) -> str:
         return f"<repro:{self.program.name}:fused>"

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.dependence import DependenceGraph, Vertex
+from repro.automata import intersects
 from repro.ir.stmts import If, TraverseStmt
 
 
@@ -67,6 +68,28 @@ def conditional_call(vertex: Vertex):
         if len(stmt.then_body) == 1 and isinstance(stmt.then_body[0], TraverseStmt):
             return stmt.cond, stmt.then_body[0]
     return None
+
+
+def _argument_hazard(earlier: Vertex, candidate: Vertex) -> bool:
+    """True when grouping would evaluate *candidate*'s call site too
+    early.
+
+    A fused call site evaluates every member's argument and guard
+    expressions (the vertex's *site* accesses) before any member's
+    callee runs; unfused execution evaluates a later call's site only
+    after the earlier calls — and everything their subtree traversals
+    wrote — completed. Hoisting is therefore unsound exactly when an
+    earlier member's writes (its own or its callees', e.g. a global
+    assignment deep in the traversal) may touch what the candidate's
+    site reads (e.g. a global passed as an argument: ``this->c->f(G0)``
+    after a call whose subtree writes ``G0`` — the seed-765 divergence).
+    """
+    site = candidate.site_summary
+    if site is None:  # pragma: no cover - graphs always attach sites
+        return True
+    return intersects(earlier.summary.env_writes, site.env_reads) or intersects(
+        earlier.summary.tree_writes, site.tree_reads
+    )
 
 
 def _contracted_has_cycle(
@@ -142,6 +165,11 @@ def greedy_group(
             if cand_slot not in slots and any(
                 method_counts.get(call, 0) >= limits.max_repeat
                 for call in candidate_calls
+            ):
+                continue
+            if any(
+                _argument_hazard(graph.vertices[m], candidate)
+                for m in members
             ):
                 continue
             # tentative contraction

@@ -13,20 +13,26 @@ goes through::
 
 Stages (each wall-timed, each reporting IR-size stats)::
 
-    parse → validate → access-analysis → dependence → fusion → schedule → emit
+    parse → validate → lower? → access-analysis → dependence → fusion → schedule → emit
 
-Results are memoized in a content-addressed :class:`CompileCache` keyed
-on ``(source hash, options hash)``; warm compiles are dictionary
-lookups. With ``CompileOptions(cache_dir=...)`` results also persist to
-an on-disk :class:`~repro.service.store.ArtifactStore`, so cold starts
-in *new processes* skip the pipeline entirely. See
+Passes are *unit-granular* (see :mod:`repro.pipeline.manager`): each
+declares per-unit inputs/outputs — methods for access analysis and
+unfused emission, fused member sequences for dependence/fusion/emit —
+and every unit's artifact is content-addressed in the
+:class:`CompileCache` (and, with ``cache_dir``, the on-disk
+:class:`~repro.service.store.ArtifactStore`). Whole results stay
+memoized under ``(source hash, options hash)``: warm compiles are
+dictionary lookups, and when the whole-result key misses — a first-ever
+compile or an edited workload — unchanged units reload instead of
+recomputing (``pipeline.compile(..., incremental=True)``, the default;
+``CompileResult.unit_report()`` shows the per-pass reuse). See
 :mod:`repro.pipeline.stages` for the pass implementations (the former
 monolithic fusion engine, decomposed).
 """
 
 from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
 from repro.pipeline.driver import compile, hash_program, hash_source
-from repro.pipeline.manager import Pass, PassContext, PassManager
+from repro.pipeline.manager import Pass, PassContext, PassManager, Unit
 from repro.pipeline.options import (
     CompileOptions,
     CompileResult,
@@ -35,6 +41,7 @@ from repro.pipeline.options import (
     impls_portable,
 )
 from repro.pipeline.stages import default_passes
+from repro.pipeline.units import UnitArtifacts, UnitIndex
 
 __all__ = [
     "impl_ref",
@@ -48,6 +55,9 @@ __all__ = [
     "PassContext",
     "PassManager",
     "PassTiming",
+    "Unit",
+    "UnitArtifacts",
+    "UnitIndex",
     "default_passes",
     "hash_program",
     "hash_source",

@@ -33,18 +33,26 @@ from repro.pipeline.options import CompileResult
 
 
 class CompileCache:
-    """LRU cache of compile results and emitted-module artifacts."""
+    """LRU cache of compile results, emitted-module artifacts, and
+    per-unit pass artifacts."""
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 128, max_units: int = 4096):
         self.max_entries = max_entries
+        # units are small and numerous (one per method / fused sequence
+        # per pass), so they get their own, much larger LRU budget — a
+        # single render compile touches ~150 of them
+        self.max_units = max_units
         self._lock = threading.RLock()
         self._results: OrderedDict[tuple[str, str], CompileResult] = (
             OrderedDict()
         )
         self._artifacts: OrderedDict[Hashable, object] = OrderedDict()
+        self._units: OrderedDict[tuple[str, str], object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.unit_hits = 0
+        self.unit_misses = 0
 
     # -- full compile results -------------------------------------------
 
@@ -97,6 +105,26 @@ class CompileCache:
             while len(self._artifacts) > self.max_entries:
                 self._artifacts.popitem(last=False)
 
+    # -- per-unit pass artifacts ----------------------------------------
+
+    def unit_lookup(self, pass_name: str, key: str):
+        """One pass's artifact for one compilation unit, or ``None``."""
+        with self._lock:
+            value = self._units.get((pass_name, key))
+            if value is not None:
+                self._units.move_to_end((pass_name, key))
+                self.unit_hits += 1
+            else:
+                self.unit_misses += 1
+            return value
+
+    def unit_store(self, pass_name: str, key: str, value) -> None:
+        with self._lock:
+            self._units[(pass_name, key)] = value
+            self._units.move_to_end((pass_name, key))
+            while len(self._units) > self.max_units:
+                self._units.popitem(last=False)
+
     # -- maintenance ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -107,18 +135,24 @@ class CompileCache:
         with self._lock:
             self._results.clear()
             self._artifacts.clear()
+            self._units.clear()
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
+            self.unit_hits = 0
+            self.unit_misses = 0
 
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
                 "entries": len(self._results),
                 "artifacts": len(self._artifacts),
+                "units": len(self._units),
                 "hits": self.hits,
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
+                "unit_hits": self.unit_hits,
+                "unit_misses": self.unit_misses,
             }
 
 

@@ -36,6 +36,8 @@ def compile(
     name: str = "program",
     cache: Optional[CompileCache] = GLOBAL_CACHE,
     pure_impls: Optional[dict] = None,
+    incremental: bool = True,
+    reuse_result: bool = True,
 ) -> CompileResult:
     """Compile a Workload, Grafter source, or Program through the
     staged pipeline.
@@ -56,6 +58,21 @@ def compile(
     (disk hits are adopted into the memory cache), and cold results are
     spilled (unless ``options.persist`` is off) so *other processes*
     start warm.
+
+    ``incremental`` (default on) keys every pass's work on *compilation
+    units* (methods, fused sequences, emitted module functions — see
+    :mod:`repro.pipeline.units`): when the whole-result key misses —
+    a first-ever compile, or a workload edited since the last one —
+    unchanged units load from the unit layer of the same caches and
+    only dirtied units recompute, with per-pass hit/miss counts in the
+    timing details (``CompileResult.unit_report``). The unit layer obeys
+    the same gates as results: ``use_cache=False`` disables it, the
+    memory side lives in *cache*, the disk side in ``cache_dir``.
+
+    ``reuse_result=False`` skips the whole-result lookup (memory and
+    disk) while keeping the unit layer — the pipeline demonstrably
+    re-runs per unit, which is what ``Session.recompile`` and
+    ``repro compile --explain`` want; the fresh result is still stored.
     """
     # Workload bundles carry their own impls and name; unpack them
     # first so the rest of the driver sees the two primitive forms.
@@ -101,7 +118,7 @@ def compile(
         from repro.service.store import store_for
 
         disk = store_for(options.cache_dir)
-    if use_cache or disk is not None:
+    if reuse_result and (use_cache or disk is not None):
         hit = _lookup(cache, disk, key, disk_key)
         if hit is None and not options.emit:
             # an emit=True result for the same source strictly contains
@@ -126,6 +143,13 @@ def compile(
                 cold_timings=hit.timings,
             )
 
+    units = None
+    if incremental and options.use_cache and (cache is not None or disk is not None):
+        from repro.pipeline.units import UnitArtifacts
+
+        units = UnitArtifacts(
+            cache=cache, store=disk, persist=options.persist
+        )
     pctx = PassContext(
         options,
         source_text=source_text,
@@ -134,6 +158,7 @@ def compile(
         pure_impls=pure_impls,
         source_hash=source_hash,
         cache=cache if use_cache else None,
+        units=units,
     )
     manager = PassManager(default_passes())
     timings = manager.run(pctx)
@@ -149,6 +174,7 @@ def compile(
         fused_source=pctx.fused_source,
         compiled_unfused=pctx.compiled_unfused,
         compiled_fused=pctx.compiled_fused,
+        lowered=pctx.lowered,
     )
     if use_cache:
         cache.store(key, result)

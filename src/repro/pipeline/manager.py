@@ -1,19 +1,79 @@
-"""Pass protocol, shared pass context, and the instrumented manager.
+"""The unit-granular pass contract, shared pass context, and manager.
 
-A pass is a named stage that advances the :class:`PassContext` toward a
-compiled program and returns its IR-size stats; the :class:`PassManager`
-runs a fixed sequence of passes, wall-timing each one into
-:class:`~repro.pipeline.options.PassTiming` records. Control flow is
-deliberately linear — the pipeline's value is instrumentation and
-caching, not pass reordering.
+A pass no longer advances the context in one opaque ``run``: it
+*declares* its compilation units and computes them one at a time, so
+the manager — not the pass — owns caching, counting, and worklist
+order. The contract:
+
+* ``discover(pctx)`` — the initial units. A :class:`Unit` names its
+  ``kind`` (``"program"``, ``"method"``, ``"sequence"``, …), carries a
+  content ``key`` (``None`` = uncacheable), and a pass-specific
+  ``payload`` (the method, the member tuple, the plan).
+* ``compute(pctx, unit)`` — produce the unit's artifact. Only called on
+  a cache miss.
+* ``install(pctx, unit, artifact)`` — wire the artifact (fresh or
+  cached) into the context. Passes whose unit sets are *discovered*
+  rather than enumerable up front (fusion finds child sequences while
+  planning) enqueue follow-up units here via :meth:`PassContext.enqueue`.
+* ``finish(pctx)`` — assemble the pass's whole-program output from the
+  installed units and return its IR-size stats.
+
+The manager runs each pass's worklist to exhaustion, consulting the
+per-unit artifact layer (:class:`~repro.pipeline.units.UnitArtifacts`)
+for every keyed unit; hit/miss/disk counters land in the pass's
+:class:`~repro.pipeline.options.PassTiming` detail — the numbers
+``CompileResult.unit_report`` and ``repro compile --explain`` print.
+Control flow across passes stays deliberately linear — the pipeline's
+value is instrumentation and caching, not pass reordering.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Protocol, runtime_checkable
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Protocol, runtime_checkable
 
 from repro.pipeline.options import CompileOptions, PassTiming
+
+
+@dataclass
+class Unit:
+    """One compilation unit of one pass.
+
+    ``key`` is a content hash from :class:`~repro.pipeline.units.UnitIndex`
+    (or ``None`` for uncacheable work — whole-program stages, or any
+    compile with the unit layer disabled); ``payload`` is whatever the
+    pass needs to compute the artifact.
+    """
+
+    kind: str
+    key: Optional[str]
+    label: str = ""
+    payload: object = None
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One named pipeline stage, unit by unit."""
+
+    name: str
+
+    def discover(self, pctx: "PassContext") -> Iterable[Unit]:
+        """The pass's initial units (may be empty for a skipped pass)."""
+        ...  # pragma: no cover - protocol
+
+    def compute(self, pctx: "PassContext", unit: Unit) -> object:
+        """Produce one unit's artifact (cache misses only)."""
+        ...  # pragma: no cover - protocol
+
+    def install(self, pctx: "PassContext", unit: Unit, artifact) -> None:
+        """Wire one artifact — fresh or cached — into the context."""
+        ...  # pragma: no cover - protocol
+
+    def finish(self, pctx: "PassContext") -> dict[str, int]:
+        """Assemble whole-program output; return IR-size stats."""
+        ...  # pragma: no cover - protocol
 
 
 class PassContext:
@@ -29,6 +89,7 @@ class PassContext:
         pure_impls: Optional[dict] = None,
         source_hash: str = "",
         cache=None,
+        units=None,
     ):
         self.options = options
         self.source_text = source_text
@@ -36,12 +97,17 @@ class PassContext:
         self.pure_impls = pure_impls or {}
         self.source_hash = source_hash
         self.cache = cache
+        # the per-unit artifact layer (UnitArtifacts), or None when the
+        # compile runs with unit caching disabled — passes key their
+        # units only when this is set
+        self.units = units
         # a Program handed in directly is trusted: its creator already
         # validated it (workloads, treefuser lowering), so the frontend
         # stages no-op instead of re-running mode checks it may not meet
         self.program = program
         self.trusted_program = program is not None
         # filled in by the passes
+        self.lowered = None  # treefuser.LoweredProgram (lower pass)
         self.analysis = None  # AnalysisContext
         self.planner = None  # FusionPlanner
         self.entry_plans = None  # list[EntryPlan]
@@ -50,21 +116,31 @@ class PassContext:
         self.fused_source: Optional[str] = None
         self.compiled_unfused = None
         self.compiled_fused = None
+        self._unit_index = None
+        self._worklist: deque[Unit] = deque()
 
+    @property
+    def unit_index(self):
+        """Content keys for the current program (built on first use —
+        after parse/validate/lower have settled what the program is)."""
+        if self._unit_index is None:
+            from repro.pipeline.units import UnitIndex
 
-@runtime_checkable
-class Pass(Protocol):
-    """One named pipeline stage."""
+            self._unit_index = UnitIndex(self.program, self.options)
+        return self._unit_index
 
-    name: str
+    def reset_unit_index(self) -> None:
+        """Invalidate the key index after the program object changes
+        (the lower pass swaps in the tagged-union twin)."""
+        self._unit_index = None
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
-        """Advance the context; return IR-size stats for the report."""
-        ...  # pragma: no cover - protocol
+    def enqueue(self, unit: Unit) -> None:
+        """Add a discovered unit to the current pass's worklist."""
+        self._worklist.append(unit)
 
 
 class PassManager:
-    """Runs passes in order, timing each into a PassTiming record."""
+    """Runs each pass's unit worklist, timing and counting per pass."""
 
     def __init__(self, passes: list[Pass]):
         self.passes = list(passes)
@@ -77,9 +153,34 @@ class PassManager:
         timings: list[PassTiming] = []
         for stage in self.passes:
             start = time.perf_counter()
-            detail = stage.run(pctx) or {}
+            detail = self._run_stage(stage, pctx)
             elapsed = time.perf_counter() - start
             timings.append(
                 PassTiming(name=stage.name, seconds=elapsed, detail=detail)
             )
         return timings
+
+    def _run_stage(self, stage: Pass, pctx: PassContext) -> dict[str, int]:
+        worklist = pctx._worklist = deque()
+        worklist.extend(stage.discover(pctx))
+        spill = getattr(stage, "persist_units", False)
+        while worklist:
+            unit = worklist.popleft()
+            artifact = None
+            if unit.key is not None and pctx.units is not None:
+                artifact = pctx.units.lookup(stage.name, unit.key)
+            if artifact is None:
+                artifact = stage.compute(pctx, unit)
+                if (
+                    unit.key is not None
+                    and pctx.units is not None
+                    and artifact is not None
+                ):
+                    pctx.units.publish(
+                        stage.name, unit.key, artifact, spill=spill
+                    )
+            stage.install(pctx, unit, artifact)
+        detail = dict(stage.finish(pctx) or {})
+        if pctx.units is not None:
+            detail.update(pctx.units.counters(stage.name))
+        return detail

@@ -109,6 +109,10 @@ class CompileOptions:
     * ``mode`` — language mode: ``"grafter"`` (default) rejects
       conditional traversal calls, ``"treefuser"`` allows them.
     * ``limits`` — fusion termination cutoffs (paper §4).
+    * ``lower`` — run the TreeFuser lowering as a pre-pass: the program
+      is rewritten to its homogeneous tagged-union twin before analysis
+      and fusion (``CompileResult.lowered`` carries the tag/slot
+      metadata tree converters need).
     * ``emit`` — also emit + exec the generated Python modules; with
       ``False`` the pipeline stops after fusion (cheaper when only the
       :class:`FusedProgram` is needed, e.g. for the interpreter).
@@ -123,6 +127,7 @@ class CompileOptions:
 
     mode: str = "grafter"
     limits: FusionLimits = field(default_factory=FusionLimits)
+    lower: bool = False
     emit: bool = True
     use_cache: bool = True
     cache_dir: Optional[str] = None
@@ -219,6 +224,7 @@ class CompileResult:
     fused_source: Optional[str] = None
     compiled_unfused: Optional[object] = None  # codegen.CompiledProgram
     compiled_fused: Optional[object] = None  # codegen.CompiledFused
+    lowered: Optional[object] = None  # treefuser.LoweredProgram
 
     @property
     def key(self) -> tuple[str, str]:
@@ -251,5 +257,41 @@ class CompileResult:
                 lines.append("    " + timing.describe())
             lines.append(
                 f"    {'total':<16} {cold_total * 1e3:>9.2f} ms"
+            )
+        return "\n".join(lines)
+
+    def unit_report(self) -> str:
+        """The ``--explain`` report: per-pass compilation-unit reuse —
+        how many units each pass loaded from the unit store versus
+        recomputed (plus disk loads when a ``cache_dir`` served them)."""
+        name = getattr(self.program, "name", "program")
+        if self.cache_hit:
+            return (
+                f"unit reuse for {name!r}: whole result served from the "
+                f"compile cache (no passes ran)"
+            )
+        lines = [f"unit reuse for {name!r} (per pass):"]
+        lines.append(
+            f"  {'pass':<16} {'units':>6} {'hits':>6} {'misses':>7}"
+            f" {'disk':>6}"
+        )
+        keyed = 0
+        for timing in self.timings:
+            hits = timing.detail.get("unit_hits")
+            misses = timing.detail.get("unit_misses")
+            if hits is None and misses is None:
+                continue
+            keyed += 1
+            hits = hits or 0
+            misses = misses or 0
+            disk = timing.detail.get("unit_disk_hits", 0)
+            lines.append(
+                f"  {timing.name:<16} {hits + misses:>6} {hits:>6} "
+                f"{misses:>7} {disk:>6}"
+            )
+        if not keyed:
+            lines.append(
+                "  (no keyed units — compiled with the unit layer "
+                "disabled)"
             )
         return "\n".join(lines)

@@ -6,6 +6,9 @@ into named, separately-timed passes:
 * **parse** — Grafter surface text → resolved IR (skipped for trusted
   ``Program`` inputs).
 * **validate** — the language restrictions of paper Fig. 3.
+* **lower** — optional TreeFuser pre-pass (``options.lower``): the
+  tagged-union twin replaces the program, so lowered compiles get the
+  same per-pass timings and unit caching.
 * **access-analysis** — per-statement read/write automata for every
   traversal method (paper §3.1–3.2), precomputed so later stages only
   hit warm caches.
@@ -34,6 +37,8 @@ from repro.analysis.dependence import (
     DependenceGraph,
     Vertex,
     build_dependence_graph,
+    build_vertices,
+    graph_from_edges,
 )
 from repro.errors import FusionError
 from repro.frontend.parser import parse_program
@@ -57,10 +62,61 @@ from repro.ir.exprs import BinOp
 from repro.ir.method import TraversalMethod
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
-from repro.pipeline.manager import PassContext
+from repro.pipeline.manager import PassContext, Unit
 from repro.pipeline.options import hash_text
 
 SequenceKey = tuple[str, ...]
+
+
+# ===========================================================================
+# cached structures (what the unit store holds for dependence/fusion)
+# ===========================================================================
+
+
+@dataclass
+class DepStructure:
+    """A dependence graph minus its vertices: the edge list over the
+    sequence's positional statement layout (see ``build_vertices``).
+    Keyed on the members' *analysis* closures, it replays over current
+    statement objects — reusing the O(n²) interference testing while
+    never caching a stale statement."""
+
+    vertex_count: int
+    edges: list[tuple[int, int]]
+
+    @staticmethod
+    def of(graph: DependenceGraph) -> "DepStructure":
+        return DepStructure(
+            vertex_count=len(graph.vertices),
+            edges=[
+                (src, dst)
+                for src, dsts in sorted(graph.succ.items())
+                for dst in sorted(dsts)
+            ],
+        )
+
+
+@dataclass
+class PlanStructure:
+    """A unit plan minus everything body-bound: the dependence edges
+    plus greedy grouping's decisions. Replaying it needs no access
+    automata at all — vertices are rebuilt summary-free and the group
+    plans (slot merging, dispatch) recompute from current statements."""
+
+    dep: DepStructure
+    groups: list[tuple[str, list[int]]]  # (receiver key, vertex indices)
+    assignment: dict[int, int]
+
+    @staticmethod
+    def of(plan: "UnitPlan") -> "PlanStructure":
+        return PlanStructure(
+            dep=DepStructure.of(plan.graph),
+            groups=[
+                (g.receiver_key, list(g.vertex_indices))
+                for g in plan.groups
+            ],
+            assignment=dict(plan.assignment),
+        )
 
 
 # ===========================================================================
@@ -92,6 +148,13 @@ class UnitPlan:
     groups: list[Group] = field(default_factory=list)
     assignment: dict[int, int] = field(default_factory=dict)
     group_plans: dict[int, GroupPlan] = field(default_factory=dict)
+    # the child sequences this plan's groups dispatch to (deduplicated,
+    # discovery order) — how a worklist continues planning without the
+    # plan itself recursing, and how a *cached* plan tells the fusion
+    # pass which units it still needs
+    child_sequences: list[tuple[TraversalMethod, ...]] = field(
+        default_factory=list
+    )
 
 
 @dataclass
@@ -123,6 +186,10 @@ class FusionPlanner:
         self.limits = limits
         self.ctx = ctx
         self.graphs: dict[SequenceKey, DependenceGraph] = {}
+        # cached DepStructures (from the dependence pass's unit layer):
+        # graph_for replays their edges over fresh vertices instead of
+        # re-running the O(n²) interference tests
+        self.structures: dict[SequenceKey, DepStructure] = {}
         self.plans: dict[SequenceKey, UnitPlan] = {}
 
     # -- dependence graphs (shared with the dependence pass) ------------
@@ -132,7 +199,24 @@ class FusionPlanner:
     ) -> DependenceGraph:
         key = tuple(m.qualified_name for m in members)
         if key not in self.graphs:
-            self.graphs[key] = build_dependence_graph(self.ctx, list(members))
+            structure = self.structures.get(key)
+            if structure is not None:
+                vertices = build_vertices(
+                    self.ctx, list(members), with_summaries=True
+                )
+                # defensive: a structure whose layout disagrees with the
+                # current statements (an aliased or corrupt cache entry)
+                # must never be replayed — rebuild from scratch instead
+                if structure.vertex_count != len(vertices):
+                    structure = None
+                else:
+                    self.graphs[key] = graph_from_edges(
+                        vertices, structure.edges
+                    )
+            if structure is None:
+                self.graphs[key] = build_dependence_graph(
+                    self.ctx, list(members)
+                )
         return self.graphs[key]
 
     def entry_chunks(self):
@@ -190,9 +274,69 @@ class FusionPlanner:
     def plan_sequence(
         self, members: tuple[TraversalMethod, ...]
     ) -> SequenceKey:
+        """Plan a sequence and everything it transitively dispatches to.
+
+        Worklist-driven: :meth:`plan_one` plans one sequence *shallowly*
+        (children recorded, not recursed into), so the fusion pass can
+        run the same discovery unit by unit through the cache; this
+        method is the one-call spelling the FusionEngine shim and
+        :func:`plan_and_synthesize` use. A sequence is registered under
+        its key before its children are planned, so self-referential
+        sequences terminate as recursive references, and memoization on
+        the key keeps the label space finite under the cutoffs (§4).
+        """
         key = tuple(m.qualified_name for m in members)
-        if key in self.plans:
-            return key
+        worklist = [members]
+        while worklist:
+            pending = worklist.pop()
+            pending_key = tuple(m.qualified_name for m in pending)
+            if pending_key in self.plans:
+                continue
+            plan = self.plan_one(pending)
+            self.plans[pending_key] = plan
+            worklist.extend(plan.child_sequences)
+        return key
+
+    def plan_one(
+        self, members: tuple[TraversalMethod, ...]
+    ) -> UnitPlan:
+        """Plan exactly one sequence: groups, slot merging, and the
+        *keys* of the child sequences its groups dispatch to — without
+        planning the children (the caller's worklist owns that)."""
+        plan = UnitPlan(
+            key=tuple(m.qualified_name for m in members),
+            label=_label_for(tuple(m.qualified_name for m in members)),
+            members=list(members),
+            this_type=self.program.common_supertype(
+                m.owner for m in members
+            ),
+        )
+        graph = self.graph_for(members)
+        plan.graph = graph
+        plan.groups, plan.assignment = greedy_group(graph, self.limits)
+        self._plan_groups(plan)
+        return plan
+
+    def plan_from_structure(
+        self,
+        members: tuple[TraversalMethod, ...],
+        structure: PlanStructure,
+    ) -> UnitPlan:
+        """Replay a cached :class:`PlanStructure` over the *current*
+        program: vertices are rebuilt summary-free from today's method
+        bodies (so nothing stale is ever emitted or executed), the
+        cached edges/groups/assignment substitute for interference
+        testing and greedy grouping, and the group plans (slot merging,
+        dispatch resolution) recompute cheaply from the fresh
+        statements."""
+        key = tuple(m.qualified_name for m in members)
+        vertices = build_vertices(
+            self.ctx, list(members), with_summaries=False
+        )
+        if structure.dep.vertex_count != len(vertices):
+            # defensive: layout disagreement means the cache entry does
+            # not describe these statements — plan from scratch
+            return self.plan_one(members)
         plan = UnitPlan(
             key=key,
             label=_label_for(key),
@@ -201,20 +345,23 @@ class FusionPlanner:
                 m.owner for m in members
             ),
         )
-        # register before planning groups: a group reaching the same
-        # sequence becomes a recursive reference to this very unit
-        self.plans[key] = plan
-        graph = self.graph_for(members)
-        plan.graph = graph
-        plan.groups, plan.assignment = greedy_group(graph, self.limits)
-        vertex_by_index = {v.index: v for v in graph.vertices}
+        plan.graph = graph_from_edges(vertices, structure.dep.edges)
+        plan.groups = [
+            Group(receiver_key=receiver, vertex_indices=list(indices))
+            for receiver, indices in structure.groups
+        ]
+        plan.assignment = dict(structure.assignment)
+        self._plan_groups(plan)
+        return plan
+
+    def _plan_groups(self, plan: UnitPlan) -> None:
+        vertex_by_index = {v.index: v for v in plan.graph.vertices}
         for group in plan.groups:
             vertices = [
                 vertex_by_index[i] for i in sorted(group.vertex_indices)
             ]
             group_plan = self._plan_group(plan, vertices)
             plan.group_plans[group_plan.leader] = group_plan
-        return key
 
     def _plan_group(
         self, plan: UnitPlan, vertices: list[Vertex]
@@ -276,12 +423,20 @@ class FusionPlanner:
             receiver=receiver,
             calls=calls,
         )
+        seen_children = {
+            tuple(m.qualified_name for m in child)
+            for child in plan.child_sequences
+        }
         for type_name in self.program.concrete_subtypes(static_type):
             target = tuple(
                 self.program.resolve_method(type_name, call.method_name)
                 for call in calls
             )
-            group_plan.dispatch_keys[type_name] = self.plan_sequence(target)
+            child_key = tuple(m.qualified_name for m in target)
+            group_plan.dispatch_keys[type_name] = child_key
+            if child_key not in seen_children:
+                seen_children.add(child_key)
+                plan.child_sequences.append(target)
         return group_plan
 
 
@@ -290,6 +445,7 @@ def synthesize_fused(
     planner: FusionPlanner,
     entry_plans: list[EntryPlan],
     units: dict[SequenceKey, FusedUnit] | None = None,
+    orders: dict[SequenceKey, list[list[int]]] | None = None,
 ) -> FusedProgram:
     """Schedule every planned unit and assemble the FusedProgram: each
     body is a topological order of the contracted dependence graph, with
@@ -299,7 +455,9 @@ def synthesize_fused(
     present keep their (already-synthesized) FusedUnit objects, new
     plans get fresh units wired into the same dict — the FusionEngine
     shim uses this to preserve the old engine's identity-stable
-    memoization across repeated ``fuse_sequence`` calls.
+    memoization across repeated ``fuse_sequence`` calls. *orders* lets
+    the schedule pass hand in per-unit topological orders it already
+    computed (and counted) unit by unit.
     """
     if units is None:
         units = {}
@@ -314,7 +472,11 @@ def synthesize_fused(
         )
     for key in fresh_keys:
         plan = planner.plans[key]
-        order = schedule(plan.graph, plan.groups, plan.assignment)
+        order = (
+            orders[key]
+            if orders is not None and key in orders
+            else schedule(plan.graph, plan.groups, plan.assignment)
+        )
         vertex_by_index = {v.index: v for v in plan.graph.vertices}
         body = []
         for unit_indices in order:
@@ -415,74 +577,326 @@ def _label_for(key: SequenceKey) -> str:
 
 
 class ParsePass:
+    """Grafter surface text → resolved IR; one whole-program unit,
+    skipped for trusted ``Program`` inputs."""
+
     name = "parse"
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    def __init__(self):
+        self.stats: dict[str, int] = {"skipped": 1}
+
+    def discover(self, pctx: PassContext):
         if pctx.program is not None:
-            return {"skipped": 1}
-        pctx.program = parse_program(
+            return []
+        return [Unit(kind="program", key=None, label=pctx.name)]
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        return parse_program(
             pctx.source_text,
             name=pctx.name,
             pure_impls=pctx.pure_impls,
             mode=pctx.options.language_mode,
             validate=False,
         )
-        return {
-            "tree_types": len(pctx.program.tree_types),
-            "methods": sum(1 for _ in pctx.program.all_methods()),
+
+    def install(self, pctx: PassContext, unit: Unit, program) -> None:
+        pctx.program = program
+        self.stats = {
+            "tree_types": len(program.tree_types),
+            "methods": sum(1 for _ in program.all_methods()),
         }
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        return self.stats
 
 
 class ValidatePass:
+    """The language restrictions of paper Fig. 3 (whole program)."""
+
     name = "validate"
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    def __init__(self):
+        self.stats: dict[str, int] = {"skipped": 1}
+
+    def discover(self, pctx: PassContext):
         if pctx.trusted_program:
             pctx.program.finalize()
-            return {"skipped": 1}
+            return []
+        return [Unit(kind="program", key=None, label=pctx.name)]
+
+    def compute(self, pctx: PassContext, unit: Unit):
         validate_program(pctx.program, pctx.options.language_mode)
-        return {"methods": sum(1 for _ in pctx.program.all_methods())}
+        return True
+
+    def install(self, pctx: PassContext, unit: Unit, artifact) -> None:
+        self.stats = {
+            "methods": sum(1 for _ in pctx.program.all_methods())
+        }
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        return self.stats
+
+
+class LowerPass:
+    """Optional TreeFuser pre-pass: heterogeneous → tagged-union twin.
+
+    Enabled by ``CompileOptions(lower=True)``; the lowered program
+    replaces the context's program, so every later pass — and the unit
+    index keys they cache under — sees the tagged union, with the same
+    per-pass timings and caching the heterogeneous path gets (the
+    lowering itself is one whole-program unit keyed on the input's
+    content hash, replacing the old side-channel artifact layer).
+    """
+
+    name = "lower"
+    persist_units = True
+
+    def __init__(self):
+        self.stats: dict[str, int] = {"skipped": 1}
+
+    def discover(self, pctx: PassContext):
+        if not pctx.options.lower:
+            return []
+        key = None
+        if pctx.units is not None:
+            key = hash_text(f"lower\x00{pctx.source_hash}")
+        return [Unit(kind="program", key=key, label=pctx.name)]
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        from repro.treefuser.lowering import lower_program
+
+        return lower_program(pctx.program)
+
+    def install(self, pctx: PassContext, unit: Unit, lowered) -> None:
+        pctx.lowered = lowered
+        pctx.program = lowered.program
+        pctx.reset_unit_index()
+        self.stats = {
+            "tags": len(lowered.tags),
+            "slots": len(set(lowered.slot_names.values())),
+            "methods": sum(1 for _ in lowered.program.all_methods()),
+        }
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        return self.stats
 
 
 class AccessAnalysisPass:
+    """Per-statement read/write automata (paper §3.1–3.2), one unit per
+    traversal method, keyed on the method body + schema."""
+
     name = "access-analysis"
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    def __init__(self):
+        self.methods = 0
+        self.statements = 0
+
+    def discover(self, pctx: PassContext):
         pctx.analysis = AnalysisContext(pctx.program)
-        methods = 0
-        statements = 0
+        units = []
         for method in pctx.program.all_methods():
-            methods += 1
-            statements += len(pctx.analysis.method_accesses(method))
-        return {"methods": methods, "statements": statements}
+            key = (
+                pctx.unit_index.method_key(method, "access")
+                if pctx.units is not None
+                else None
+            )
+            units.append(
+                Unit(
+                    kind="method",
+                    key=key,
+                    label=method.qualified_name,
+                    payload=method,
+                )
+            )
+        return units
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        from repro.analysis.accesses import collect_method_accesses
+
+        return collect_method_accesses(pctx.program, unit.payload)
+
+    def install(self, pctx: PassContext, unit: Unit, accesses) -> None:
+        pctx.analysis.seed_accesses(unit.payload.qualified_name, accesses)
+        self.methods += 1
+        self.statements += len(accesses)
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        return {"methods": self.methods, "statements": self.statements}
 
 
 class DependencePass:
-    name = "dependence"
+    """Dependence graphs for the entry sequences (§3.3), one unit per
+    distinct concrete member sequence. The cached artifact is the graph
+    *structure* (:class:`DepStructure`) keyed on the members' analysis
+    closures (without the fusion limits) — the O(n²) interference
+    testing is what memoizes, while vertices always rebuild from the
+    current statements."""
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    name = "dependence"
+    persist_units = True
+
+    def discover(self, pctx: PassContext):
         pctx.planner = FusionPlanner(
             pctx.program, pctx.options.limits, pctx.analysis
         )
+        units = []
+        seen: set[SequenceKey] = set()
         for members in pctx.planner.entry_sequences():
-            pctx.planner.graph_for(members)
-        graphs = pctx.planner.graphs
+            name_key = tuple(m.qualified_name for m in members)
+            if name_key in seen:
+                continue
+            seen.add(name_key)
+            key = (
+                pctx.unit_index.sequence_key(
+                    members,
+                    "deps",
+                    analysis_ctx=pctx.analysis,
+                    with_limits=False,
+                )
+                if pctx.units is not None
+                else None
+            )
+            units.append(
+                Unit(
+                    kind="sequence",
+                    key=key,
+                    label="+".join(name_key),
+                    payload=members,
+                )
+            )
+        return units
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        graph = build_dependence_graph(pctx.analysis, list(unit.payload))
+        name_key = tuple(m.qualified_name for m in unit.payload)
+        pctx.planner.graphs[name_key] = graph
+        return DepStructure.of(graph)
+
+    def install(self, pctx: PassContext, unit: Unit, structure) -> None:
+        name_key = tuple(m.qualified_name for m in unit.payload)
+        pctx.planner.structures[name_key] = structure
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        # install records a structure for hit and miss alike, so the
+        # structures are the one complete census (planner.graphs holds
+        # only the freshly rebuilt ones)
+        structures = pctx.planner.structures
         return {
-            "graphs": len(graphs),
-            "vertices": sum(len(g.vertices) for g in graphs.values()),
-            "edges": sum(
-                len(dsts)
-                for g in graphs.values()
-                for dsts in g.succ.values()
+            "graphs": len(structures),
+            "vertices": sum(
+                s.vertex_count for s in structures.values()
             ),
+            "edges": sum(len(s.edges) for s in structures.values()),
         }
 
 
 class FusionPass:
-    name = "fusion"
+    """The synthesis plan (§3.3 step 4, §4), one unit per fused
+    sequence. The unit set is *discovered*: planning a sequence names
+    the child sequences its groups dispatch to, which ``install``
+    enqueues — so a cached plan contributes its children without being
+    re-planned, and only dirtied sequences re-run grouping.
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
-        pctx.entry_plans = pctx.planner.plan_entry()
+    The cached artifact is the :class:`PlanStructure` (edges + greedy
+    grouping's decisions), keyed on the members' analysis closures plus
+    the fusion limits: replaying it needs neither summaries nor
+    interference tests, and an edit that only changes computation
+    (a constant, an operator) keeps hitting — the ROADMAP's
+    dependence-summary memoization."""
+
+    name = "fusion"
+    persist_units = True
+
+    def __init__(self):
+        self.pending: set[SequenceKey] = set()
+        self._fresh: dict[SequenceKey, UnitPlan] = {}
+
+    def discover(self, pctx: PassContext):
+        planner = pctx.planner
+        units = []
+        entry_plans: list[EntryPlan] = []
+        for chunk, resolved in planner.entry_chunks():
+            entry = EntryPlan(
+                method_names=[c.method_name for c in chunk],
+                args_per_member=[c.args for c in chunk],
+            )
+            for type_name, members in resolved:
+                entry.dispatch_keys[type_name] = tuple(
+                    m.qualified_name for m in members
+                )
+                units.extend(self._unit_for(pctx, members))
+            entry_plans.append(entry)
+        pctx.entry_plans = entry_plans
+        return units
+
+    def _unit_for(self, pctx: PassContext, members) -> list[Unit]:
+        name_key = tuple(m.qualified_name for m in members)
+        if name_key in self.pending or name_key in pctx.planner.plans:
+            return []
+        self.pending.add(name_key)
+        key = (
+            pctx.unit_index.sequence_key(
+                members, "plan", analysis_ctx=pctx.analysis
+            )
+            if pctx.units is not None
+            else None
+        )
+        return [
+            Unit(
+                kind="sequence",
+                key=key,
+                label=_label_for(name_key),
+                payload=members,
+            )
+        ]
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        members = tuple(unit.payload)
+        name_key = tuple(m.qualified_name for m in members)
+        planner = pctx.planner
+        deps_key = None
+        if pctx.units is not None:
+            # the plan is dirty, but its dependence *edges* may not be
+            # (a limits sweep changes the plan key only): replay a
+            # cached structure so plan_one skips the interference tests
+            deps_key = pctx.unit_index.sequence_key(
+                members,
+                "deps",
+                analysis_ctx=pctx.analysis,
+                with_limits=False,
+            )
+            if name_key not in planner.structures:
+                structure = pctx.units.lookup("dependence", deps_key)
+                if structure is not None:
+                    planner.structures[name_key] = structure
+        had_structure = name_key in planner.structures
+        plan = planner.plan_one(members)
+        self._fresh[name_key] = plan
+        if pctx.units is not None and not had_structure:
+            # a freshly built graph doubles as a dependence structure
+            # for exactly those future sweeps (known structures came
+            # *from* the store — don't rewrite their pickles)
+            pctx.units.publish(
+                "dependence",
+                deps_key,
+                DepStructure.of(plan.graph),
+                spill=True,
+            )
+        return PlanStructure.of(plan)
+
+    def install(self, pctx: PassContext, unit: Unit, structure) -> None:
+        name_key = tuple(m.qualified_name for m in unit.payload)
+        plan = self._fresh.pop(name_key, None)
+        if plan is None:
+            plan = pctx.planner.plan_from_structure(
+                tuple(unit.payload), structure
+            )
+        pctx.planner.plans[plan.key] = plan
+        for child in plan.child_sequences:
+            for child_unit in self._unit_for(pctx, child):
+                pctx.enqueue(child_unit)
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
         plans = pctx.planner.plans
         return {
             "units": len(plans),
@@ -492,11 +906,35 @@ class FusionPass:
 
 
 class SchedulePass:
+    """Topological ordering of each planned unit (§3.4), one unit per
+    plan; assembly of the FusedProgram happens in ``finish``. Ordering
+    a contracted graph is cheap relative to planning it, so schedule
+    units stay uncached — the win is the per-unit instrumentation."""
+
     name = "schedule"
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    def __init__(self):
+        self.orders: dict[SequenceKey, list[list[int]]] = {}
+
+    def discover(self, pctx: PassContext):
+        return [
+            Unit(kind="sequence", key=None, label=plan.label, payload=plan)
+            for plan in pctx.planner.plans.values()
+        ]
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        plan = unit.payload
+        return schedule(plan.graph, plan.groups, plan.assignment)
+
+    def install(self, pctx: PassContext, unit: Unit, order) -> None:
+        self.orders[unit.payload.key] = order
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
         pctx.fused = synthesize_fused(
-            pctx.program, pctx.planner, pctx.entry_plans
+            pctx.program,
+            pctx.planner,
+            pctx.entry_plans,
+            orders=self.orders,
         )
         stats = pctx.fused.stats()
         return {
@@ -510,27 +948,108 @@ class SchedulePass:
 
 
 class EmitPass:
-    name = "emit"
+    """Generated Python, one unit per module function: every unfused
+    method and every fused unit emits (or reloads) its own source text;
+    ``finish`` stitches the pieces into the two modules. After an edit
+    only the dirtied functions re-emit — the rest come from the unit
+    store byte-identical."""
 
-    def run(self, pctx: PassContext) -> dict[str, int]:
+    name = "emit"
+    persist_units = True
+
+    def __init__(self):
+        self.skipped = False
+        self.method_sources: dict[str, str] = {}
+        self.unit_sources: dict[SequenceKey, tuple[str, list[str]]] = {}
+        self.fresh_units = 0
+
+    def discover(self, pctx: PassContext):
         if not pctx.options.emit:
-            return {"skipped": 1}
+            self.skipped = True
+            return []
         # lazy import: codegen's package __init__ imports the pipeline
         # for its cached wrappers, so importing it at module scope here
         # would be circular
-        from repro.codegen.python_backend import CompiledFused, CompiledProgram
+        from repro.codegen.python_backend import module_methods
+
+        units = []
+        for qualified, method in module_methods(pctx.program).items():
+            key = (
+                pctx.unit_index.method_key(method, "emit")
+                if pctx.units is not None
+                else None
+            )
+            units.append(
+                Unit(kind="method", key=key, label=qualified, payload=method)
+            )
+        for seq_key in sorted(pctx.fused.units):
+            fused_unit = pctx.fused.units[seq_key]
+            key = (
+                pctx.unit_index.sequence_key(fused_unit.members, "emit")
+                if pctx.units is not None
+                else None
+            )
+            units.append(
+                Unit(
+                    kind="fused-unit",
+                    key=key,
+                    label=fused_unit.label,
+                    payload=fused_unit,
+                )
+            )
+        return units
+
+    def compute(self, pctx: PassContext, unit: Unit):
+        from repro.codegen.python_backend import (
+            emit_method_source,
+            emit_unit_source,
+        )
+
+        self.fresh_units += 1
+        if unit.kind == "method":
+            return emit_method_source(pctx.program, unit.payload)
+        return emit_unit_source(pctx.program, unit.payload)
+
+    def install(self, pctx: PassContext, unit: Unit, artifact) -> None:
+        if unit.kind == "method":
+            self.method_sources[unit.payload.qualified_name] = artifact
+        else:
+            self.unit_sources[unit.payload.key] = artifact
+
+    def finish(self, pctx: PassContext) -> dict[str, int]:
+        if self.skipped:
+            return {"skipped": 1}
+        from repro.codegen.python_backend import (
+            CompiledFused,
+            CompiledProgram,
+            assemble_fused_module,
+            assemble_module,
+        )
         from repro.fusion.fused_ir import print_fused_program
         from repro.pipeline.options import hash_program
 
         cache = pctx.cache
-        # artifacts are keyed on the *program* hash (not the source-text
-        # hash) so text-sourced pipeline compiles and the Program-keyed
-        # codegen helpers share one exec'd module per content
+        # module artifacts are keyed on the *program* hash (not the
+        # source-text hash) so text-sourced pipeline compiles and the
+        # Program-keyed codegen helpers share one exec'd module per
+        # content; unlike unit keys, the program hash includes the
+        # pure-impl signature — a module object binds its program (and
+        # through it the impls), so impl rebindings must not share one
+        unfused_source = assemble_module(pctx.program, self.method_sources)
+        fused_source = assemble_fused_module(pctx.fused, self.unit_sources)
         program_hash = hash_program(pctx.program)
         unfused_key = ("unfused-module", program_hash)
         compiled = cache.artifact(unfused_key) if cache else None
         if compiled is None:
-            compiled = CompiledProgram(pctx.program)
+            compiled = CompiledProgram.from_source(
+                pctx.program, unfused_source
+            )
+            if pctx.units is None:
+                # plain compiles keep the eager exec (surface bad
+                # codegen immediately); unit-assembled modules build
+                # their namespace lazily on first run, like an artifact
+                # restored from the disk store
+                compiled.namespace
             if cache is not None:
                 cache.store_artifact(unfused_key, compiled)
         pctx.compiled_unfused = compiled
@@ -543,7 +1062,11 @@ class EmitPass:
         )
         compiled_fused = cache.artifact(fused_key) if cache else None
         if compiled_fused is None:
-            compiled_fused = CompiledFused(pctx.fused)
+            compiled_fused = CompiledFused.from_source(
+                pctx.fused, unfused_source + "\n" + fused_source
+            )
+            if pctx.units is None:
+                compiled_fused.namespace
             if cache is not None:
                 cache.store_artifact(fused_key, compiled_fused)
         pctx.compiled_fused = compiled_fused
@@ -551,15 +1074,18 @@ class EmitPass:
         return {
             "unfused_lines": len(pctx.unfused_source.splitlines()),
             "fused_lines": len(pctx.fused_source.splitlines()),
+            "fresh_functions": self.fresh_units,
         }
 
 
 def default_passes() -> list:
-    """The staged flow, in order. Pass classes are stateless; a fresh
-    list keeps managers independently instrumentable."""
+    """The staged flow, in order. A fresh list per compile: pass objects
+    carry per-run unit state (sources, orders, pending sets), so
+    managers stay independently instrumentable."""
     return [
         ParsePass(),
         ValidatePass(),
+        LowerPass(),
         AccessAnalysisPass(),
         DependencePass(),
         FusionPass(),

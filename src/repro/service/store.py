@@ -13,6 +13,13 @@ working after being moved or mounted at a different path.
 Layout (versioned so future formats never misread old files)::
 
     <root>/v1/<source_hash[:2]>/<source_hash>-<output_hash>.pkl
+    <root>/v1/units/<pass>/<unit_key[:2]>/<unit_key>.pkl
+
+The first shape is a full :class:`CompileResult`; the second is one
+pass's artifact for one *compilation unit* (a fusion plan for a member
+sequence, the emitted text of one module function — see
+:mod:`repro.pipeline.units`), which is how an edited workload's
+recompile reuses the unchanged units other processes compiled.
 
 Each file is one pickled payload ``{"format": 1, "repro": <version>,
 "result": <CompileResult>}``. Both the format *and* the repro version
@@ -86,6 +93,11 @@ class ArtifactStore:
         self.loads = 0
         self.load_misses = 0
         self.load_errors = 0
+        self.unit_spills = 0
+        self.unit_spill_errors = 0
+        self.unit_loads = 0
+        self.unit_load_misses = 0
+        self.unit_load_errors = 0
         self.evictions = 0
         self.compactions = 0
         self.compacted_entries = 0
@@ -97,6 +109,11 @@ class ArtifactStore:
         return (
             self.dir / source_hash[:2] / f"{source_hash}-{output_hash}.pkl"
         )
+
+    def unit_path_for(self, pass_name: str, key: str) -> Path:
+        """Per-unit pass artifacts live beside the full results, bucketed
+        by pass name: ``<root>/v1/units/<pass>/<key[:2]>/<key>.pkl``."""
+        return self.dir / "units" / pass_name / key[:2] / f"{key}.pkl"
 
     # -- read -----------------------------------------------------------
 
@@ -176,6 +193,19 @@ class ArtifactStore:
             with self._lock:
                 self.spill_errors += 1
             return False
+        if not self._publish(path, blob):
+            with self._lock:
+                self.spill_errors += 1
+            return False
+        with self._lock:
+            self.spills += 1
+            scan = self._account(len(blob))
+        if scan:
+            self.evict()
+        return True
+
+    def _publish(self, path: Path, blob: bytes) -> bool:
+        """Atomic write (temp file + ``os.replace``); best-effort."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -192,34 +222,105 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
+            return False
+        return True
+
+    def _account(self, size: int) -> bool:
+        """Grow the running byte estimate; True when a scan is due.
+        Call with the lock held. The running estimate only grows between
+        scans, so after the initial scan a full one happens at most once
+        per max_bytes of spilled data."""
+        self._bytes_since_scan += size
+        return not self._scanned or self._bytes_since_scan > self.max_bytes
+
+    # -- per-unit pass artifacts ----------------------------------------
+
+    def spill_unit(self, pass_name: str, key: str, artifact) -> bool:
+        """Persist one pass's artifact for one compilation unit.
+
+        Unit artifacts (fusion plans, emitted module functions) never
+        embed pure-function impls — generated code binds them at run
+        time through ``RT.pure`` — so unlike full results they are
+        always portable and need no ``impls_portable`` gate.
+        """
+        payload = {
+            "format": FORMAT_VERSION,
+            "repro": __version__,
+            "unit": artifact,
+        }
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
             with self._lock:
-                self.spill_errors += 1
+                self.unit_spill_errors += 1
+            return False
+        if not self._publish(self.unit_path_for(pass_name, key), blob):
+            with self._lock:
+                self.unit_spill_errors += 1
             return False
         with self._lock:
-            self.spills += 1
-            self._bytes_since_scan += len(blob)
-            scan = (
-                not self._scanned
-                or self._bytes_since_scan > self.max_bytes
-            )
+            self.unit_spills += 1
+            scan = self._account(len(blob))
         if scan:
-            # the running estimate only grows between scans, so after
-            # the initial scan a full one happens at most once per
-            # max_bytes of spilled data
             self.evict()
         return True
 
+    def load_unit(self, pass_name: str, key: str):
+        """The stored unit artifact, or ``None``. Same recency touch and
+        corrupt/foreign-version handling as :meth:`load`."""
+        path = self.unit_path_for(pass_name, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.unit_load_misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if payload.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"format {payload.get('format')!r} != {FORMAT_VERSION}"
+                )
+            if payload.get("repro") != __version__:
+                raise ValueError(
+                    f"repro {payload.get('repro')!r} != {__version__}"
+                )
+            artifact = payload["unit"]
+        except Exception:
+            with self._lock:
+                self.unit_load_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.unit_loads += 1
+        return artifact
+
     # -- eviction -------------------------------------------------------
 
-    def _entries(self) -> list[tuple[float, int, Path]]:
-        """(mtime, size, path) for every stored artifact."""
+    _RESULT_GLOB = "[0-9a-f][0-9a-f]/*.pkl"
+    _UNIT_GLOB = "units/*/*/*.pkl"
+
+    def _entries(
+        self, patterns: tuple[str, ...] = (_RESULT_GLOB, _UNIT_GLOB)
+    ) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for stored artifacts — by default both
+        full results and per-unit pass artifacts, which share one LRU
+        byte budget."""
         entries = []
-        for path in self.dir.glob("*/*.pkl"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+        for pattern in patterns:
+            for path in self.dir.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
         return entries
 
     def evict(self) -> int:
@@ -279,7 +380,7 @@ class ArtifactStore:
                         pass
             shutil.rmtree(version_dir, ignore_errors=True)
         now = time.time()
-        for tmp in self.dir.glob("*/.spill-*.tmp"):
+        for tmp in self.dir.rglob(".spill-*.tmp"):
             try:
                 stat = tmp.stat()
                 # a fresh tmp file may be a concurrent writer mid-spill
@@ -293,7 +394,7 @@ class ArtifactStore:
                 continue
             removed += 1
             reclaimed += size
-        for path in self.dir.glob("*/*.pkl"):
+        for _, _, path in self._entries():
             try:
                 payload = pickle.loads(path.read_bytes())
                 keep = (
@@ -325,7 +426,9 @@ class ArtifactStore:
     # -- maintenance ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries())
+        """Full-result entries only (unit artifacts are counted in
+        :meth:`stats` under ``unit_entries``)."""
+        return len(self._entries((self._RESULT_GLOB,)))
 
     def total_bytes(self) -> int:
         return sum(size for _, size, _ in self._entries())
@@ -338,16 +441,24 @@ class ArtifactStore:
                 pass
 
     def stats(self) -> dict[str, int]:
-        entries = self._entries()  # one directory walk for both gauges
+        results = self._entries((self._RESULT_GLOB,))
+        units = self._entries((self._UNIT_GLOB,))
         return {
-            "entries": len(entries),
-            "bytes": sum(size for _, size, _ in entries),
+            "entries": len(results),
+            "unit_entries": len(units),
+            "bytes": sum(size for _, size, _ in results)
+            + sum(size for _, size, _ in units),
             "spills": self.spills,
             "spill_skips": self.spill_skips,
             "spill_errors": self.spill_errors,
             "loads": self.loads,
             "load_misses": self.load_misses,
             "load_errors": self.load_errors,
+            "unit_spills": self.unit_spills,
+            "unit_spill_errors": self.unit_spill_errors,
+            "unit_loads": self.unit_loads,
+            "unit_load_misses": self.unit_load_misses,
+            "unit_load_errors": self.unit_load_errors,
             "evictions": self.evictions,
             "compactions": self.compactions,
             "compacted_entries": self.compacted_entries,

@@ -24,6 +24,7 @@ from repro.workloads.kdtree.schema import (
     kd_program,
     KD_DEFAULT_GLOBALS,
 )
+from repro.workloads.kdtree.embedded import kd_embedded_program
 from repro.workloads.kdtree.build import build_balanced_tree, leaf_segments
 from repro.workloads.kdtree.equations import (
     EQ1_SCHEDULE,
@@ -49,12 +50,15 @@ def kdtree_workload(schedule=None, name: str = "kdtree-eq1"):
     """A piecewise-function equation as a one-object workload bundle.
 
     Defaults to the Table 6 equation-1 schedule; pass another schedule
-    (and a distinct ``name``) for the other equations.
+    (and a distinct ``name``) for the other equations. The program is
+    the embedded definition — pinned byte-identical to the string DSL's
+    by ``tests/api/test_kdtree_equivalence.py``, so the string and
+    embedded spellings share one compile-cache entry.
     """
     from repro.api import Workload
 
     return Workload.from_program(
-        equation_program(
+        kd_embedded_program(
             schedule if schedule is not None else EQ1_SCHEDULE, name=name
         ),
         build_kdtree,
@@ -71,6 +75,7 @@ __all__ = [
     "build_kdtree",
     "KD_SOURCE",
     "kd_program",
+    "kd_embedded_program",
     "KD_DEFAULT_GLOBALS",
     "build_balanced_tree",
     "leaf_segments",

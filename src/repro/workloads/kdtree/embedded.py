@@ -1,0 +1,449 @@
+"""The kd-tree workload as a Python-embedded definition.
+
+The same classes and Table 5 traversals as
+:data:`repro.workloads.kdtree.schema.KD_SOURCE`, written with
+``@repro.schema`` / ``@repro.traversal`` instead of a source string.
+Lowering produces a structurally identical program — canonical print,
+content hash, and generated Python are byte-for-byte the string DSL's
+(pinned by ``tests/api/test_kdtree_equivalence.py``).
+
+The split blocks were the embedded frontend's last string-DSL escape
+hatch: rewriting a straddling leaf into an interior requires
+``static_cast`` member chains
+(``static_cast<KdLeaf*>(this->Left)->C0``), which embedded code now
+spells :func:`repro.cast`::
+
+    c0L: float = cast(KdLeaf, this.Left).C0
+    cast(Interior, this.Left).Split = midL
+    cast(KdLeaf, cast(Interior, this.Left).Left).C0 = c0L
+
+The pure-function impls (``evalCubic``/``integCubic``/``fmax2``/
+``fmin2``) are declared here with ``@repro.pure`` and re-exported by
+:mod:`repro.workloads.kdtree.schema` so both frontends bind the *same*
+callables and therefore hash alike.
+
+Equation schedules are data (Table 6), not code, so the entry sequence
+comes from :func:`repro.api.embed.entry_calls` instead of a fixed
+``@repro.entry`` function: :func:`kd_embedded_program` takes a schedule
+and splices it in, exactly like :func:`~.schema.kd_program` splices a
+``main``.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.api.embed import cast, entry_calls, lower
+from repro.ir.program import Program
+
+# ---------------------------------------------------------------- globals
+
+MIN_WIDTH = repro.Global(float, 0.5)
+
+
+# -------------------------------------------------------- pure functions
+
+
+@repro.pure
+def evalCubic(c0: float, c1: float, c2: float, c3: float, x: float) -> float:
+    return c0 + x * (c1 + x * (c2 + x * c3))
+
+
+@repro.pure
+def integCubic(
+    c0: float, c1: float, c2: float, c3: float, lo: float, hi: float
+) -> float:
+    def antiderivative(x):
+        return x * (c0 + x * (c1 / 2 + x * (c2 / 3 + x * c3 / 4)))
+
+    if hi <= lo:
+        return 0.0
+    return antiderivative(hi) - antiderivative(lo)
+
+
+@repro.pure
+def fmax2(a: float, b: float) -> float:
+    return a if a >= b else b
+
+
+@repro.pure
+def fmin2(a: float, b: float) -> float:
+    return a if a <= b else b
+
+
+# ------------------------------------------------------------- the tree
+
+
+@repro.schema(abstract=True)
+class KdNode:
+    Lo: float = 0
+    Hi: float = 0
+    kind: int = 0
+    Integral: float = 0
+    Value: float = 0
+
+    @repro.traversal(virtual=True)
+    def scale(this, c: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def addC(this, c: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def square(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def differentiate(this):
+        pass
+
+    @repro.traversal(virtual=True)
+    def splitForRange(this, a: float, b: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def addRange(this, c: float, a: float, b: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def multXRange(this, a: float, b: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def addXRange(this, a: float, b: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def integrate(this, a: float, b: float):
+        pass
+
+    @repro.traversal(virtual=True)
+    def project(this, x0: float):
+        pass
+
+
+@repro.schema
+class KdLeaf(KdNode):
+    C0: float = 0
+    C1: float = 0
+    C2: float = 0
+    C3: float = 0
+
+    @repro.traversal
+    def scale(this, c: float):
+        this.C0 = this.C0 * c
+        this.C1 = this.C1 * c
+        this.C2 = this.C2 * c
+        this.C3 = this.C3 * c
+
+    @repro.traversal
+    def addC(this, c: float):
+        this.C0 = this.C0 + c
+
+    @repro.traversal
+    def square(this):
+        t0: float = this.C0 * this.C0
+        t1: float = 2.0 * this.C0 * this.C1
+        t2: float = 2.0 * this.C0 * this.C2 + this.C1 * this.C1
+        t3: float = 2.0 * this.C0 * this.C3 + 2.0 * this.C1 * this.C2
+        this.C0 = t0
+        this.C1 = t1
+        this.C2 = t2
+        this.C3 = t3
+
+    @repro.traversal
+    def differentiate(this):
+        this.C0 = this.C1
+        this.C1 = 2.0 * this.C2
+        this.C2 = 3.0 * this.C3
+        this.C3 = 0.0
+
+    @repro.traversal
+    def addRange(this, c: float, a: float, b: float):
+        if this.Lo >= a and this.Hi <= b:
+            this.C0 = this.C0 + c
+
+    @repro.traversal
+    def multXRange(this, a: float, b: float):
+        if this.Lo >= a and this.Hi <= b:
+            t1: float = this.C0
+            t2: float = this.C1
+            t3: float = this.C2
+            this.C0 = 0.0
+            this.C1 = t1
+            this.C2 = t2
+            this.C3 = t3
+
+    @repro.traversal
+    def addXRange(this, a: float, b: float):
+        if this.Lo >= a and this.Hi <= b:
+            this.C1 = this.C1 + 1.0
+
+    @repro.traversal
+    def integrate(this, a: float, b: float):
+        this.Integral = 0.0
+        if this.Hi > a and this.Lo < b:
+            this.Integral = integCubic(
+                this.C0,
+                this.C1,
+                this.C2,
+                this.C3,
+                fmax2(this.Lo, a),
+                fmin2(this.Hi, b),
+            )
+
+    @repro.traversal
+    def project(this, x0: float):
+        if x0 < this.Lo or x0 > this.Hi:
+            return
+        this.Value = evalCubic(this.C0, this.C1, this.C2, this.C3, x0)
+
+
+@repro.schema
+class Interior(KdNode):
+    Left: KdNode
+    Right: KdNode
+    Split: float = 0
+
+    @repro.traversal
+    def scale(this, c: float):
+        this.Left.scale(c)
+        this.Right.scale(c)
+
+    @repro.traversal
+    def addC(this, c: float):
+        this.Left.addC(c)
+        this.Right.addC(c)
+
+    @repro.traversal
+    def square(this):
+        this.Left.square()
+        this.Right.square()
+
+    @repro.traversal
+    def differentiate(this):
+        this.Left.differentiate()
+        this.Right.differentiate()
+
+    @repro.traversal
+    def splitForRange(this, a: float, b: float):
+        if (
+            this.Left.kind == 1
+            and this.Left.Lo < b
+            and this.Left.Hi > a
+            and not (this.Left.Lo >= a and this.Left.Hi <= b)
+            and (this.Left.Hi - this.Left.Lo) > MIN_WIDTH
+        ):
+            loL: float = this.Left.Lo
+            hiL: float = this.Left.Hi
+            midL: float = (loL + hiL) / 2.0
+            c0L: float = cast(KdLeaf, this.Left).C0
+            c1L: float = cast(KdLeaf, this.Left).C1
+            c2L: float = cast(KdLeaf, this.Left).C2
+            c3L: float = cast(KdLeaf, this.Left).C3
+            del this.Left
+            this.Left = Interior()
+            this.Left.kind = 0
+            this.Left.Lo = loL
+            this.Left.Hi = hiL
+            cast(Interior, this.Left).Split = midL
+            cast(Interior, this.Left).Left = KdLeaf()
+            cast(Interior, this.Left).Left.kind = 1
+            cast(Interior, this.Left).Left.Lo = loL
+            cast(Interior, this.Left).Left.Hi = midL
+            cast(KdLeaf, cast(Interior, this.Left).Left).C0 = c0L
+            cast(KdLeaf, cast(Interior, this.Left).Left).C1 = c1L
+            cast(KdLeaf, cast(Interior, this.Left).Left).C2 = c2L
+            cast(KdLeaf, cast(Interior, this.Left).Left).C3 = c3L
+            cast(Interior, this.Left).Right = KdLeaf()
+            cast(Interior, this.Left).Right.kind = 1
+            cast(Interior, this.Left).Right.Lo = midL
+            cast(Interior, this.Left).Right.Hi = hiL
+            cast(KdLeaf, cast(Interior, this.Left).Right).C0 = c0L
+            cast(KdLeaf, cast(Interior, this.Left).Right).C1 = c1L
+            cast(KdLeaf, cast(Interior, this.Left).Right).C2 = c2L
+            cast(KdLeaf, cast(Interior, this.Left).Right).C3 = c3L
+        if (
+            this.Right.kind == 1
+            and this.Right.Lo < b
+            and this.Right.Hi > a
+            and not (this.Right.Lo >= a and this.Right.Hi <= b)
+            and (this.Right.Hi - this.Right.Lo) > MIN_WIDTH
+        ):
+            loR: float = this.Right.Lo
+            hiR: float = this.Right.Hi
+            midR: float = (loR + hiR) / 2.0
+            c0R: float = cast(KdLeaf, this.Right).C0
+            c1R: float = cast(KdLeaf, this.Right).C1
+            c2R: float = cast(KdLeaf, this.Right).C2
+            c3R: float = cast(KdLeaf, this.Right).C3
+            del this.Right
+            this.Right = Interior()
+            this.Right.kind = 0
+            this.Right.Lo = loR
+            this.Right.Hi = hiR
+            cast(Interior, this.Right).Split = midR
+            cast(Interior, this.Right).Left = KdLeaf()
+            cast(Interior, this.Right).Left.kind = 1
+            cast(Interior, this.Right).Left.Lo = loR
+            cast(Interior, this.Right).Left.Hi = midR
+            cast(KdLeaf, cast(Interior, this.Right).Left).C0 = c0R
+            cast(KdLeaf, cast(Interior, this.Right).Left).C1 = c1R
+            cast(KdLeaf, cast(Interior, this.Right).Left).C2 = c2R
+            cast(KdLeaf, cast(Interior, this.Right).Left).C3 = c3R
+            cast(Interior, this.Right).Right = KdLeaf()
+            cast(Interior, this.Right).Right.kind = 1
+            cast(Interior, this.Right).Right.Lo = midR
+            cast(Interior, this.Right).Right.Hi = hiR
+            cast(KdLeaf, cast(Interior, this.Right).Right).C0 = c0R
+            cast(KdLeaf, cast(Interior, this.Right).Right).C1 = c1R
+            cast(KdLeaf, cast(Interior, this.Right).Right).C2 = c2R
+            cast(KdLeaf, cast(Interior, this.Right).Right).C3 = c3R
+        this.Left.splitForRange(a, b)
+        this.Right.splitForRange(a, b)
+
+    @repro.traversal
+    def addRange(this, c: float, a: float, b: float):
+        this.Left.addRange(c, a, b)
+        this.Right.addRange(c, a, b)
+
+    @repro.traversal
+    def multXRange(this, a: float, b: float):
+        this.Left.multXRange(a, b)
+        this.Right.multXRange(a, b)
+
+    @repro.traversal
+    def addXRange(this, a: float, b: float):
+        this.Left.addXRange(a, b)
+        this.Right.addXRange(a, b)
+
+    @repro.traversal
+    def integrate(this, a: float, b: float):
+        this.Left.integrate(a, b)
+        this.Right.integrate(a, b)
+        this.Integral = this.Left.Integral + this.Right.Integral
+
+    @repro.traversal
+    def project(this, x0: float):
+        if x0 < this.Lo or x0 > this.Hi:
+            return
+        this.Left.project(x0)
+        this.Right.project(x0)
+        if x0 <= this.Split:
+            this.Value = this.Left.Value
+        else:
+            this.Value = this.Right.Value
+
+
+@repro.schema
+class FunctionKd:
+    Root: KdNode
+    Integral: float = 0
+    Value: float = 0
+    Lo: float = 0
+    Hi: float = 0
+    kind: int = 0
+
+    @repro.traversal
+    def scale(this, c: float):
+        this.Root.scale(c)
+
+    @repro.traversal
+    def addC(this, c: float):
+        this.Root.addC(c)
+
+    @repro.traversal
+    def square(this):
+        this.Root.square()
+
+    @repro.traversal
+    def differentiate(this):
+        this.Root.differentiate()
+
+    @repro.traversal
+    def splitForRange(this, a: float, b: float):
+        if (
+            this.Root.kind == 1
+            and this.Root.Lo < b
+            and this.Root.Hi > a
+            and not (this.Root.Lo >= a and this.Root.Hi <= b)
+            and (this.Root.Hi - this.Root.Lo) > MIN_WIDTH
+        ):
+            loT: float = this.Root.Lo
+            hiT: float = this.Root.Hi
+            midT: float = (loT + hiT) / 2.0
+            c0T: float = cast(KdLeaf, this.Root).C0
+            c1T: float = cast(KdLeaf, this.Root).C1
+            c2T: float = cast(KdLeaf, this.Root).C2
+            c3T: float = cast(KdLeaf, this.Root).C3
+            del this.Root
+            this.Root = Interior()
+            this.Root.kind = 0
+            this.Root.Lo = loT
+            this.Root.Hi = hiT
+            cast(Interior, this.Root).Split = midT
+            cast(Interior, this.Root).Left = KdLeaf()
+            cast(Interior, this.Root).Left.kind = 1
+            cast(Interior, this.Root).Left.Lo = loT
+            cast(Interior, this.Root).Left.Hi = midT
+            cast(KdLeaf, cast(Interior, this.Root).Left).C0 = c0T
+            cast(KdLeaf, cast(Interior, this.Root).Left).C1 = c1T
+            cast(KdLeaf, cast(Interior, this.Root).Left).C2 = c2T
+            cast(KdLeaf, cast(Interior, this.Root).Left).C3 = c3T
+            cast(Interior, this.Root).Right = KdLeaf()
+            cast(Interior, this.Root).Right.kind = 1
+            cast(Interior, this.Root).Right.Lo = midT
+            cast(Interior, this.Root).Right.Hi = hiT
+            cast(KdLeaf, cast(Interior, this.Root).Right).C0 = c0T
+            cast(KdLeaf, cast(Interior, this.Root).Right).C1 = c1T
+            cast(KdLeaf, cast(Interior, this.Root).Right).C2 = c2T
+            cast(KdLeaf, cast(Interior, this.Root).Right).C3 = c3T
+        this.Root.splitForRange(a, b)
+
+    @repro.traversal
+    def addRange(this, c: float, a: float, b: float):
+        this.Root.addRange(c, a, b)
+
+    @repro.traversal
+    def multXRange(this, a: float, b: float):
+        this.Root.multXRange(a, b)
+
+    @repro.traversal
+    def addXRange(this, a: float, b: float):
+        this.Root.addXRange(a, b)
+
+    @repro.traversal
+    def integrate(this, a: float, b: float):
+        this.Root.integrate(a, b)
+        this.Integral = this.Root.Integral
+
+    @repro.traversal
+    def project(this, x0: float):
+        this.Root.project(x0)
+        this.Value = this.Root.Value
+
+
+# ---------------------------------------------------------------- lowering
+
+KD_EMBEDDED_GLOBALS = {"MIN_WIDTH": MIN_WIDTH.default}
+
+_CLASSES = [KdNode, KdLeaf, Interior, FunctionKd]
+_PURES = [evalCubic, integCubic, fmax2, fmin2]
+
+_PROGRAM_CACHE: dict[str, Program] = {}
+
+
+def kd_embedded_program(schedule, name: str = "kdtree-eq") -> Program:
+    """Lower the embedded classes with this equation's schedule as the
+    entry sequence (the embedded counterpart of
+    :func:`~repro.workloads.kdtree.schema.kd_program`)."""
+    key = f"{name}:{schedule!r}"
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = lower(
+            name,
+            classes=_CLASSES,
+            pures=_PURES,
+            globals_={"MIN_WIDTH": MIN_WIDTH},
+            entry=entry_calls("FunctionKd", schedule),
+        )
+    return _PROGRAM_CACHE[key]

@@ -243,27 +243,27 @@ _tree_ class FunctionKd {
 )
 
 
-def _eval_cubic(c0, c1, c2, c3, x):
-    return c0 + x * (c1 + x * (c2 + x * c3))
-
-
-def _integ_cubic(c0, c1, c2, c3, lo, hi):
-    def antiderivative(x):
-        return x * (c0 + x * (c1 / 2 + x * (c2 / 3 + x * c3 / 4)))
-
-    if hi <= lo:
-        return 0.0
-    return antiderivative(hi) - antiderivative(lo)
-
+# The bound impls live with the embedded definition (module-level named
+# functions whose references are stable across processes). Both
+# frontends bind the *same* callables, which is what makes the embedded
+# program hash identically to this source string's parse — the same
+# arrangement the render twin uses.
+from repro.workloads.kdtree.embedded import (
+    KD_EMBEDDED_GLOBALS,
+    evalCubic,
+    fmax2,
+    fmin2,
+    integCubic,
+)
 
 KD_PURE_IMPLS = {
-    "evalCubic": _eval_cubic,
-    "integCubic": _integ_cubic,
-    "fmax2": max,
-    "fmin2": min,
+    "evalCubic": evalCubic,
+    "integCubic": integCubic,
+    "fmax2": fmax2,
+    "fmin2": fmin2,
 }
 
-KD_DEFAULT_GLOBALS = {"MIN_WIDTH": 0.5}
+KD_DEFAULT_GLOBALS = dict(KD_EMBEDDED_GLOBALS)
 
 _PROGRAM_CACHE: dict[str, Program] = {}
 

@@ -195,15 +195,14 @@ def test_random_program_equivalence_hypothesis(seed):
     assert interp_a.globals == interp_b.globals
 
 
-@pytest.mark.xfail(
-    reason="known pre-existing fusion soundness gap (found by hypothesis "
-    "during PR 2, present at the seed commit): traversal-call arguments "
-    "that read globals (e.g. `this->c1->f1(G0)`) interleaved with member "
-    "traversals that write the same global can evaluate under a different "
-    "global state in the fused schedule — see ROADMAP open items",
-    strict=True,
-)
-def test_seed_765_global_argument_interleaving_divergence():
+def test_seed_765_global_argument_interleaving():
+    """Regression for a fusion soundness gap found by hypothesis during
+    PR 2: grouping two calls on one receiver evaluates both calls'
+    arguments at the fused call site, but unfused execution evaluates a
+    later call's arguments (here ``this->c1->f1(G0)``) only after the
+    earlier call's subtree — which writes ``G0`` — completed. Grouping
+    now refuses to hoist a call site over an earlier member's writes
+    (``grouping._argument_hazard``), so fused and unfused runs agree."""
     seed = 765
     rng = random.Random(seed)
     source = random_program_source(rng)

@@ -18,6 +18,7 @@ from tests.fixtures import FIG2_SOURCE
 EXPECTED_ORDER = [
     "parse",
     "validate",
+    "lower",
     "access-analysis",
     "dependence",
     "fusion",

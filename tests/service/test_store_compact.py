@@ -34,7 +34,10 @@ class TestCompact:
         import os
         import time
 
-        bucket = next(store.dir.glob("*"))
+        # a *result* bucket (two hex chars), not the units/ subtree
+        bucket = next(
+            p for p in store.dir.glob("*") if p.name != "units"
+        )
         dead = bucket / ".spill-dead.tmp"
         dead.write_bytes(b"half a spill")
         stale = time.time() - 3600
