@@ -13,11 +13,25 @@ faster than a cold compile and produces byte-identical generated
 Python. Results land in benchmark_results/incremental_compile.txt.
 """
 
+import importlib
+import pkgutil
 import time
 
-from repro.pipeline import CompileCache, CompileOptions
+import repro
+from repro.pipeline import CompileOptions
 from repro.pipeline import compile as pipeline_compile
+from repro.storage import MemoryTier
 from repro.workloads.render.schema import RENDER_SOURCE
+
+# pre-import every repro module before any timer runs: on this
+# single-CPU host a lazy first import landing inside a timed region
+# (the pipeline pulls several modules on demand) would be charged to
+# whichever series hits it first — usually the cold one, inflating the
+# very baseline the speedup is measured against
+for _module in pkgutil.walk_packages(repro.__path__, "repro."):
+    if _module.name.endswith("__main__"):
+        continue  # the CLI entry point execs main() on import
+    importlib.import_module(_module.name)
 
 ROUNDS = 5
 
@@ -36,7 +50,7 @@ def _variant(round_index: int) -> str:
 
 
 def test_incremental_recompile_speedup(results_dir):
-    cache = CompileCache()
+    cache = MemoryTier()
     # populate the unit layer once with the pristine source
     pipeline_compile(RENDER_SOURCE, cache=cache)
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the tiered storage stack.
+
+Four processes, one shared workload (``examples/fig2.grafter``):
+
+1. **Process A** populates a store (``repro compile --cache-dir A``)
+   and exports the emitted fused module as the byte-identity baseline.
+2. **Process B** compiles *warm through A as a PeerTier*: its own
+   empty store plus ``--peer A``, with ``--explain`` so every pass
+   demonstrably re-runs unit by unit. The fusion row of the unit
+   report must show **zero recomputation** (no misses, every plan
+   served), and B's emitted module must be byte-identical to A's.
+3. ``repro store gc`` drops A's fusion units (per-pass GC; other
+   passes' units and the full results must survive).
+4. **Process C** compiles against the gc'd store with ``--explain``:
+   fusion recomputes (its units are gone), everything else stays warm,
+   and the output is **still byte-identical** — GC can reclaim space
+   but can never change what the compiler produces.
+
+Exits non-zero on any failure. Run locally with::
+
+    PYTHONPATH=src python scripts/storage_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+SOURCE = os.path.join("examples", "fig2.grafter")
+
+
+def run(*argv: str) -> str:
+    """One ``repro`` CLI invocation in a fresh process; returns stdout."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"FAIL: repro {' '.join(argv)} exited "
+                         f"{proc.returncode}")
+    return proc.stdout
+
+
+def explain_row(output: str, pass_name: str) -> tuple[int, int, int]:
+    """(hits, misses, peer_hits) from one unit-report row."""
+    match = re.search(
+        rf"^  {pass_name}\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s+(\d+)\s*$",
+        output,
+        re.MULTILINE,
+    )
+    if not match:
+        print(output)
+        raise SystemExit(f"FAIL: no unit-report row for {pass_name!r}")
+    _, hits, misses, _, peer = (int(g) for g in match.groups())
+    return hits, misses, peer
+
+
+def main(argv: list[str]) -> int:
+    workdir = argv[1] if len(argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-storage-smoke-"
+    )
+    store_a = os.path.join(workdir, "store-a")
+    store_b = os.path.join(workdir, "store-b")
+    store_c = os.path.join(workdir, "store-c")
+    module_a = os.path.join(workdir, "fused-a.py")
+    module_b = os.path.join(workdir, "fused-b.py")
+    module_c = os.path.join(workdir, "fused-c.py")
+
+    # 1. process A populates its store and exports the baseline module
+    run("compile", SOURCE, "--cache-dir", store_a,
+        "--emit-python", module_a)
+    print(f"storage_smoke: store A populated at {store_a}")
+
+    # 2. process B: empty local store, A as a read-only peer. --explain
+    # bypasses the whole-result cache so the per-pass reuse is visible.
+    out_b = run("compile", SOURCE, "--cache-dir", store_b,
+                "--peer", store_a, "--explain",
+                "--emit-python", module_b)
+    print(out_b)
+    hits, misses, peer = explain_row(out_b, "fusion")
+    if misses != 0 or hits == 0:
+        raise SystemExit(
+            f"FAIL: expected zero fusion recomputation through the "
+            f"peer, got {hits} hits / {misses} misses"
+        )
+    if peer == 0:
+        raise SystemExit("FAIL: no fusion unit was served by the peer")
+    baseline = open(module_a).read()
+    if open(module_b).read() != baseline:
+        raise SystemExit("FAIL: peer-served compile is not "
+                         "byte-identical to the baseline")
+    print("storage_smoke: B compiled warm through the peer "
+          f"(fusion {hits} hits, {peer} from peer, 0 recomputed)")
+
+    # 3. per-pass GC on A: fusion units go, everything else stays
+    print(run("store", "gc", "--cache-dir", store_a, "--pass", "fusion"),
+          end="")
+    remaining = [
+        str(path) for path in pathlib.Path(store_a).rglob("*.pkl")
+    ]
+    if any("/units/fusion/" in path for path in remaining):
+        raise SystemExit("FAIL: gc left fusion units behind")
+    if not any("/units/emit/" in path for path in remaining):
+        raise SystemExit("FAIL: gc was not pass-scoped (emit units gone)")
+
+    # 4. process C compiles against the gc'd store: fusion recomputes,
+    # output byte-identical
+    out_c = run("compile", SOURCE, "--cache-dir", store_c,
+                "--peer", store_a, "--explain",
+                "--emit-python", module_c)
+    print(out_c)
+    hits, misses, _ = explain_row(out_c, "fusion")
+    if misses == 0:
+        raise SystemExit(
+            "FAIL: fusion should have recomputed after gc dropped its "
+            "units"
+        )
+    if open(module_c).read() != baseline:
+        raise SystemExit("FAIL: post-GC compile is not byte-identical")
+    print(f"storage_smoke: post-GC compile recomputed {misses} fusion "
+          "units, output byte-identical")
+    print("storage_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,10 +12,12 @@ reachable from here::
         print(outcome.summaries[0], session.stats()["executor"]["waves"])
 
 ``Session`` owns a :class:`~repro.pipeline.options.CompileOptions`
-template (so one ``cache_dir`` covers the in-memory compile cache, the
-on-disk artifact store, and the executor's workers), and a lazily
-created :class:`~repro.service.executor.BatchExecutor` (so sessions that
-only compile never spin up a pool). The old spellings — calling
+template (so one ``cache_dir`` — and one ``peers`` list of read-only
+warm stores, local roots or remote ``repro serve`` URLs — covers the
+in-memory compile cache, the on-disk artifact store, and the
+executor's workers), and a lazily created
+:class:`~repro.service.executor.BatchExecutor` (so sessions that only
+compile never spin up a pool). The old spellings — calling
 ``pipeline.compile`` with loose impls, hand-building ``ExecRequest``s,
 wiring a ``BatchExecutor`` yourself — keep working as deprecation
 shims, but this is the supported front door.
@@ -96,18 +98,46 @@ class Session:
         self,
         cache_dir: Optional[str] = None,
         *,
+        peers: tuple = (),
         options: Optional[CompileOptions] = None,
         workers: int = 2,
         backend: str = "thread",
+        memory_budget: Optional[int] = None,
+        disk_budget: Optional[int] = None,
     ):
         base = options if options is not None else CompileOptions()
+        patches = {}
         if cache_dir is not None and base.cache_dir is None:
-            base = replace(base, cache_dir=cache_dir)
+            patches["cache_dir"] = cache_dir
+        if peers and not base.peers:
+            # read-only warm sources: second store roots or running
+            # `repro serve` base URLs, consulted after memory and disk
+            patches["peers"] = tuple(peers)
+        if memory_budget is not None:
+            patches["memory_budget"] = memory_budget
+        if disk_budget is not None:
+            patches["disk_budget"] = disk_budget
+        if patches:
+            base = replace(base, **patches)
         self.options = base
         self.cache_dir = self.options.cache_dir
+        self.peers = tuple(self.options.peers)
         self.workers = workers
         self.backend = backend
         self._executor = None
+        # a memory budget gets this session its *own* memory tier: the
+        # process-shared GLOBAL_CACHE must never be resized by one
+        # session's budget (it would evict every other caller's results)
+        if self.options.memory_budget is not None:
+            from repro.storage import MemoryTier
+
+            self._memory = MemoryTier(
+                max_bytes=self.options.memory_budget
+            )
+        else:
+            from repro.pipeline.cache import GLOBAL_CACHE
+
+            self._memory = GLOBAL_CACHE
 
     # -- compilation ----------------------------------------------------
 
@@ -135,6 +165,7 @@ class Session:
         result = pipeline_compile(
             workload,
             options=effective,
+            cache=self._memory,
             incremental=incremental,
             reuse_result=reuse_result,
         )
@@ -147,6 +178,7 @@ class Session:
         workload: Union[Workload, str],
         *,
         options: Optional[CompileOptions] = None,
+        exec_ahead: bool = False,
         **option_overrides,
     ) -> CompiledWorkload:
         """Re-run the pipeline for a (possibly edited) workload, reusing
@@ -164,14 +196,28 @@ class Session:
             ...edit one traversal...
             recompiled = session.recompile(workload_v2)
             print(recompiled.result.unit_report())
+
+        Unit-assembled modules normally defer their ``exec`` to the
+        first run (like a disk-restored artifact). ``exec_ahead=True``
+        execs the re-emitted modules before returning, spending that
+        cost inside the editor's save-to-run gap so the first ``run()``
+        after an edit pays none of it.
         """
-        return self.compile(
+        compiled = self.compile(
             workload,
             options=options,
             incremental=True,
             reuse_result=False,
             **option_overrides,
         )
+        if exec_ahead:
+            for module in (
+                compiled.result.compiled_fused,
+                compiled.result.compiled_unfused,
+            ):
+                if module is not None:
+                    module.namespace  # force the deferred exec now
+        return compiled
 
     # -- execution ------------------------------------------------------
 
@@ -185,6 +231,7 @@ class Session:
                 workers=self.workers,
                 backend=self.backend,
                 cache_dir=self.cache_dir,
+                peers=self.peers,
             )
         return self._executor
 
@@ -227,16 +274,42 @@ class Session:
     # -- introspection --------------------------------------------------
 
     def stats(self) -> dict:
-        from repro.pipeline import GLOBAL_CACHE
-
-        stats = {"compile_cache": GLOBAL_CACHE.stats()}
+        stats = {"compile_cache": self._memory.stats()}
         if self._executor is not None:
             stats["executor"] = self._executor.stats()
         if self.cache_dir is not None:
             from repro.service.store import store_for
 
             stats["store"] = store_for(self.cache_dir).stats()
+        tiers = self._tiers()
+        if tiers is not None:
+            stats["storage"] = tiers.stats()
         return stats
+
+    def _tiers(self):
+        """The session's storage stack (memory → disk → peers), shared
+        with every compile run under its options."""
+        from repro.pipeline.driver import _tiers_for
+
+        return _tiers_for(self._memory, self.options)
+
+    def gc(
+        self,
+        pass_name: Optional[str] = None,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        """Run one GC policy over the session's writable tiers — e.g.
+        ``session.gc("fusion", max_age_seconds=7 * 86400)`` drops week-old
+        fusion plans while leaving every other pass's units intact."""
+        tiers = self._tiers()
+        if tiers is None:
+            return {"total": {"removed": 0, "reclaimed_bytes": 0}}
+        return tiers.gc(
+            pass_name=pass_name,
+            max_age_seconds=max_age_seconds,
+            max_bytes=max_bytes,
+        )
 
     # -- lifecycle ------------------------------------------------------
 

@@ -104,10 +104,10 @@ def lowered_for(program: Program) -> LoweredProgram:
     from repro.treefuser.lowering import lower_program
 
     key = hash_text(f"lower\x00{hash_program(program)}")
-    lowered = GLOBAL_CACHE.unit_lookup("lower", key)
+    lowered = GLOBAL_CACHE.get_unit("lower", key)
     if lowered is None:
         lowered = lower_program(program)
-        GLOBAL_CACHE.unit_store("lower", key, lowered)
+        GLOBAL_CACHE.put_unit("lower", key, lowered)
     return lowered
 
 

@@ -14,6 +14,10 @@ Usage (also via ``python -m repro``)::
                                                 # one-shot batch execution
     python -m repro serve --port 8177 --cache-dir ./artifacts
                                                 # HTTP traversal service
+    python -m repro store gc --cache-dir ./artifacts --pass fusion
+                                                # per-pass store GC
+    python -m repro compile t.grafter --cache-dir ./mine --peer /mnt/shared
+                                                # warm-start from a peer store
 
 All compilation goes through ``repro.pipeline.compile()`` — repeated
 invocations of one process (and every library caller in between) share
@@ -84,6 +88,7 @@ def _compile(args, emit: bool):
         mode=args.mode,
         emit=emit,
         cache_dir=getattr(args, "cache_dir", None),
+        peers=tuple(getattr(args, "peer", None) or ()),
     )
     if getattr(args, "flexible_source", False):
         source, name = _read_source(args.file)
@@ -227,6 +232,7 @@ def cmd_exec(args) -> int:
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        peers=tuple(args.peer or ()),
     ) as service:
         if args.sequential:
             # one request per tree, executed one wave at a time — the
@@ -261,6 +267,44 @@ def cmd_exec(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    """Maintenance operations on an on-disk artifact store."""
+    from repro.storage import disk_tier_for
+
+    store = disk_tier_for(args.cache_dir)
+    if args.store_command == "stats":
+        for key, value in store.stats().items():
+            print(f"  {key}: {value}")
+        return 0
+    if args.store_command == "compact":
+        summary = store.compact()
+        print(
+            f"compacted {args.cache_dir}: {summary['removed']} entries "
+            f"removed, {summary['reclaimed_bytes']} bytes reclaimed"
+        )
+        return 0
+    # gc
+    if (
+        args.gc_pass is None
+        and args.max_age_seconds is None
+        and args.max_bytes is None
+    ):
+        raise ReproError(
+            "store gc needs --pass, --max-age-seconds, and/or --max-bytes"
+        )
+    summary = store.gc(
+        pass_name=args.gc_pass,
+        max_age_seconds=args.max_age_seconds,
+        max_bytes=args.max_bytes,
+    )
+    scope = f"pass {args.gc_pass!r}" if args.gc_pass else "whole store"
+    print(
+        f"gc {args.cache_dir} ({scope}): {summary['removed']} entries "
+        f"removed, {summary['reclaimed_bytes']} bytes reclaimed"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the HTTP traversal service until /shutdown or Ctrl-C."""
     from repro.service.api import TraversalService, make_server
@@ -269,6 +313,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        peers=tuple(args.peer or ()),
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -348,7 +393,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist compiled artifacts to DIR (and reuse artifacts "
              "other processes left there)",
     )
+    compile_cmd.add_argument(
+        "--peer", metavar="STORE", action="append", default=[],
+        help="read-only warm store consulted after --cache-dir: a "
+             "second store root or a running 'repro serve' base URL "
+             "(repeatable; hits are promoted into local tiers)",
+    )
     compile_cmd.set_defaults(handler=cmd_compile)
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="maintain an on-disk artifact store (gc, stats, compact)",
+    )
+    store_sub = store_cmd.add_subparsers(
+        dest="store_command", required=True
+    )
+    gc_cmd = store_sub.add_parser(
+        "gc",
+        help="policy-driven reclamation: drop units by pass and/or "
+             "age, or trim to a byte budget",
+    )
+    gc_cmd.add_argument(
+        "--pass", dest="gc_pass", metavar="NAME", default=None,
+        help="scope to one pass's unit artifacts (e.g. fusion, emit); "
+             "other passes' units and full results stay intact",
+    )
+    gc_cmd.add_argument(
+        "--max-age-seconds", type=float, default=None,
+        help="drop entries older than this (0 drops the whole scope)",
+    )
+    gc_cmd.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="LRU-trim the scope to this byte target",
+    )
+    for name, help_text in [
+        ("stats", "print the store's entry/byte/counter statistics"),
+        ("compact", "drop corrupt/foreign-version/stale-tmp entries"),
+    ]:
+        store_sub.add_parser(name, help=help_text)
+    for store_sub_cmd in (gc_cmd,) + tuple(
+        store_sub.choices[name] for name in ("stats", "compact")
+    ):
+        store_sub_cmd.add_argument(
+            "--cache-dir", metavar="DIR", required=True,
+            help="artifact store directory to operate on",
+        )
+        store_sub_cmd.set_defaults(handler=cmd_store)
 
     def add_service_args(command, workers_default: int):
         command.add_argument(
@@ -363,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--cache-dir", metavar="DIR",
             help="persistent artifact store directory",
+        )
+        command.add_argument(
+            "--peer", metavar="STORE", action="append", default=[],
+            help="read-only warm store (root dir or serve URL) "
+                 "consulted after the cache dir (repeatable)",
         )
 
     exec_cmd = sub.add_parser(

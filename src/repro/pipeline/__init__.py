@@ -18,16 +18,17 @@ Stages (each wall-timed, each reporting IR-size stats)::
 Passes are *unit-granular* (see :mod:`repro.pipeline.manager`): each
 declares per-unit inputs/outputs — methods for access analysis and
 unfused emission, fused member sequences for dependence/fusion/emit —
-and every unit's artifact is content-addressed in the
-:class:`CompileCache` (and, with ``cache_dir``, the on-disk
-:class:`~repro.service.store.ArtifactStore`). Whole results stay
-memoized under ``(source hash, options hash)``: warm compiles are
-dictionary lookups, and when the whole-result key misses — a first-ever
-compile or an edited workload — unchanged units reload instead of
-recomputing (``pipeline.compile(..., incremental=True)``, the default;
-``CompileResult.unit_report()`` shows the per-pass reuse). See
-:mod:`repro.pipeline.stages` for the pass implementations (the former
-monolithic fusion engine, decomposed).
+and every unit's artifact is content-addressed in the compile's
+:class:`~repro.storage.TieredStore` (the in-process memory tier; with
+``cache_dir`` the on-disk :class:`~repro.storage.DiskTier`; with
+``peers`` read-only :class:`~repro.storage.PeerTier` warm sources).
+Whole results stay memoized under ``(source hash, options hash)``:
+warm compiles are dictionary lookups, and when the whole-result key
+misses — a first-ever compile or an edited workload — unchanged units
+reload instead of recomputing (``pipeline.compile(...,
+incremental=True)``, the default; ``CompileResult.unit_report()`` shows
+the per-pass reuse). See :mod:`repro.pipeline.stages` for the pass
+implementations (the former monolithic fusion engine, decomposed).
 """
 
 from repro.pipeline.cache import GLOBAL_CACHE, CompileCache

@@ -1,70 +1,55 @@
-"""Content-addressed compile cache.
+"""The in-memory compile cache — now a face of :mod:`repro.storage`.
 
-Two layers share one LRU budget:
-
-* **results** — full :class:`~repro.pipeline.options.CompileResult`
-  records keyed on ``(source hash, options hash)``; a warm
-  ``pipeline.compile()`` of the same source with the same options is a
-  dictionary lookup instead of a parse→fuse→emit run.
-* **artifacts** — individual emitted/exec'd Python modules keyed on the
-  content hash of what they were generated from, so
-  :func:`repro.codegen.compile_program` / ``compile_fused`` and the
-  pipeline's emit stage share compiled modules even when reached through
-  different entry points.
+The cache that used to live here (three LRU sections: whole compile
+results, exec'd module artifacts, per-unit pass artifacts) is now
+:class:`repro.storage.memory.MemoryTier`, the first tier of every
+:class:`~repro.storage.tiered.TieredStore` the driver builds. What
+remains here is the module-level :data:`GLOBAL_CACHE` every in-process
+compile shares, plus :class:`CompileCache` — the pre-storage public
+spelling, kept as a thin deprecation shim (its old method names
+``lookup``/``insert``/``store``/``artifact``/``store_artifact``/
+``unit_lookup``/``unit_store`` delegate to the tier protocol and it
+warns once on construction).
 
 Keys are pure content hashes — compiling the *same text* through two
-different ``Program`` objects hits the same entry.
-
-The on-disk layer lives in :class:`~repro.service.store.ArtifactStore`
-and is wired up by the driver when ``options.cache_dir`` is set: a
-memory miss falls through to the store there, and the disk hit comes
-home via :meth:`CompileCache.insert` (counted in ``disk_hits``).
-Operations take an internal lock — the batch executor's worker threads
-share one cache.
+different ``Program`` objects hits the same entry. The memory layer
+keys results on ``(source hash, full options hash)``; the disk and
+peer layers below it key on the output-options hash (see
+:mod:`repro.storage`).
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from typing import Hashable, Optional
 
+from repro._compat import suppress_legacy_warnings, warn_legacy
 from repro.pipeline.options import CompileResult
+from repro.storage.memory import MemoryTier
 
 
-class CompileCache:
-    """LRU cache of compile results, emitted-module artifacts, and
-    per-unit pass artifacts."""
+class CompileCache(MemoryTier):
+    """Deprecated spelling of :class:`repro.storage.MemoryTier`.
 
-    def __init__(self, max_entries: int = 128, max_units: int = 4096):
-        self.max_entries = max_entries
-        # units are small and numerous (one per method / fused sequence
-        # per pass), so they get their own, much larger LRU budget — a
-        # single render compile touches ~150 of them
-        self.max_units = max_units
-        self._lock = threading.RLock()
-        self._results: OrderedDict[tuple[str, str], CompileResult] = (
-            OrderedDict()
+    Construction warns once; every pre-storage method name keeps
+    working. New code should build a ``MemoryTier`` (or just use the
+    driver's default :data:`GLOBAL_CACHE`).
+    """
+
+    def __init__(self, max_entries: int = 128, max_units: int = 4096,
+                 max_bytes: Optional[int] = None):
+        warn_legacy(
+            "CompileCache is deprecated; use repro.storage.MemoryTier "
+            "(same LRU, now byte-budgeted and tier-composable)"
         )
-        self._artifacts: OrderedDict[Hashable, object] = OrderedDict()
-        self._units: OrderedDict[tuple[str, str], object] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.unit_hits = 0
-        self.unit_misses = 0
+        kwargs = {"max_entries": max_entries, "max_units": max_units}
+        if max_bytes is not None:
+            kwargs["max_bytes"] = max_bytes
+        super().__init__(**kwargs)
 
-    # -- full compile results -------------------------------------------
+    # -- pre-storage method names ---------------------------------------
 
     def lookup(self, key: tuple[str, str]) -> Optional[CompileResult]:
-        with self._lock:
-            result = self._results.get(key)
-            if result is not None:
-                self._results.move_to_end(key)
-                self.hits += 1
-                return result
-            self.misses += 1
-            return None
+        return self.get_result(key)
 
     def insert(
         self,
@@ -72,88 +57,24 @@ class CompileCache:
         result: CompileResult,
         from_disk: bool = False,
     ) -> None:
-        """Adopt a result into the memory layer — how disk-loaded
-        entries come home (``from_disk`` keeps the stats honest: the
-        adoption converts this lookup's recorded miss into a disk
-        hit)."""
-        with self._lock:
-            self._results[key] = result
-            self._results.move_to_end(key)
-            while len(self._results) > self.max_entries:
-                self._results.popitem(last=False)
-            if from_disk:
-                self.disk_hits += 1
-                self.hits += 1
-                self.misses -= 1
+        self.put_result(key, result, promoted=from_disk)
 
     def store(self, key: tuple[str, str], result: CompileResult) -> None:
-        self.insert(key, result)
-
-    # -- emitted-module artifacts ---------------------------------------
+        self.put_result(key, result)
 
     def artifact(self, key: Hashable) -> Optional[object]:
-        with self._lock:
-            value = self._artifacts.get(key)
-            if value is not None:
-                self._artifacts.move_to_end(key)
-            return value
+        return self.get_artifact(key)
 
     def store_artifact(self, key: Hashable, value: object) -> None:
-        with self._lock:
-            self._artifacts[key] = value
-            self._artifacts.move_to_end(key)
-            while len(self._artifacts) > self.max_entries:
-                self._artifacts.popitem(last=False)
-
-    # -- per-unit pass artifacts ----------------------------------------
+        self.put_artifact(key, value)
 
     def unit_lookup(self, pass_name: str, key: str):
-        """One pass's artifact for one compilation unit, or ``None``."""
-        with self._lock:
-            value = self._units.get((pass_name, key))
-            if value is not None:
-                self._units.move_to_end((pass_name, key))
-                self.unit_hits += 1
-            else:
-                self.unit_misses += 1
-            return value
+        return self.get_unit(pass_name, key)
 
     def unit_store(self, pass_name: str, key: str, value) -> None:
-        with self._lock:
-            self._units[(pass_name, key)] = value
-            self._units.move_to_end((pass_name, key))
-            while len(self._units) > self.max_units:
-                self._units.popitem(last=False)
-
-    # -- maintenance ----------------------------------------------------
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._results)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._results.clear()
-            self._artifacts.clear()
-            self._units.clear()
-            self.hits = 0
-            self.misses = 0
-            self.disk_hits = 0
-            self.unit_hits = 0
-            self.unit_misses = 0
-
-    def stats(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "entries": len(self._results),
-                "artifacts": len(self._artifacts),
-                "units": len(self._units),
-                "hits": self.hits,
-                "misses": self.misses,
-                "disk_hits": self.disk_hits,
-                "unit_hits": self.unit_hits,
-                "unit_misses": self.unit_misses,
-            }
+        self.put_unit(pass_name, key, value)
 
 
-GLOBAL_CACHE = CompileCache()
+with suppress_legacy_warnings():
+    #: The process-wide memory tier every driver-level compile shares.
+    GLOBAL_CACHE = CompileCache()

@@ -2,11 +2,13 @@
 
 Accepts either Grafter source text or an already-built
 :class:`~repro.ir.program.Program` (workload modules hand those out),
-hashes the content plus the options, consults the
-:class:`~repro.pipeline.cache.CompileCache`, and on a miss runs the
-staged pass pipeline. The result carries the fused program, the
-generated Python modules (when ``options.emit``), and per-pass
-wall-time / IR-size instrumentation for the ``--timings`` report.
+hashes the content plus the options, consults the compile's
+:class:`~repro.storage.TieredStore` — memory tier, then the
+``options.cache_dir`` disk store, then any ``options.peers`` — and on
+a miss runs the staged pass pipeline. The result carries the fused
+program, the generated Python modules (when ``options.emit``), and
+per-pass wall-time / IR-size instrumentation for the ``--timings``
+report.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from typing import Optional, Union
 
 from repro._compat import warn_legacy
 from repro.ir.program import Program
-from repro.pipeline.cache import GLOBAL_CACHE, CompileCache
+from repro.pipeline.cache import GLOBAL_CACHE
 from repro.pipeline.manager import PassContext, PassManager
 from repro.pipeline.options import (
     CompileOptions,
@@ -27,6 +29,7 @@ from repro.pipeline.options import (
     hash_source,
 )
 from repro.pipeline.stages import default_passes
+from repro.storage import MemoryTier, ResultKey, TieredStore
 
 
 def compile(
@@ -34,7 +37,7 @@ def compile(
     *,
     options: Optional[CompileOptions] = None,
     name: str = "program",
-    cache: Optional[CompileCache] = GLOBAL_CACHE,
+    cache: Optional[MemoryTier] = GLOBAL_CACHE,
     pure_impls: Optional[dict] = None,
     incremental: bool = True,
     reuse_result: bool = True,
@@ -48,31 +51,36 @@ def compile(
     timings preserved under ``cold_timings``. An ``emit=False`` request
     is also served from a cached ``emit=True`` result of the same source
     (a strict superset — the extra emitted fields just come along). To
-    force a cold compile use ``options.use_cache=False`` (disables the
-    memory *and* disk layers); ``cache=None`` alone skips only the
-    memory layer — a configured ``options.cache_dir`` store can still
-    serve the result.
+    force a cold compile use ``options.use_cache=False`` (disables every
+    storage tier); ``cache=None`` alone skips only the memory layer — a
+    configured ``options.cache_dir`` store or peer can still serve the
+    result.
 
-    With ``options.cache_dir`` set, a memory miss falls through to the
-    on-disk :class:`~repro.service.store.ArtifactStore` rooted there
-    (disk hits are adopted into the memory cache), and cold results are
-    spilled (unless ``options.persist`` is off) so *other processes*
-    start warm.
+    Storage is tiered (:mod:`repro.storage`): with ``options.cache_dir``
+    set, a memory miss falls through to the on-disk
+    :class:`~repro.storage.DiskTier` rooted there, and with
+    ``options.peers`` set, a disk miss falls through to each read-only
+    peer (a second store root or a remote ``repro serve``). Hits are
+    promoted upward — a disk hit into memory, a peer hit onto the local
+    disk *and* into memory — and cold results are published to every
+    writable tier (unless ``options.persist`` is off) so *other
+    processes and hosts* start warm.
 
     ``incremental`` (default on) keys every pass's work on *compilation
     units* (methods, fused sequences, emitted module functions — see
     :mod:`repro.pipeline.units`): when the whole-result key misses —
     a first-ever compile, or a workload edited since the last one —
-    unchanged units load from the unit layer of the same caches and
+    unchanged units load from the unit layer of the same tiers and
     only dirtied units recompute, with per-pass hit/miss counts in the
     timing details (``CompileResult.unit_report``). The unit layer obeys
     the same gates as results: ``use_cache=False`` disables it, the
-    memory side lives in *cache*, the disk side in ``cache_dir``.
+    memory side lives in *cache*, the durable sides in ``cache_dir``
+    and ``peers``.
 
-    ``reuse_result=False`` skips the whole-result lookup (memory and
-    disk) while keeping the unit layer — the pipeline demonstrably
-    re-runs per unit, which is what ``Session.recompile`` and
-    ``repro compile --explain`` want; the fresh result is still stored.
+    ``reuse_result=False`` skips the whole-result lookup (every tier)
+    while keeping the unit layer — the pipeline demonstrably re-runs
+    per unit, which is what ``Session.recompile`` and ``repro compile
+    --explain`` want; the fresh result is still stored.
     """
     # Workload bundles carry their own impls and name; unpack them
     # first so the rest of the driver sees the two primitive forms.
@@ -108,28 +116,16 @@ def compile(
         program = None
         source_text = source
         source_hash = hash_source(source, pure_impls)
-    key = (source_hash, options.options_hash())
-    disk_key = (source_hash, options.output_hash())
+    key = ResultKey.of(source_hash, options)
 
-    use_cache = cache is not None and options.use_cache
-    disk = None
-    if options.use_cache and options.cache_dir is not None:
-        # lazy import: repro.service sits above the pipeline
-        from repro.service.store import store_for
-
-        disk = store_for(options.cache_dir)
-    if reuse_result and (use_cache or disk is not None):
-        hit = _lookup(cache, disk, key, disk_key)
+    store = _tiers_for(cache, options)
+    if store is not None and reuse_result:
+        hit = store.get_result(key)
         if hit is None and not options.emit:
             # an emit=True result for the same source strictly contains
             # the emit=False one — serve it rather than re-fusing
             emitting = replace(options, emit=True)
-            hit = _lookup(
-                cache,
-                disk,
-                (source_hash, emitting.options_hash()),
-                (source_hash, emitting.output_hash()),
-            )
+            hit = store.get_result(ResultKey.of(source_hash, emitting))
         if hit is not None:
             lookup = PassTiming(
                 name="cache-lookup",
@@ -144,12 +140,10 @@ def compile(
             )
 
     units = None
-    if incremental and options.use_cache and (cache is not None or disk is not None):
+    if incremental and store is not None:
         from repro.pipeline.units import UnitArtifacts
 
-        units = UnitArtifacts(
-            cache=cache, store=disk, persist=options.persist
-        )
+        units = UnitArtifacts(tiers=store)
     pctx = PassContext(
         options,
         source_text=source_text,
@@ -157,7 +151,7 @@ def compile(
         name=name,
         pure_impls=pure_impls,
         source_hash=source_hash,
-        cache=cache if use_cache else None,
+        cache=cache if (cache is not None and options.use_cache) else None,
         units=units,
     )
     manager = PassManager(default_passes())
@@ -176,21 +170,48 @@ def compile(
         compiled_fused=pctx.compiled_fused,
         lowered=pctx.lowered,
     )
-    if use_cache:
-        cache.store(key, result)
-    if disk is not None and options.persist:
-        disk.spill(result)
+    if store is not None:
+        store.put_result(key, result)
     return result
 
 
-def _lookup(cache, disk, key, disk_key):
-    """Memory layer first, then the ``options.cache_dir`` store (whose
-    key space excludes caching knobs — ``disk_key`` carries the output
-    options hash); disk hits are adopted into the memory cache for the
-    rest of the process."""
-    hit = cache.lookup(key) if cache is not None else None
-    if hit is None and disk is not None:
-        hit = disk.load(*disk_key)
-        if hit is not None and cache is not None:
-            cache.insert(key, hit, from_disk=True)
-    return hit
+def _tiers_for(
+    cache: Optional[MemoryTier], options: CompileOptions
+) -> Optional[TieredStore]:
+    """The storage stack for one compile, in lookup order: the memory
+    tier (*cache*), the ``cache_dir`` disk store, then each peer.
+    ``use_cache=False`` disables everything. Budget knobs resize only
+    tiers the caller plausibly administers: ``memory_budget`` applies
+    to a *privately passed* cache, never the process-shared
+    :data:`GLOBAL_CACHE` (one caller's small budget must not evict
+    everyone else's results — ``Session(memory_budget=...)`` builds
+    its own tier for exactly this reason); ``disk_budget`` is a
+    per-store setting on the directory the same options name (the
+    registry shares one instance per directory, so the most recent
+    setting wins — administering a store means administering its
+    budget). Returns ``None`` when no tier is configured."""
+    if not options.use_cache:
+        return None
+    tiers = []
+    if cache is not None:
+        if (
+            options.memory_budget is not None
+            and cache is not GLOBAL_CACHE
+        ):
+            cache.max_bytes = options.memory_budget
+        tiers.append(cache)
+    if options.cache_dir is not None:
+        # lazy imports keep pipeline imports light for cache-only use
+        from repro.storage.disk import disk_tier_for
+
+        disk = disk_tier_for(options.cache_dir)
+        if options.disk_budget is not None:
+            disk.max_bytes = options.disk_budget
+        tiers.append(disk)
+    for target in options.peers:
+        from repro.storage.peer import peer_tier_for
+
+        tiers.append(peer_tier_for(target))
+    if not tiers:
+        return None
+    return TieredStore(tiers, persist=options.persist)

@@ -116,13 +116,30 @@ class CompileOptions:
     * ``emit`` — also emit + exec the generated Python modules; with
       ``False`` the pipeline stops after fusion (cheaper when only the
       :class:`FusedProgram` is needed, e.g. for the interpreter).
-    * ``use_cache`` — consult/populate the compile cache.
+    * ``use_cache`` — consult/populate the compile cache (every storage
+      tier; ``False`` forces a fully cold compile).
     * ``cache_dir`` — root of an on-disk artifact store
-      (:class:`repro.service.store.ArtifactStore`): a memory-cache miss
-      falls through to disk, and cold compiles spill their results so a
+      (:class:`repro.storage.DiskTier`): a memory-cache miss falls
+      through to disk, and cold compiles spill their results so a
       later process skips the whole pipeline.
     * ``persist`` — allow spilling results to the disk store; with
       ``False`` an attached ``cache_dir`` is read-only.
+    * ``peers`` — read-only warm sources consulted after memory and
+      disk (:class:`repro.storage.PeerTier`): each is a second store
+      root or the base URL of a running ``repro serve``; hits are
+      promoted into the local tiers. Order is lookup order.
+    * ``memory_budget`` / ``disk_budget`` — byte budgets for the tiers
+      a compile under these options administers: ``memory_budget``
+      resizes a *privately owned* memory tier (``Session`` builds one;
+      the process-shared ``GLOBAL_CACHE`` is never resized by it) and
+      ``disk_budget`` is a per-store setting on the ``cache_dir``
+      directory (one shared instance per directory — the most recent
+      setting wins). ``None`` keeps each tier's default.
+
+    ``peers`` and the budgets are storage topology, not semantics: like
+    the other caching knobs they participate in ``canonical()`` (so no
+    field can silently alias) but stay out of the on-disk/output key —
+    two hosts with different peer lists must share one store key space.
     """
 
     mode: str = "grafter"
@@ -132,6 +149,9 @@ class CompileOptions:
     use_cache: bool = True
     cache_dir: Optional[str] = None
     persist: bool = True
+    peers: tuple[str, ...] = ()
+    memory_budget: Optional[int] = None
+    disk_budget: Optional[int] = None
 
     @property
     def language_mode(self) -> LanguageMode:
@@ -147,7 +167,16 @@ class CompileOptions:
     # on-disk store key: a persist=False reader must hit entries a
     # persist=True writer left, and a store directory must survive
     # being moved/renamed/mounted elsewhere.
-    NON_OUTPUT_FIELDS = frozenset({"use_cache", "cache_dir", "persist"})
+    NON_OUTPUT_FIELDS = frozenset(
+        {
+            "use_cache",
+            "cache_dir",
+            "persist",
+            "peers",
+            "memory_budget",
+            "disk_budget",
+        }
+    )
 
     def canonical(self) -> str:
         """Stable text form of *every* field, derived by reflection so a
@@ -180,6 +209,10 @@ class CompileOptions:
                     )
             elif spec.name == "cache_dir" and value is not None:
                 parts.append(f"cache_dir={os.path.abspath(value)}")
+            elif spec.name == "peers":
+                # canonicalize the container shape (a caller passing a
+                # list must hash like one passing a tuple)
+                parts.append(f"peers=({','.join(value)})")
             else:
                 parts.append(f"{spec.name}={value}")
         return parts
@@ -263,7 +296,8 @@ class CompileResult:
     def unit_report(self) -> str:
         """The ``--explain`` report: per-pass compilation-unit reuse —
         how many units each pass loaded from the unit store versus
-        recomputed (plus disk loads when a ``cache_dir`` served them)."""
+        recomputed (plus disk/peer loads when a ``cache_dir`` or a
+        configured peer served them)."""
         name = getattr(self.program, "name", "program")
         if self.cache_hit:
             return (
@@ -273,7 +307,7 @@ class CompileResult:
         lines = [f"unit reuse for {name!r} (per pass):"]
         lines.append(
             f"  {'pass':<16} {'units':>6} {'hits':>6} {'misses':>7}"
-            f" {'disk':>6}"
+            f" {'disk':>6} {'peer':>6}"
         )
         keyed = 0
         for timing in self.timings:
@@ -285,9 +319,10 @@ class CompileResult:
             hits = hits or 0
             misses = misses or 0
             disk = timing.detail.get("unit_disk_hits", 0)
+            peer = timing.detail.get("unit_peer_hits", 0)
             lines.append(
                 f"  {timing.name:<16} {hits + misses:>6} {hits:>6} "
-                f"{misses:>7} {disk:>6}"
+                f"{misses:>7} {disk:>6} {peer:>6}"
             )
         if not keyed:
             lines.append(
@@ -295,3 +330,27 @@ class CompileResult:
                 "disabled)"
             )
         return "\n".join(lines)
+
+    def unit_summary(self) -> dict:
+        """Structured form of :meth:`unit_report` — what the service's
+        ``/recompile`` endpoint returns as JSON."""
+        passes = {}
+        for timing in self.timings:
+            detail = timing.detail
+            if "unit_hits" not in detail and "unit_misses" not in detail:
+                continue
+            passes[timing.name] = {
+                "units": detail.get("unit_hits", 0)
+                + detail.get("unit_misses", 0),
+                "hits": detail.get("unit_hits", 0),
+                "misses": detail.get("unit_misses", 0),
+                "disk_hits": detail.get("unit_disk_hits", 0),
+                "peer_hits": detail.get("unit_peer_hits", 0),
+                "seconds": timing.seconds,
+            }
+        return {
+            "source_hash": self.source_hash,
+            "cache_hit": self.cache_hit,
+            "total_seconds": self.total_seconds,
+            "passes": passes,
+        }

@@ -1039,7 +1039,7 @@ class EmitPass:
         fused_source = assemble_fused_module(pctx.fused, self.unit_sources)
         program_hash = hash_program(pctx.program)
         unfused_key = ("unfused-module", program_hash)
-        compiled = cache.artifact(unfused_key) if cache else None
+        compiled = cache.get_artifact(unfused_key) if cache else None
         if compiled is None:
             compiled = CompiledProgram.from_source(
                 pctx.program, unfused_source
@@ -1051,7 +1051,7 @@ class EmitPass:
                 # restored from the disk store
                 compiled.namespace
             if cache is not None:
-                cache.store_artifact(unfused_key, compiled)
+                cache.put_artifact(unfused_key, compiled)
         pctx.compiled_unfused = compiled
         pctx.unfused_source = compiled.source
 
@@ -1060,7 +1060,7 @@ class EmitPass:
             program_hash,
             hash_text(print_fused_program(pctx.fused)),
         )
-        compiled_fused = cache.artifact(fused_key) if cache else None
+        compiled_fused = cache.get_artifact(fused_key) if cache else None
         if compiled_fused is None:
             compiled_fused = CompiledFused.from_source(
                 pctx.fused, unfused_source + "\n" + fused_source
@@ -1068,7 +1068,7 @@ class EmitPass:
             if pctx.units is None:
                 compiled_fused.namespace
             if cache is not None:
-                cache.store_artifact(fused_key, compiled_fused)
+                cache.put_artifact(fused_key, compiled_fused)
         pctx.compiled_fused = compiled_fused
         pctx.fused_source = compiled_fused.source
         return {

@@ -26,9 +26,9 @@ Two pieces live here:
   source hash, ``hash_program``) already include the impl signature.
 
 * :class:`UnitArtifacts` — one compilation's window onto the unit
-  layers of the in-memory :class:`~repro.pipeline.cache.CompileCache`
-  and the on-disk :class:`~repro.service.store.ArtifactStore`, with
-  per-pass hit/miss/disk counters that land in the pass timing details
+  layer of its :class:`~repro.storage.TieredStore` (memory tier, the
+  ``cache_dir`` disk store, any read-only peers), with per-pass
+  hit/miss/disk/peer counters that land in the pass timing details
   (and from there in ``repro compile --explain``).
 """
 
@@ -288,57 +288,73 @@ class UnitIndex:
 
 
 class UnitArtifacts:
-    """One compilation's view over the unit caches.
+    """One compilation's view over the unit layer of a
+    :class:`~repro.storage.TieredStore`.
 
-    Lookup order is memory first, then the on-disk store (disk hits are
-    adopted into the memory layer). Publishing always lands in memory;
-    it spills to disk only for passes that opt in (``persist_units``)
-    and when the store is writable.
+    Lookup walks the tiers in order (memory, then the disk store, then
+    any peers); the store promotes lower-tier hits upward, and this
+    view attributes each hit to the tier that served it — the
+    ``unit_disk_hits`` / ``unit_peer_hits`` numbers in the pass timing
+    details. Publishing lands in memory always and spills to disk only
+    for passes that opt in (``persist_units``) on persisting compiles.
+
+    The pre-storage constructor shape ``UnitArtifacts(cache=...,
+    store=..., persist=...)`` still works: the two layers become a
+    two-tier store.
     """
 
-    def __init__(self, cache=None, store=None, persist: bool = True):
-        self.cache = cache
-        self.store = store
-        self.persist = persist
+    def __init__(
+        self, cache=None, store=None, persist: bool = True, tiers=None
+    ):
+        if tiers is None:
+            from repro.storage import TieredStore
+
+            tiers = TieredStore(
+                [layer for layer in (cache, store) if layer is not None],
+                persist=persist,
+            )
+        self.tiers = tiers
         self.counts: dict[str, dict[str, int]] = {}
 
     def _count(self, pass_name: str) -> dict[str, int]:
         return self.counts.setdefault(
             pass_name,
-            {"unit_hits": 0, "unit_misses": 0, "unit_disk_hits": 0},
+            {
+                "unit_hits": 0,
+                "unit_misses": 0,
+                "unit_disk_hits": 0,
+                "unit_peer_hits": 0,
+            },
         )
 
     def lookup(self, pass_name: str, key: str):
         count = self._count(pass_name)
-        artifact = (
-            self.cache.unit_lookup(pass_name, key)
-            if self.cache is not None
-            else None
-        )
-        if artifact is None and self.store is not None:
-            artifact = self.store.load_unit(pass_name, key)
-            if artifact is not None:
-                count["unit_disk_hits"] += 1
-                if self.cache is not None:
-                    self.cache.unit_store(pass_name, key, artifact)
-        if artifact is None:
+        hit = self.tiers.get_unit(pass_name, key)
+        if hit is None:
             count["unit_misses"] += 1
             return None
+        artifact, tier = hit
         count["unit_hits"] += 1
+        if tier.kind == "disk":
+            count["unit_disk_hits"] += 1
+        elif tier.kind == "peer":
+            count["unit_peer_hits"] += 1
         return artifact
 
     def publish(
         self, pass_name: str, key: str, artifact, spill: bool = False
     ) -> None:
-        if self.cache is not None:
-            self.cache.unit_store(pass_name, key, artifact)
-        if spill and self.persist and self.store is not None:
-            self.store.spill_unit(pass_name, key, artifact)
+        self.tiers.put_unit(pass_name, key, artifact, spill=spill)
 
     def counters(self, pass_name: str) -> dict[str, int]:
-        """The pass's nonzero counters (empty when it saw no keyed
-        units)."""
+        """The pass's counters — hit/miss always, the per-tier
+        attributions only when nonzero (empty when the pass saw no
+        keyed units)."""
         count = self.counts.get(pass_name)
         if count is None:
             return {}
-        return {k: v for k, v in count.items() if v or k != "unit_disk_hits"}
+        return {
+            k: v
+            for k, v in count.items()
+            if v or k in ("unit_hits", "unit_misses")
+        }

@@ -3,9 +3,12 @@
 The compiler (``repro.pipeline``) produces content-addressed artifacts;
 this package makes them *servable*:
 
-* :mod:`repro.service.store` — an on-disk, content-addressed artifact
-  store that survives process restarts: a cold start with a warm store
-  skips the whole parse→fuse→emit pipeline.
+* :mod:`repro.service.store` — the on-disk, content-addressed artifact
+  store (now :class:`repro.storage.DiskTier` behind a compat face)
+  that survives process restarts: a cold start with a warm store skips
+  the whole parse→fuse→emit pipeline, and the HTTP server's
+  ``/artifact`` endpoint serves it to other hosts as a
+  :class:`repro.storage.PeerTier`.
 * :mod:`repro.service.batching` — execution requests, grouping by
   compiled artifact, and forest sharding.
 * :mod:`repro.service.executor` — a batch executor that runs sharded

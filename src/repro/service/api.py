@@ -10,20 +10,34 @@ The HTTP layer is deliberately stdlib-only (``http.server``): the
 reproduction must not grow dependencies. Endpoints::
 
     GET  /healthz            -> {"ok": true}
-    GET  /stats              -> executor + store (eviction/compaction
-                                counters) + cache statistics
+    GET  /stats              -> executor + tier-labelled storage +
+                                legacy cache/store statistics
     POST /submit             -> {"request_id": N}; JSON body names a
                                 workload, e.g. {"workload": "render",
                                 "trees": 64, "pages": 4} or any
                                 registered name with its size knob
                                 ({"workload": "kdtree", "depth": 5})
     GET  /result/<id>        -> completion state / summaries of one id
+    GET  /artifact/result/<source>/<output>
+    GET  /artifact/unit/<pass>/<key>
+                             -> raw stored payload bytes: this server's
+                                store served as a PeerTier, so another
+                                host's compile can start warm here
+    POST /recompile          -> {"workload": name}: rebuild through the
+                                tiered store (whole-result cache
+                                bypassed) and return the unit-reuse
+                                report as JSON
+    POST /gc                 -> {"pass": p?, "max_age_seconds": s?,
+                                "max_bytes": b?}: policy GC across the
+                                writable tiers
     POST /compact            -> drop unservable store entries
     POST /shutdown           -> stop serving (used by the smoke test)
 
 Handlers never execute traversals inline — submits go through the
 executor's async queue, so the stats endpoint stays responsive while a
-batch runs (the point of a *service*).
+batch runs (the point of a *service*). ``/recompile`` is the one
+deliberate exception: it exists to *measure* a recompile, so it runs
+the pipeline in the handler thread and returns the report.
 """
 
 from __future__ import annotations
@@ -37,9 +51,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
 from repro.pipeline import GLOBAL_CACHE, CompileOptions
+from repro.pipeline import compile as pipeline_compile
 from repro.service.batching import ExecRequest
 from repro.service.executor import BatchExecutor, RequestResult
 from repro.service.store import store_for
+from repro.storage import (
+    TieredStore,
+    is_content_hash,
+    is_safe_pass_name,
+    peer_tier_for,
+)
 
 
 # ===========================================================================
@@ -157,7 +178,7 @@ WORKLOADS: dict[str, WorkloadSpec] = {
 
 
 class TraversalService:
-    """Submit/await/stats over a batch executor + artifact store."""
+    """Submit/await/stats over a batch executor + tiered storage."""
 
     def __init__(
         self,
@@ -165,11 +186,23 @@ class TraversalService:
         backend: str = "thread",
         cache_dir: Optional[str] = None,
         max_tickets: int = 1024,
+        peers: tuple = (),
     ):
         self.cache_dir = cache_dir
+        self.peers = tuple(peers)
         self.store = store_for(cache_dir) if cache_dir else None
+        # the service's storage stack: the process memory tier, its
+        # store (when persistent), and any read-only peers — what /gc
+        # sweeps and the tier-labelled half of /stats reports
+        self.tiers = TieredStore(
+            [GLOBAL_CACHE, self.store]
+            + [peer_tier_for(p) for p in self.peers]
+        )
         self.executor = BatchExecutor(
-            workers=workers, backend=backend, cache_dir=cache_dir
+            workers=workers,
+            backend=backend,
+            cache_dir=cache_dir,
+            peers=self.peers,
         )
         self.max_tickets = max_tickets
         self._tickets: "OrderedDict[int, object]" = OrderedDict()
@@ -247,12 +280,15 @@ class TraversalService:
     def stats(self) -> dict:
         # "store" is always present so dashboards can key on it: the
         # eviction/compaction counters ride alongside the executor
-        # metrics when a store is attached, and read as null otherwise
+        # metrics when a store is attached, and read as null otherwise.
+        # "storage" is the tier-labelled view of the same stack
+        # (memory / disk / peers, in lookup order).
         return {
             "executor": self.executor.stats(),
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
             "store": self.store.stats() if self.store is not None else None,
+            "storage": self.tiers.stats(),
         }
 
     def compact_store(self) -> dict:
@@ -260,6 +296,86 @@ class TraversalService:
         if self.store is None:
             return {"removed": 0, "reclaimed_bytes": 0}
         return self.store.compact()
+
+    def gc(
+        self,
+        pass_name: Optional[str] = None,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        """One GC policy across the service's writable tiers (the
+        memory cache's unit layer + the store); see
+        :meth:`repro.storage.TieredStore.gc`."""
+        return self.tiers.gc(
+            pass_name=pass_name,
+            max_age_seconds=max_age_seconds,
+            max_bytes=max_bytes,
+        )
+
+    # -- storage endpoints ----------------------------------------------
+
+    def artifact_bytes(
+        self, kind: str, first: str, second: str
+    ) -> Optional[bytes]:
+        """The raw stored payload for one artifact, or ``None`` —
+        the ``GET /artifact/...`` body that lets another host mount
+        this service as a :class:`~repro.storage.PeerTier`. Inputs are
+        validated before touching the filesystem; the requesting peer
+        re-validates the payload itself on decode."""
+        if self.store is None:
+            return None
+        if (
+            kind == "result"
+            and is_content_hash(first)
+            and is_content_hash(second)
+        ):
+            path = self.store.path_for(first, second)
+        elif (
+            kind == "unit"
+            and is_safe_pass_name(first)
+            and is_content_hash(second)
+        ):
+            path = self.store.unit_path_for(first, second)
+        else:
+            return None
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def recompile_workload(
+        self,
+        name: str,
+        options: Optional[CompileOptions] = None,
+        **option_overrides,
+    ) -> dict:
+        """Rebuild one registered workload through the tiered store —
+        the whole-result cache is bypassed so every pass demonstrably
+        re-runs unit by unit — and return the unit-reuse report
+        (the ``POST /recompile`` body)."""
+        spec = WORKLOADS.get(name)
+        if spec is None:
+            raise KeyError(
+                f"unknown workload {name!r}; have {sorted(WORKLOADS)}"
+            )
+        if options is None:
+            options = CompileOptions(
+                cache_dir=self.cache_dir, peers=self.peers
+            )
+        if option_overrides:
+            from dataclasses import replace
+
+            options = replace(options, **option_overrides)
+        result = pipeline_compile(
+            spec.workload(),
+            options=options,
+            incremental=True,
+            reuse_result=False,
+        )
+        summary = result.unit_summary()
+        summary["workload"] = name
+        summary["unit_report"] = result.unit_report()
+        return summary
 
     def close(self) -> None:
         self.executor.close()
@@ -289,6 +405,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_bytes(self, blob: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
     def log_message(self, *args) -> None:  # quiet by default
         pass
 
@@ -306,12 +429,56 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(400, {"error": "bad request id"})
                 return
             self._reply(200, self.service.poll(request_id))
+        elif self.path.startswith("/artifact/"):
+            # /artifact/result/<source>/<output>, /artifact/unit/<pass>/<key>
+            parts = self.path.split("/")
+            if len(parts) != 5:
+                self._reply(404, {"error": "bad artifact route"})
+                return
+            blob = self.service.artifact_bytes(*parts[2:5])
+            if blob is None:
+                self._reply(404, {"error": "no such artifact"})
+                return
+            self._reply_bytes(blob)
         else:
             self._reply(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:
         if self.path == "/compact":
             self._reply(200, self.service.compact_store())
+            return
+        if self.path == "/gc":
+            try:
+                payload = self._json_body()
+                summary = self.service.gc(
+                    pass_name=payload.get("pass")
+                    or payload.get("pass_name"),
+                    max_age_seconds=payload.get("max_age_seconds"),
+                    max_bytes=payload.get("max_bytes"),
+                )
+            except Exception as error:
+                self._reply(400, {"error": str(error)})
+                return
+            self._reply(200, summary)
+            return
+        if self.path == "/recompile":
+            try:
+                payload = self._json_body()
+                name = payload.pop("workload")
+                if payload:
+                    # option overrides stay a programmatic-API affair:
+                    # letting HTTP clients patch CompileOptions would
+                    # hand them cache_dir (write anywhere) and peers
+                    # (server-side requests to arbitrary URLs)
+                    raise ValueError(
+                        f"unsupported fields {sorted(payload)} — the "
+                        f"recompile body takes only 'workload'"
+                    )
+                summary = self.service.recompile_workload(name)
+            except Exception as error:
+                self._reply(400, {"error": str(error)})
+                return
+            self._reply(200, summary)
             return
         if self.path == "/shutdown":
             self._reply(200, {"ok": True})
@@ -322,15 +489,18 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path != "/submit":
             self._reply(404, {"error": f"no route {self.path!r}"})
             return
-        length = int(self.headers.get("Content-Length") or 0)
         try:
-            payload = json.loads(self.rfile.read(length) or b"{}")
+            payload = self._json_body()
             name = payload.pop("workload")
             request_id = self.service.submit_workload(name, **payload)
         except Exception as error:
             self._reply(400, {"error": str(error)})
             return
         self._reply(200, {"request_id": request_id})
+
+    def _json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        return json.loads(self.rfile.read(length) or b"{}")
 
 
 def make_server(

@@ -155,6 +155,7 @@ class BatchExecutor:
         cache_dir: Optional[str] = None,
         shards_per_worker: int = 2,
         linger_seconds: float = 0.005,
+        peers: tuple = (),
     ):
         if backend not in _BACKENDS:
             raise ValueError(
@@ -163,6 +164,7 @@ class BatchExecutor:
         self.workers = max(1, workers)
         self.backend = backend
         self.cache_dir = cache_dir
+        self.peers = tuple(peers)
         self.shards_per_worker = shards_per_worker
         self.linger_seconds = linger_seconds
         self._pool = None
@@ -325,16 +327,20 @@ class BatchExecutor:
             return error
 
     def _effective(self, request: ExecRequest) -> ExecRequest:
-        """Apply executor-level defaults (the artifact cache dir)."""
+        """Apply executor-level defaults (the artifact cache dir and
+        any read-only peer stores)."""
+        patches = {}
         if self.cache_dir and request.options.cache_dir is None:
+            patches["cache_dir"] = self.cache_dir
+        if self.peers and not request.options.peers:
+            patches["peers"] = self.peers
+        if patches:
             # dataclasses.replace re-runs __post_init__; this is the
             # executor's own copy, not a user construction
             with suppress_legacy_warnings():
                 return replace(
                     request,
-                    options=replace(
-                        request.options, cache_dir=self.cache_dir
-                    ),
+                    options=replace(request.options, **patches),
                 )
         return request
 

@@ -1,483 +1,52 @@
-"""Persistent, content-addressed artifact store.
+"""Persistent artifact store — now a face of :mod:`repro.storage`.
 
-Spills :class:`~repro.pipeline.options.CompileResult` records to disk so
-a *different process* can skip the whole parse→fuse→emit pipeline — the
-torchinductor-style "cache dir full of hashed artifacts" idiom. Keys are
-``(source hash, output-options hash)``: like the in-memory
-:class:`~repro.pipeline.cache.CompileCache` key but restricted to the
-*output-affecting* options (``CompileOptions.output_hash``), so caching
-knobs don't fragment the key space — a ``persist=False`` reader hits
-entries a ``persist=True`` writer left, and a store directory keeps
-working after being moved or mounted at a different path.
+The on-disk, content-addressed store that lived here (v1 layout, atomic
+writes, LRU byte budget, compaction) is now
+:class:`repro.storage.disk.DiskTier`, the durable tier of every
+:class:`~repro.storage.tiered.TieredStore`. Nothing about the disk
+format changed — every existing v1 store stays readable without
+migration, and the module-level helpers keep their meanings:
 
-Layout (versioned so future formats never misread old files)::
-
-    <root>/v1/<source_hash[:2]>/<source_hash>-<output_hash>.pkl
-    <root>/v1/units/<pass>/<unit_key[:2]>/<unit_key>.pkl
-
-The first shape is a full :class:`CompileResult`; the second is one
-pass's artifact for one *compilation unit* (a fusion plan for a member
-sequence, the emitted text of one module function — see
-:mod:`repro.pipeline.units`), which is how an edited workload's
-recompile reuses the unchanged units other processes compiled.
-
-Each file is one pickled payload ``{"format": 1, "repro": <version>,
-"result": <CompileResult>}``. Both the format *and* the repro version
-are checked on load — pickled records mirror in-memory class layouts,
-so an entry written by a different repro version is treated as a clean
-miss (and deleted) rather than risking attribute drift at run time.
-Compiled modules travel as generated source (their exec'd namespaces
-are rebuilt lazily on first run — see ``codegen.python_backend``), so a
-warm-store compile costs a file read plus an unpickle, not a module
-exec.
-
-Concurrency: writes go to a temp file in the destination directory and
-are published with ``os.replace`` (atomic on POSIX), so a reader never
-observes a half-written artifact and two processes racing to spill the
-same key both leave a complete file. Corrupt or unreadable entries are
-deleted and treated as misses. Eviction is LRU by file mtime under a
-total byte budget; ``load`` touches the file's mtime so recently served
-artifacts survive.
-
-Results whose programs carry non-portable pure-function impls (lambdas,
-closures — anything keyed by ``id()``, see
-:func:`repro.pipeline.options.impl_ref`) are never spilled: their cache
-keys are not stable across processes, so persisting them could at best
-never hit and at worst alias.
+* :func:`store_for` — the process-wide registry, one shared instance
+  per resolved ``cache_dir`` (now returning the :class:`DiskTier`
+  itself).
+* :data:`FORMAT_VERSION` — the layout version, re-exported from
+  :mod:`repro.storage.base`.
+* :class:`ArtifactStore` — the pre-storage public spelling, kept as a
+  thin deprecation shim over :class:`DiskTier` (warns once on direct
+  construction; every method — ``load``/``spill``/``load_unit``/
+  ``spill_unit``/``evict``/``compact``/``stats`` — is unchanged).
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
-import threading
-import time
-from dataclasses import replace
-from pathlib import Path
-from typing import Optional
-
-from repro import __version__
-from repro.pipeline.options import CompileResult, impls_portable
-
-FORMAT_VERSION = 1
-
-_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
-
-# compact() only reclaims .tmp files older than this: younger ones may
-# be a concurrent writer between mkstemp and os.replace
-_TMP_GRACE_SECONDS = 60.0
+from repro._compat import warn_legacy
+from repro.storage.base import FORMAT_VERSION  # noqa: F401  (public)
+from repro.storage.disk import (
+    _DEFAULT_MAX_BYTES,
+    DiskTier,
+    disk_tier_for,
+)
 
 
-class ArtifactStore:
-    """On-disk LRU store of compile results, keyed by content hashes."""
+class ArtifactStore(DiskTier):
+    """Deprecated spelling of :class:`repro.storage.DiskTier`.
 
-    def __init__(
-        self, root: str, max_bytes: int = _DEFAULT_MAX_BYTES
-    ):
-        self.root = Path(root)
-        self.dir = self.root / f"v{FORMAT_VERSION}"
-        self.dir.mkdir(parents=True, exist_ok=True)
-        self.max_bytes = max_bytes
-        self._lock = threading.Lock()
-        # running spill-bytes estimate so evict() only pays a full
-        # directory scan when the budget is plausibly exceeded; the
-        # first spill always scans, so bytes a *previous* process left
-        # behind (a reopened or CI-restored store) count against the
-        # budget too
-        self._bytes_since_scan = 0
-        self._scanned = False
-        self.spills = 0
-        self.spill_skips = 0
-        self.spill_errors = 0
-        self.loads = 0
-        self.load_misses = 0
-        self.load_errors = 0
-        self.unit_spills = 0
-        self.unit_spill_errors = 0
-        self.unit_loads = 0
-        self.unit_load_misses = 0
-        self.unit_load_errors = 0
-        self.evictions = 0
-        self.compactions = 0
-        self.compacted_entries = 0
-        self.compacted_bytes = 0
+    Construction warns once; the disk format and every method are
+    identical. New code should call :func:`store_for` (which shares one
+    instance per directory) or build a ``DiskTier``.
+    """
 
-    # -- paths ----------------------------------------------------------
-
-    def path_for(self, source_hash: str, output_hash: str) -> Path:
-        return (
-            self.dir / source_hash[:2] / f"{source_hash}-{output_hash}.pkl"
+    def __init__(self, root: str, max_bytes: int = _DEFAULT_MAX_BYTES):
+        warn_legacy(
+            "ArtifactStore is deprecated; use repro.storage.DiskTier "
+            "(same on-disk format, now tier-composable)"
         )
-
-    def unit_path_for(self, pass_name: str, key: str) -> Path:
-        """Per-unit pass artifacts live beside the full results, bucketed
-        by pass name: ``<root>/v1/units/<pass>/<key[:2]>/<key>.pkl``."""
-        return self.dir / "units" / pass_name / key[:2] / f"{key}.pkl"
-
-    # -- read -----------------------------------------------------------
-
-    def load(
-        self, source_hash: str, output_hash: str
-    ) -> Optional[CompileResult]:
-        """The stored result for a key, or ``None``. Touches the entry's
-        mtime (LRU recency); removes entries that fail to deserialize or
-        were written by a different format/repro version."""
-        path = self.path_for(source_hash, output_hash)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            with self._lock:
-                self.load_misses += 1
-            return None
-        try:
-            payload = pickle.loads(blob)
-            if payload.get("format") != FORMAT_VERSION:
-                raise ValueError(
-                    f"format {payload.get('format')!r} != {FORMAT_VERSION}"
-                )
-            if payload.get("repro") != __version__:
-                # pickled records mirror in-memory class layouts; a
-                # version mismatch risks stale __dict__ shapes, so it
-                # is a clean miss, not a runtime surprise
-                raise ValueError(
-                    f"repro {payload.get('repro')!r} != {__version__}"
-                )
-            result = payload["result"]
-        except Exception:
-            # a corrupt/foreign file is a miss; drop it so it cannot
-            # keep failing (and cannot count against the byte budget)
-            with self._lock:
-                self.load_errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        try:
-            os.utime(path)
-        except OSError:
-            pass
-        with self._lock:
-            self.loads += 1
-        return result
-
-    # -- write ----------------------------------------------------------
-
-    def spill(self, result: CompileResult) -> bool:
-        """Persist one compile result (atomic publish; best-effort).
-
-        Returns ``True`` when the artifact is on disk afterwards.
-        Results with non-portable impls are skipped (counted in
-        ``spill_skips``); serialization/IO failures are counted in
-        ``spill_errors`` and never propagate — persistence is an
-        optimization, not a correctness requirement.
-        """
-        if result.program is None or not impls_portable(result.program):
-            with self._lock:
-                self.spill_skips += 1
-            return False
-        path = self.path_for(
-            result.source_hash, result.options.output_hash()
-        )
-        payload = {
-            "format": FORMAT_VERSION,
-            "repro": __version__,
-            # stored records are plain cold results: hit bookkeeping is
-            # the *loading* process's business
-            "result": replace(result, cache_hit=False, cold_timings=None),
-        }
-        try:
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            with self._lock:
-                self.spill_errors += 1
-            return False
-        if not self._publish(path, blob):
-            with self._lock:
-                self.spill_errors += 1
-            return False
-        with self._lock:
-            self.spills += 1
-            scan = self._account(len(blob))
-        if scan:
-            self.evict()
-        return True
-
-    def _publish(self, path: Path, blob: bytes) -> bool:
-        """Atomic write (temp file + ``os.replace``); best-effort."""
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=".spill-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return False
-        return True
-
-    def _account(self, size: int) -> bool:
-        """Grow the running byte estimate; True when a scan is due.
-        Call with the lock held. The running estimate only grows between
-        scans, so after the initial scan a full one happens at most once
-        per max_bytes of spilled data."""
-        self._bytes_since_scan += size
-        return not self._scanned or self._bytes_since_scan > self.max_bytes
-
-    # -- per-unit pass artifacts ----------------------------------------
-
-    def spill_unit(self, pass_name: str, key: str, artifact) -> bool:
-        """Persist one pass's artifact for one compilation unit.
-
-        Unit artifacts (fusion plans, emitted module functions) never
-        embed pure-function impls — generated code binds them at run
-        time through ``RT.pure`` — so unlike full results they are
-        always portable and need no ``impls_portable`` gate.
-        """
-        payload = {
-            "format": FORMAT_VERSION,
-            "repro": __version__,
-            "unit": artifact,
-        }
-        try:
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            with self._lock:
-                self.unit_spill_errors += 1
-            return False
-        if not self._publish(self.unit_path_for(pass_name, key), blob):
-            with self._lock:
-                self.unit_spill_errors += 1
-            return False
-        with self._lock:
-            self.unit_spills += 1
-            scan = self._account(len(blob))
-        if scan:
-            self.evict()
-        return True
-
-    def load_unit(self, pass_name: str, key: str):
-        """The stored unit artifact, or ``None``. Same recency touch and
-        corrupt/foreign-version handling as :meth:`load`."""
-        path = self.unit_path_for(pass_name, key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            with self._lock:
-                self.unit_load_misses += 1
-            return None
-        try:
-            payload = pickle.loads(blob)
-            if payload.get("format") != FORMAT_VERSION:
-                raise ValueError(
-                    f"format {payload.get('format')!r} != {FORMAT_VERSION}"
-                )
-            if payload.get("repro") != __version__:
-                raise ValueError(
-                    f"repro {payload.get('repro')!r} != {__version__}"
-                )
-            artifact = payload["unit"]
-        except Exception:
-            with self._lock:
-                self.unit_load_errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        try:
-            os.utime(path)
-        except OSError:
-            pass
-        with self._lock:
-            self.unit_loads += 1
-        return artifact
-
-    # -- eviction -------------------------------------------------------
-
-    _RESULT_GLOB = "[0-9a-f][0-9a-f]/*.pkl"
-    _UNIT_GLOB = "units/*/*/*.pkl"
-
-    def _entries(
-        self, patterns: tuple[str, ...] = (_RESULT_GLOB, _UNIT_GLOB)
-    ) -> list[tuple[float, int, Path]]:
-        """(mtime, size, path) for stored artifacts — by default both
-        full results and per-unit pass artifacts, which share one LRU
-        byte budget."""
-        entries = []
-        for pattern in patterns:
-            for path in self.dir.glob(pattern):
-                try:
-                    stat = path.stat()
-                except OSError:
-                    continue
-                entries.append((stat.st_mtime, stat.st_size, path))
-        return entries
-
-    def evict(self) -> int:
-        """Delete least-recently-used artifacts until the store fits the
-        byte budget. Returns the number of files removed."""
-        with self._lock:
-            entries = self._entries()
-            total = sum(size for _, size, _ in entries)
-            removed = 0
-            for _, size, path in sorted(entries):
-                if total <= self.max_bytes:
-                    break
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                total -= size
-                removed += 1
-            self.evictions += removed
-            self._bytes_since_scan = total
-            self._scanned = True
-            return removed
-
-    # -- compaction -----------------------------------------------------
-
-    def compact(self) -> dict[str, int]:
-        """Drop every entry the current process could never serve.
-
-        A long-lived store accumulates dead weight that LRU eviction
-        alone never reclaims promptly: whole directory trees left by
-        other *format* versions (normal loads never look inside them),
-        entries written by other *repro* versions (every load of one is
-        a miss-and-delete, but only when its exact key is asked for),
-        corrupt files, and stale ``.spill-*.tmp`` droppings from
-        crashed writers (fresh ones are spared — they may be a live
-        writer mid-publish). Compaction scans once, deletes all of
-        them, and refreshes the byte estimate. Returns the per-run
-        summary; cumulative counters land in :meth:`stats` (and
-        therefore the service ``/stats`` endpoint).
-        """
-        import shutil
-
-        removed = 0
-        reclaimed = 0
-        # whole trees left by other *format* versions (a FORMAT_VERSION
-        # bump with a shared or CI-restored store dir): normal loads
-        # never even look inside them, so only compaction can reclaim
-        for version_dir in self.root.glob("v*"):
-            if version_dir == self.dir or not version_dir.is_dir():
-                continue
-            for stale in version_dir.rglob("*"):
-                if stale.is_file():
-                    removed += 1
-                    try:
-                        reclaimed += stale.stat().st_size
-                    except OSError:
-                        pass
-            shutil.rmtree(version_dir, ignore_errors=True)
-        now = time.time()
-        for tmp in self.dir.rglob(".spill-*.tmp"):
-            try:
-                stat = tmp.stat()
-                # a fresh tmp file may be a concurrent writer mid-spill
-                # (created by mkstemp, not yet os.replace'd) — only
-                # files old enough to be crash droppings are dead
-                if now - stat.st_mtime < _TMP_GRACE_SECONDS:
-                    continue
-                size = stat.st_size
-                tmp.unlink()
-            except OSError:
-                continue
-            removed += 1
-            reclaimed += size
-        for _, _, path in self._entries():
-            try:
-                payload = pickle.loads(path.read_bytes())
-                keep = (
-                    payload.get("format") == FORMAT_VERSION
-                    and payload.get("repro") == __version__
-                )
-            except Exception:
-                keep = False
-            if keep:
-                continue
-            try:
-                size = path.stat().st_size
-                path.unlink()
-            except OSError:
-                continue
-            removed += 1
-            reclaimed += size
-        with self._lock:
-            self.compactions += 1
-            self.compacted_entries += removed
-            self.compacted_bytes += reclaimed
-            # the estimate drove eviction scans; refresh it from disk
-            self._bytes_since_scan = sum(
-                size for _, size, _ in self._entries()
-            )
-            self._scanned = True
-        return {"removed": removed, "reclaimed_bytes": reclaimed}
-
-    # -- maintenance ----------------------------------------------------
-
-    def __len__(self) -> int:
-        """Full-result entries only (unit artifacts are counted in
-        :meth:`stats` under ``unit_entries``)."""
-        return len(self._entries((self._RESULT_GLOB,)))
-
-    def total_bytes(self) -> int:
-        return sum(size for _, size, _ in self._entries())
-
-    def clear(self) -> None:
-        for _, _, path in self._entries():
-            try:
-                path.unlink()
-            except OSError:
-                pass
-
-    def stats(self) -> dict[str, int]:
-        results = self._entries((self._RESULT_GLOB,))
-        units = self._entries((self._UNIT_GLOB,))
-        return {
-            "entries": len(results),
-            "unit_entries": len(units),
-            "bytes": sum(size for _, size, _ in results)
-            + sum(size for _, size, _ in units),
-            "spills": self.spills,
-            "spill_skips": self.spill_skips,
-            "spill_errors": self.spill_errors,
-            "loads": self.loads,
-            "load_misses": self.load_misses,
-            "load_errors": self.load_errors,
-            "unit_spills": self.unit_spills,
-            "unit_spill_errors": self.unit_spill_errors,
-            "unit_loads": self.unit_loads,
-            "unit_load_misses": self.unit_load_misses,
-            "unit_load_errors": self.unit_load_errors,
-            "evictions": self.evictions,
-            "compactions": self.compactions,
-            "compacted_entries": self.compacted_entries,
-            "compacted_bytes": self.compacted_bytes,
-        }
+        super().__init__(root, max_bytes=max_bytes)
 
 
-_STORES: dict[str, ArtifactStore] = {}
-_STORES_LOCK = threading.Lock()
-
-
-def store_for(root: str) -> ArtifactStore:
+def store_for(root: str) -> DiskTier:
     """Process-wide store registry, one instance per resolved directory
     (so every compile naming the same ``cache_dir`` shares counters and
     the eviction lock)."""
-    resolved = os.path.abspath(root)
-    with _STORES_LOCK:
-        store = _STORES.get(resolved)
-        if store is None:
-            store = ArtifactStore(resolved)
-            _STORES[resolved] = store
-        return store
+    return disk_tier_for(root)

@@ -1,0 +1,184 @@
+"""The tier contract and the shared on-wire artifact payloads.
+
+Every storage layer in the system — the in-process byte-budgeted LRU,
+the on-disk artifact directory, a read-only peer (a second store root
+or a remote ``repro serve``) — implements one small protocol,
+:class:`Tier`, over two artifact shapes:
+
+* **results** — whole :class:`~repro.pipeline.options.CompileResult`
+  records, addressed by :class:`ResultKey`. The memory tier keys on the
+  *full* options hash (every knob participates, so nothing can alias);
+  durable tiers key on the *output* options hash (caching knobs must
+  not fragment a store shared across processes or hosts — see
+  ``CompileOptions.output_hash``).
+* **units** — one pass's artifact for one compilation unit (a fusion
+  plan, an emitted module function — see :mod:`repro.pipeline.units`),
+  addressed by ``(pass name, content key)``.
+
+Durable tiers exchange artifacts as versioned pickled payloads; the
+encode/decode helpers here are the single source of truth for that
+format, shared by the disk tier (files), the peer tier (files or HTTP
+bodies), and the service's ``/artifact`` endpoint — which is what makes
+a store directory, a mounted copy of it, and a remote server's cache
+interchangeable warm sources. Both the format version *and* the repro
+version are checked on decode: pickled records mirror in-memory class
+layouts, so a foreign entry is a clean miss, never an attribute-drift
+surprise at run time.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from typing import Optional, Protocol, runtime_checkable
+
+from repro import __version__
+
+#: Version prefix of the on-disk layout (``<root>/v1/...``). Bump it
+#: only with a new directory shape; existing v1 stores stay readable.
+FORMAT_VERSION = 1
+
+
+_HEX = set("0123456789abcdef")
+
+
+def is_content_hash(text: str) -> bool:
+    """A pipeline content key: exactly 64 lowercase hex chars. Both the
+    peer client and the ``/artifact`` server validate with this before
+    letting a key near a filesystem path or URL."""
+    return (
+        isinstance(text, str) and len(text) == 64 and set(text) <= _HEX
+    )
+
+
+def is_safe_pass_name(name: str) -> bool:
+    """Pass names land in paths/URLs; restrict to the benign alphabet
+    actual passes use (``access-analysis``, ``emit``, ...)."""
+    return (
+        isinstance(name, str)
+        and bool(name)
+        and all(ch.isalnum() or ch in "-_" for ch in name)
+    )
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Both halves of a compile result's address.
+
+    ``options_hash`` covers every option field (the memory tier's key);
+    ``output_hash`` covers only the output-affecting fields (the
+    durable tiers' key). A tier picks the half that matches its sharing
+    scope.
+    """
+
+    source_hash: str
+    options_hash: str
+    output_hash: str
+
+    @classmethod
+    def of(cls, source_hash: str, options) -> "ResultKey":
+        return cls(
+            source_hash=source_hash,
+            options_hash=options.options_hash(),
+            output_hash=options.output_hash(),
+        )
+
+    @property
+    def memory_key(self) -> tuple[str, str]:
+        return (self.source_hash, self.options_hash)
+
+
+@runtime_checkable
+class Tier(Protocol):
+    """One storage layer of a :class:`~repro.storage.tiered.TieredStore`.
+
+    ``kind`` is the tier's class of storage (``"memory"``, ``"disk"``,
+    ``"peer"``); ``label`` identifies the instance in stats
+    (``"peer:http://..."``); ``writable`` gates read-through promotion
+    and publication. ``get_*`` return ``None`` on a miss — including
+    any corrupt, truncated, or foreign-version artifact, which tiers
+    must swallow (counted in their stats) rather than raise.
+    """
+
+    kind: str
+    label: str
+    writable: bool
+
+    def get_result(self, key: ResultKey):  # -> Optional[CompileResult]
+        ...  # pragma: no cover - protocol
+
+    def put_result(self, key: ResultKey, result, promoted: bool = False):
+        ...  # pragma: no cover - protocol
+
+    def get_unit(self, pass_name: str, key: str):
+        ...  # pragma: no cover - protocol
+
+    def put_unit(self, pass_name: str, key: str, artifact) -> None:
+        ...  # pragma: no cover - protocol
+
+    def gc(
+        self,
+        pass_name: Optional[str] = None,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        ...  # pragma: no cover - protocol
+
+    def stats(self) -> dict:
+        ...  # pragma: no cover - protocol
+
+
+# ===========================================================================
+# payloads (the durable tiers' exchange format)
+# ===========================================================================
+
+
+def encode_result(result) -> bytes:
+    """One compile result as a versioned payload blob.
+
+    Stored records are plain cold results: ``cache_hit``/``cold_timings``
+    bookkeeping is the *loading* process's business. May raise — callers
+    (spill paths) treat serialization failure as a skipped write.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "repro": __version__,
+        "result": replace(result, cache_hit=False, cold_timings=None),
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(blob: bytes):
+    """The compile result inside a payload blob; raises on corrupt,
+    truncated, or foreign-version payloads (callers turn that into a
+    counted miss)."""
+    return _decode(blob, "result")
+
+
+def encode_unit(artifact) -> bytes:
+    """One pass's unit artifact as a versioned payload blob."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "repro": __version__,
+        "unit": artifact,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_unit(blob: bytes):
+    """The unit artifact inside a payload blob; raises like
+    :func:`decode_result`."""
+    return _decode(blob, "unit")
+
+
+def _decode(blob: bytes, field: str):
+    payload = pickle.loads(blob)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"format {payload.get('format')!r} != {FORMAT_VERSION}"
+        )
+    if payload.get("repro") != __version__:
+        raise ValueError(
+            f"repro {payload.get('repro')!r} != {__version__}"
+        )
+    return payload[field]

@@ -1,0 +1,212 @@
+"""The read-only peer tier: another host's (or process's) warm store.
+
+Content addressing makes artifact stores shareable — the keys are pure
+content hashes, so *any* store populated by a compatible repro version
+can serve this process's compiles. A :class:`PeerTier` taps one of two
+peer shapes:
+
+* a **directory** — a second store root (an NFS mount, an rsync'd or
+  CI-restored copy, another user's cache dir). Files are read through
+  the same v1 layout as :class:`~repro.storage.disk.DiskTier`, but
+  strictly read-only: no recency touches, no corrupt-entry deletion —
+  the peer's hygiene is the peer's business.
+* an **HTTP endpoint** — a running ``repro serve`` exposing
+  ``GET /artifact/result/<source>/<output>`` and
+  ``GET /artifact/unit/<pass>/<key>``, which return the identical
+  payload bytes the disk tier stores. This is the multi-host warm
+  path: one host compiles, every other host's first compile is a fetch
+  plus an unpickle.
+
+Peers sit *below* disk in a :class:`~repro.storage.tiered.TieredStore`,
+so a peer hit is promoted into the local tiers (read-through) and the
+peer is asked once per artifact, not once per run. Every failure mode —
+peer unreachable, timeout, 404, truncated body, corrupt pickle,
+foreign format or repro version — is a counted miss, never an error:
+a peer can only ever make compiles faster.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Optional
+
+from repro.storage.base import (
+    FORMAT_VERSION,
+    ResultKey,
+    decode_result,
+    decode_unit,
+    is_content_hash as _is_hash,
+    is_safe_pass_name as _safe_pass_name,
+)
+
+
+class PeerTier:
+    """Read-only warm source: a second store root or a remote server."""
+
+    kind = "peer"
+    writable = False
+
+    def __init__(self, target: str, timeout: float = 5.0):
+        self.target = str(target).rstrip("/")
+        self.timeout = timeout
+        self.is_http = self.target.startswith(
+            ("http://", "https://")
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.unit_hits = 0
+        self.unit_misses = 0
+        self.unit_errors = 0
+
+    @property
+    def label(self) -> str:
+        return f"peer:{self.target}"
+
+    # -- the Tier face --------------------------------------------------
+
+    def get_result(self, key: ResultKey):
+        blob = self._fetch_result(key.source_hash, key.output_hash)
+        if blob is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            result = decode_result(blob)
+        except Exception:
+            # corrupt/truncated/foreign payload: a counted clean miss
+            with self._lock:
+                self.errors += 1
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return result
+
+    def put_result(self, key: ResultKey, result, promoted: bool = False):
+        raise TypeError("PeerTier is read-only")
+
+    def get_unit(self, pass_name: str, key: str):
+        if not (_safe_pass_name(pass_name) and _is_hash(key)):
+            with self._lock:
+                self.unit_misses += 1
+            return None
+        blob = self._fetch_unit(pass_name, key)
+        if blob is None:
+            with self._lock:
+                self.unit_misses += 1
+            return None
+        try:
+            artifact = decode_unit(blob)
+        except Exception:
+            with self._lock:
+                self.unit_errors += 1
+                self.unit_misses += 1
+            return None
+        with self._lock:
+            self.unit_hits += 1
+        return artifact
+
+    def put_unit(self, pass_name: str, key: str, artifact) -> None:
+        raise TypeError("PeerTier is read-only")
+
+    def gc(self, pass_name=None, max_age_seconds=None, max_bytes=None):
+        """Peers are read-only; there is nothing local to reclaim."""
+        return {"removed": 0, "reclaimed_bytes": 0}
+
+    # -- transport ------------------------------------------------------
+
+    def _fetch_result(
+        self, source_hash: str, output_hash: str
+    ) -> Optional[bytes]:
+        if not (_is_hash(source_hash) and _is_hash(output_hash)):
+            return None
+        if self.is_http:
+            return self._http_get(
+                f"/artifact/result/{source_hash}/{output_hash}"
+            )
+        return self._read_file(
+            Path(self.target)
+            / f"v{FORMAT_VERSION}"
+            / source_hash[:2]
+            / f"{source_hash}-{output_hash}.pkl"
+        )
+
+    def _fetch_unit(self, pass_name: str, key: str) -> Optional[bytes]:
+        if self.is_http:
+            return self._http_get(f"/artifact/unit/{pass_name}/{key}")
+        return self._read_file(
+            Path(self.target)
+            / f"v{FORMAT_VERSION}"
+            / "units"
+            / pass_name
+            / key[:2]
+            / f"{key}.pkl"
+        )
+
+    def _read_file(self, path: Path) -> Optional[bytes]:
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def _http_get(self, route: str) -> Optional[bytes]:
+        try:
+            with urllib.request.urlopen(
+                self.target + route, timeout=self.timeout
+            ) as response:
+                if response.status != 200:
+                    return None
+                return response.read()
+        except urllib.error.HTTPError as error:
+            if error.code != 404:
+                # 404 is an ordinary miss; anything else is peer damage
+                with self._lock:
+                    self.errors += 1
+            return None
+        except (urllib.error.URLError, OSError, ValueError):
+            # unreachable/timeout/refused: the peer is an optimization,
+            # not a dependency — fall through to a local compile
+            with self._lock:
+                self.errors += 1
+            return None
+
+    # -- maintenance ----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "target": self.target,
+                "transport": "http" if self.is_http else "path",
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+                "unit_hits": self.unit_hits,
+                "unit_misses": self.unit_misses,
+                "unit_errors": self.unit_errors,
+            }
+
+
+_PEERS: dict[str, PeerTier] = {}
+_PEERS_LOCK = threading.Lock()
+
+
+def peer_tier_for(target: str) -> PeerTier:
+    """Process-wide peer registry, one instance per target, so every
+    compile naming the same peer shares its hit/error counters (and the
+    service ``/stats`` endpoint can report them). Directory targets
+    dedupe by resolved path, like the disk registry."""
+    import os
+
+    if not str(target).startswith(("http://", "https://")):
+        target = os.path.abspath(target)
+    with _PEERS_LOCK:
+        peer = _PEERS.get(target)
+        if peer is None:
+            peer = PeerTier(target)
+            _PEERS[target] = peer
+        return peer

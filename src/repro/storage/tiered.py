@@ -1,0 +1,160 @@
+"""Tier composition: one read-through store over memory → disk → peers.
+
+A :class:`TieredStore` is what the compile driver (and the service)
+actually talk to. It walks its tiers in order for every lookup, and on
+a hit **promotes** the artifact into every writable tier above the one
+that served it — a disk hit lands in memory for the rest of the
+process, a peer hit lands on the local disk *and* in memory, so the
+peer is asked once per artifact per store, not once per compile. Writes
+("publication") go to every writable tier, with disk writes further
+gated by the compile's ``persist`` option (a ``persist=False`` reader
+must never dirty a shared store) — which is also why promotion and
+publication share one writability test.
+
+The usual stack, built by the driver from one ``CompileOptions``::
+
+    MemoryTier (the compile cache)      — always first
+    DiskTier   (options.cache_dir)      — when a store is configured
+    PeerTier*  (options.peers, in order) — read-only warm sources
+
+Any prefix/subset works: a memory-only store is the classic in-process
+cache; a peers-only store is a diskless read-through client. ``gc``
+and ``stats`` fan out per tier, labelled, which is what the ``repro
+store gc`` CLI and the service's ``POST /gc`` / tier-labelled
+``/stats`` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.storage.base import ResultKey, Tier
+
+
+class TieredStore:
+    """Read-through composition of storage tiers (see module doc)."""
+
+    def __init__(self, tiers: Sequence[Tier], persist: bool = True):
+        self.tiers = [tier for tier in tiers if tier is not None]
+        self.persist = persist
+
+    def __bool__(self) -> bool:
+        return bool(self.tiers)
+
+    # -- tier selection -------------------------------------------------
+
+    def writable(self, tier: Tier) -> bool:
+        """Publication/promotion target? Peers never are; disk only
+        when this compile may persist."""
+        return tier.writable and (tier.kind != "disk" or self.persist)
+
+    @property
+    def memory(self) -> Optional[Tier]:
+        for tier in self.tiers:
+            if tier.kind == "memory":
+                return tier
+        return None
+
+    # -- results --------------------------------------------------------
+
+    def get_result(self, key: ResultKey):
+        """First tier that holds the result wins; the hit is promoted
+        into every writable tier above it (memory adoptions are marked
+        ``promoted`` so their hit/miss bookkeeping stays honest)."""
+        for depth, tier in enumerate(self.tiers):
+            result = tier.get_result(key)
+            if result is None:
+                continue
+            for upper in self.tiers[:depth]:
+                if self.writable(upper):
+                    upper.put_result(key, result, promoted=True)
+            return result
+        return None
+
+    def put_result(self, key: ResultKey, result) -> None:
+        for tier in self.tiers:
+            if self.writable(tier):
+                tier.put_result(key, result)
+
+    # -- units ----------------------------------------------------------
+
+    def get_unit(self, pass_name: str, key: str):
+        """``(artifact, serving tier)`` or ``None`` — callers
+        (:class:`~repro.pipeline.units.UnitArtifacts`) use the tier to
+        attribute the hit in per-pass counters. Unit promotion is
+        unconditional into writable tiers: a unit fetched from a peer
+        belongs on the local disk so the next process doesn't re-fetch.
+        """
+        for depth, tier in enumerate(self.tiers):
+            artifact = tier.get_unit(pass_name, key)
+            if artifact is None:
+                continue
+            for upper in self.tiers[:depth]:
+                if self.writable(upper):
+                    upper.put_unit(pass_name, key, artifact)
+            return artifact, tier
+        return None
+
+    def put_unit(
+        self, pass_name: str, key: str, artifact, spill: bool = False
+    ) -> None:
+        """Publish one freshly computed unit: always to memory; to disk
+        only for passes that opted into spilling (``spill``)."""
+        for tier in self.tiers:
+            if not self.writable(tier):
+                continue
+            if tier.kind != "memory" and not spill:
+                continue
+            tier.put_unit(pass_name, key, artifact)
+
+    # -- maintenance ----------------------------------------------------
+
+    def gc(
+        self,
+        pass_name: Optional[str] = None,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> dict:
+        """Run one GC policy across every writable tier (the same
+        writability test as publication — a ``persist=False`` store
+        stays untouched); returns the per-tier summaries plus a
+        total."""
+        if (
+            pass_name is None
+            and max_age_seconds is None
+            and max_bytes is None
+        ):
+            raise ValueError(
+                "gc needs a pass_name, max_age_seconds, and/or max_bytes"
+            )
+        if pass_name is not None:
+            from repro.storage.base import is_safe_pass_name
+
+            if not is_safe_pass_name(pass_name):
+                raise ValueError(f"invalid pass name {pass_name!r}")
+        per_tier = {}
+        removed = 0
+        reclaimed = 0
+        for tier in self.tiers:
+            if not self.writable(tier):
+                continue
+            summary = tier.gc(
+                pass_name=pass_name,
+                max_age_seconds=max_age_seconds,
+                max_bytes=max_bytes,
+            )
+            per_tier[tier.label] = summary
+            removed += summary.get("removed", 0)
+            reclaimed += summary.get("reclaimed_bytes", 0)
+        per_tier["total"] = {
+            "removed": removed,
+            "reclaimed_bytes": reclaimed,
+        }
+        return per_tier
+
+    def stats(self) -> list[dict]:
+        """One labelled record per tier, in lookup order."""
+        return [
+            {"label": tier.label, "kind": tier.kind, **tier.stats()}
+            for tier in self.tiers
+        ]

@@ -1,0 +1,66 @@
+"""Session.recompile(exec_ahead=True): no module exec on first run().
+
+Unit-assembled modules defer their ``exec`` to first use, like a
+disk-restored artifact — good for compile latency, but it means the
+first run after an edit pays the exec. The exec-ahead hook spends that
+cost inside recompile() (the editor's save-to-run gap) instead.
+"""
+
+import repro
+
+# unique sources so the module-artifact layer (keyed on program hash)
+# cannot be pre-warmed by other tests in the same process
+_SOURCE = """
+_tree_ class ExecAheadN {{
+    _child_ ExecAheadN* kid;
+    int v = 0;
+    _traversal_ virtual void tick() {{ this->v = this->v + {delta}; }}
+}};
+_tree_ class ExecAheadL : public ExecAheadN {{ }};
+int main() {{ ExecAheadN* root = ...; root->tick(); }}
+"""
+
+
+def test_recompile_defers_exec_by_default():
+    with repro.Session() as session:
+        session.compile(_SOURCE.format(delta=1))
+        recompiled = session.recompile(_SOURCE.format(delta=1))
+    # the unit-assembled modules have not exec'd yet — the first run
+    # would pay it
+    assert recompiled.result.compiled_fused._namespace is None
+
+
+def test_exec_ahead_leaves_nothing_for_the_first_run():
+    with repro.Session() as session:
+        session.compile(_SOURCE.format(delta=2))
+        recompiled = session.recompile(
+            _SOURCE.format(delta=2), exec_ahead=True
+        )
+        fused = recompiled.result.compiled_fused
+        unfused = recompiled.result.compiled_unfused
+        # the exec already happened: the first run() finds a built
+        # namespace and pays zero module-exec cost
+        assert fused._namespace is not None
+        assert unfused._namespace is not None
+        namespace_before_run = fused._namespace
+
+        # prove the pre-exec'd module is the one that actually runs
+        from repro.runtime import Heap, Node
+
+        program = recompiled.result.program
+        heap = Heap(program)
+        leaf = Node.new(program, heap, "ExecAheadL")
+        root = Node.new(program, heap, "ExecAheadN", kid=leaf)
+        fused.run_fused(heap, root)
+        assert root.get("v") == 2
+        assert fused._namespace is namespace_before_run
+
+
+def test_exec_ahead_applies_to_edited_recompiles_too():
+    with repro.Session() as session:
+        session.compile(_SOURCE.format(delta=3))
+        edited = session.recompile(
+            _SOURCE.format(delta=4), exec_ahead=True
+        )
+    assert edited.result.compiled_fused._namespace is not None
+    assert "+ 4" in edited.result.fused_source

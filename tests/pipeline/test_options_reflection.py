@@ -28,6 +28,8 @@ def _variant(name: str, value):
         return dataclasses.replace(
             value, max_sequence=value.max_sequence + 1
         )
+    if isinstance(value, tuple):
+        return value + ("/definitely/not/the/default",)
     if name == "mode":
         return "treefuser" if value != "treefuser" else "grafter"
     if isinstance(value, str) or value is None:
