@@ -104,11 +104,13 @@ def test_batched_beats_sequential_single_tree(results_dir):
     )
     print()
     print(text)
-    _write_section(results_dir, "Service throughput", text)
     assert batched_s < sequential_s, (
         f"batched {batched_s * 1e3:.1f} ms did not beat sequential "
         f"{sequential_s * 1e3:.1f} ms"
     )
+    # write only after the gate: a failing run must not overwrite a
+    # passing run's committed artifact
+    _write_section(results_dir, "Service throughput", text)
 
 
 _CHILD = textwrap.dedent(
@@ -191,11 +193,11 @@ def test_warm_store_compiles_10x_faster_across_processes(
     )
     print()
     print(text)
-    _write_section(results_dir, "Persistent store", text)
     assert cold_s >= warm_s * 10, (
         f"warm start {warm_s * 1e3:.1f} ms is not 10x faster than cold "
         f"{cold_s * 1e3:.1f} ms"
     )
+    _write_section(results_dir, "Persistent store", text)
 
 
 # service_throughput.txt holds one section per test so a partial run

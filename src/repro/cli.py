@@ -397,7 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--peer", metavar="STORE", action="append", default=[],
         help="read-only warm store consulted after --cache-dir: a "
              "second store root or a running 'repro serve' base URL "
-             "(repeatable; hits are promoted into local tiers)",
+             "(repeatable; hits are promoted into local tiers; "
+             "payloads are pickles — name only peers you trust)",
     )
     compile_cmd.set_defaults(handler=cmd_compile)
 
@@ -457,7 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--peer", metavar="STORE", action="append", default=[],
             help="read-only warm store (root dir or serve URL) "
-                 "consulted after the cache dir (repeatable)",
+                 "consulted after the cache dir (repeatable; payloads "
+                 "are pickles — name only peers you trust)",
         )
 
     exec_cmd = sub.add_parser(

@@ -282,13 +282,31 @@ class TraversalService:
         # eviction/compaction counters ride alongside the executor
         # metrics when a store is attached, and read as null otherwise.
         # "storage" is the tier-labelled view of the same stack
-        # (memory / disk / peers, in lookup order).
+        # (memory / disk / peers, in lookup order). The store record is
+        # lifted out of the tier view rather than recomputed —
+        # DiskTier.stats() globs the whole store directory, and one
+        # walk per poll is enough.
+        storage = self.tiers.stats()
+        store = None
+        if self.store is not None:
+            store = next(
+                (
+                    {
+                        key: value
+                        for key, value in record.items()
+                        if key not in ("label", "kind")
+                    }
+                    for record in storage
+                    if record.get("label") == self.store.label
+                ),
+                None,
+            ) or self.store.stats()
         return {
             "executor": self.executor.stats(),
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
-            "store": self.store.stats() if self.store is not None else None,
-            "storage": self.tiers.stats(),
+            "store": store,
+            "storage": storage,
         }
 
     def compact_store(self) -> dict:

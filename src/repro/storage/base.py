@@ -98,6 +98,18 @@ class Tier(Protocol):
     and publication. ``get_*`` return ``None`` on a miss — including
     any corrupt, truncated, or foreign-version artifact, which tiers
     must swallow (counted in their stats) rather than raise.
+
+    Durable tiers may additionally implement the optional **blob
+    face** — ``fetch_result(key)`` / ``fetch_unit(pass, key)``
+    returning ``(artifact, payload_blob)``, and ``promote_result(key,
+    result, blob)`` / ``promote_unit(pass, key, artifact, blob)``
+    accepting an already-encoded payload. The payload codecs below are
+    shared by every durable tier, so a :class:`TieredStore` promotes a
+    peer hit onto the local disk by republishing the peer's exact
+    bytes instead of re-pickling the decoded object — which is what
+    keeps a peer-served compile within sight of a warm local one.
+    ``TieredStore`` discovers both halves with ``getattr``, so tiers
+    without them still compose.
     """
 
     kind: str

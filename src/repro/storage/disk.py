@@ -146,12 +146,40 @@ class DiskTier:
     def put_unit(self, pass_name: str, key: str, artifact) -> None:
         self.spill_unit(pass_name, key, artifact)
 
+    # -- the blob face (read-through promotion without re-encoding) -----
+
+    def fetch_result(self, key: ResultKey):
+        """``(result, payload blob)`` or ``None`` — the blob is the
+        exact bytes on disk, which a :class:`TieredStore` hands to
+        another durable tier's ``promote_result`` so promotion costs a
+        file write, not a re-pickle."""
+        return self._fetch(key.source_hash, key.output_hash)
+
+    def promote_result(self, key: ResultKey, result, blob: bytes) -> bool:
+        """Adopt a hit served by a lower tier, republishing its
+        already-validated payload bytes verbatim."""
+        return self.spill(result, blob=blob)
+
+    def fetch_unit(self, pass_name: str, key: str):
+        """``(artifact, payload blob)`` or ``None`` — the unit-artifact
+        twin of :meth:`fetch_result`."""
+        return self._fetch_unit(pass_name, key)
+
+    def promote_unit(
+        self, pass_name: str, key: str, artifact, blob: bytes
+    ) -> bool:
+        return self.spill_unit(pass_name, key, artifact, blob=blob)
+
     # -- read -----------------------------------------------------------
 
     def load(self, source_hash: str, output_hash: str):
         """The stored result for a key, or ``None``. Touches the entry's
         mtime (LRU recency); removes entries that fail to deserialize or
         were written by a different format/repro version."""
+        got = self._fetch(source_hash, output_hash)
+        return None if got is None else got[0]
+
+    def _fetch(self, source_hash: str, output_hash: str):
         path = self.path_for(source_hash, output_hash)
         try:
             blob = path.read_bytes()
@@ -177,18 +205,21 @@ class DiskTier:
             pass
         with self._lock:
             self.loads += 1
-        return result
+        return result, blob
 
     # -- write ----------------------------------------------------------
 
-    def spill(self, result) -> bool:
+    def spill(self, result, blob: Optional[bytes] = None) -> bool:
         """Persist one compile result (atomic publish; best-effort).
 
         Returns ``True`` when the artifact is on disk afterwards.
         Results with non-portable impls are skipped (counted in
         ``spill_skips``); serialization/IO failures are counted in
         ``spill_errors`` and never propagate — persistence is an
-        optimization, not a correctness requirement.
+        optimization, not a correctness requirement. ``blob`` short-
+        circuits serialization with an already-encoded payload (the
+        promotion path: the bytes just decoded from a peer or another
+        store are republished verbatim).
         """
         from repro.pipeline.options import impls_portable
 
@@ -199,12 +230,13 @@ class DiskTier:
         path = self.path_for(
             result.source_hash, result.options.output_hash()
         )
-        try:
-            blob = encode_result(result)
-        except Exception:
-            with self._lock:
-                self.spill_errors += 1
-            return False
+        if blob is None:
+            try:
+                blob = encode_result(result)
+            except Exception:
+                with self._lock:
+                    self.spill_errors += 1
+                return False
         if not self._publish(path, blob):
             with self._lock:
                 self.spill_errors += 1
@@ -247,20 +279,25 @@ class DiskTier:
 
     # -- per-unit pass artifacts ----------------------------------------
 
-    def spill_unit(self, pass_name: str, key: str, artifact) -> bool:
+    def spill_unit(
+        self, pass_name: str, key: str, artifact,
+        blob: Optional[bytes] = None,
+    ) -> bool:
         """Persist one pass's artifact for one compilation unit.
 
         Unit artifacts (fusion plans, emitted module functions) never
         embed pure-function impls — generated code binds them at run
         time through ``RT.pure`` — so unlike full results they are
-        always portable and need no ``impls_portable`` gate.
+        always portable and need no ``impls_portable`` gate. ``blob``
+        short-circuits serialization like :meth:`spill`.
         """
-        try:
-            blob = encode_unit(artifact)
-        except Exception:
-            with self._lock:
-                self.unit_spill_errors += 1
-            return False
+        if blob is None:
+            try:
+                blob = encode_unit(artifact)
+            except Exception:
+                with self._lock:
+                    self.unit_spill_errors += 1
+                return False
         if not self._publish(self.unit_path_for(pass_name, key), blob):
             with self._lock:
                 self.unit_spill_errors += 1
@@ -275,6 +312,10 @@ class DiskTier:
     def load_unit(self, pass_name: str, key: str):
         """The stored unit artifact, or ``None``. Same recency touch and
         corrupt/foreign-version handling as :meth:`load`."""
+        got = self._fetch_unit(pass_name, key)
+        return None if got is None else got[0]
+
+    def _fetch_unit(self, pass_name: str, key: str):
         path = self.unit_path_for(pass_name, key)
         try:
             blob = path.read_bytes()
@@ -298,7 +339,7 @@ class DiskTier:
             pass
         with self._lock:
             self.unit_loads += 1
-        return artifact
+        return artifact, blob
 
     # -- eviction -------------------------------------------------------
 

@@ -23,6 +23,13 @@ peer is asked once per artifact, not once per run. Every failure mode —
 peer unreachable, timeout, 404, truncated body, corrupt pickle,
 foreign format or repro version — is a counted miss, never an error:
 a peer can only ever make compiles faster.
+
+**Trust model**: payloads are pickles, and a hit is promoted into the
+local store verbatim — a peer you name can execute code in every
+process that compiles through it. Name only peers you would let write
+your local store, and reach HTTP peers over a network you trust (the
+transport does no authentication or payload signing; tunnel it if the
+network is not yours).
 """
 
 from __future__ import annotations
@@ -70,6 +77,14 @@ class PeerTier:
     # -- the Tier face --------------------------------------------------
 
     def get_result(self, key: ResultKey):
+        got = self.fetch_result(key)
+        return None if got is None else got[0]
+
+    def fetch_result(self, key: ResultKey):
+        """``(result, payload blob)`` or ``None`` — the blob is the
+        peer's exact payload bytes, already validated by decode, which
+        the :class:`~repro.storage.tiered.TieredStore` republishes into
+        the local disk tier verbatim (promotion without re-pickling)."""
         blob = self._fetch_result(key.source_hash, key.output_hash)
         if blob is None:
             with self._lock:
@@ -85,12 +100,18 @@ class PeerTier:
             return None
         with self._lock:
             self.hits += 1
-        return result
+        return result, blob
 
     def put_result(self, key: ResultKey, result, promoted: bool = False):
         raise TypeError("PeerTier is read-only")
 
     def get_unit(self, pass_name: str, key: str):
+        got = self.fetch_unit(pass_name, key)
+        return None if got is None else got[0]
+
+    def fetch_unit(self, pass_name: str, key: str):
+        """``(artifact, payload blob)`` or ``None`` — the unit-artifact
+        twin of :meth:`fetch_result`."""
         if not (_safe_pass_name(pass_name) and _is_hash(key)):
             with self._lock:
                 self.unit_misses += 1
@@ -109,7 +130,7 @@ class PeerTier:
             return None
         with self._lock:
             self.unit_hits += 1
-        return artifact
+        return artifact, blob
 
     def put_unit(self, pass_name: str, key: str, artifact) -> None:
         raise TypeError("PeerTier is read-only")
@@ -202,7 +223,12 @@ def peer_tier_for(target: str) -> PeerTier:
     dedupe by resolved path, like the disk registry."""
     import os
 
-    if not str(target).startswith(("http://", "https://")):
+    target = str(target)
+    if target.startswith(("http://", "https://")):
+        # normalize like PeerTier.__init__ does, so "http://h:1/" and
+        # "http://h:1" share one instance (and one set of counters)
+        target = target.rstrip("/")
+    else:
         target = os.path.abspath(target)
     with _PEERS_LOCK:
         peer = _PEERS.get(target)

@@ -60,13 +60,32 @@ class TieredStore:
     def get_result(self, key: ResultKey):
         """First tier that holds the result wins; the hit is promoted
         into every writable tier above it (memory adoptions are marked
-        ``promoted`` so their hit/miss bookkeeping stays honest)."""
+        ``promoted`` so their hit/miss bookkeeping stays honest).
+
+        Durable tiers serve through the blob face (``fetch_result``),
+        so a peer hit is promoted onto the local disk by republishing
+        the peer's exact payload bytes — no re-pickle on the hot
+        cross-process warm path (see :meth:`DiskTier.promote_result`).
+        """
         for depth, tier in enumerate(self.tiers):
-            result = tier.get_result(key)
-            if result is None:
-                continue
+            fetch = getattr(tier, "fetch_result", None)
+            if fetch is not None:
+                got = fetch(key)
+                if got is None:
+                    continue
+                result, blob = got
+            else:
+                result = tier.get_result(key)
+                if result is None:
+                    continue
+                blob = None
             for upper in self.tiers[:depth]:
-                if self.writable(upper):
+                if not self.writable(upper):
+                    continue
+                promote = getattr(upper, "promote_result", None)
+                if blob is not None and promote is not None:
+                    promote(key, result, blob)
+                else:
                     upper.put_result(key, result, promoted=True)
             return result
         return None
@@ -86,11 +105,24 @@ class TieredStore:
         belongs on the local disk so the next process doesn't re-fetch.
         """
         for depth, tier in enumerate(self.tiers):
-            artifact = tier.get_unit(pass_name, key)
-            if artifact is None:
-                continue
+            fetch = getattr(tier, "fetch_unit", None)
+            if fetch is not None:
+                got = fetch(pass_name, key)
+                if got is None:
+                    continue
+                artifact, blob = got
+            else:
+                artifact = tier.get_unit(pass_name, key)
+                if artifact is None:
+                    continue
+                blob = None
             for upper in self.tiers[:depth]:
-                if self.writable(upper):
+                if not self.writable(upper):
+                    continue
+                promote = getattr(upper, "promote_unit", None)
+                if blob is not None and promote is not None:
+                    promote(pass_name, key, artifact, blob)
+                else:
                     upper.put_unit(pass_name, key, artifact)
             return artifact, tier
         return None

@@ -146,6 +146,14 @@ class TestRegistry:
             is peer_tier_for("http://127.0.0.1:9")
         )
 
+    def test_http_targets_dedupe_trailing_slash(self):
+        # PeerTier.__init__ rstrips "/"; the registry must normalize
+        # the same way or one peer gets two instances (split counters)
+        assert (
+            peer_tier_for("http://127.0.0.1:9/")
+            is peer_tier_for("http://127.0.0.1:9")
+        )
+
 
 def _seed_key(tmp_path):
     options = CompileOptions(cache_dir=str(tmp_path))

@@ -43,6 +43,24 @@ class TestPromotion:
         # ...and in the memory tier (adopted as a served-from-below hit)
         assert memory.disk_hits == 1
 
+    def test_peer_promotion_republishes_the_exact_bytes(self, tmp_path):
+        # promotion goes through the blob face: the local store's copy
+        # is the peer's payload verbatim, not a re-pickle (which also
+        # keeps the peer-warm path within sight of a local-warm one)
+        peer_root = tmp_path / "peer"
+        local_root = tmp_path / "local"
+        seeded = _compile(cache_dir=str(peer_root))
+        _compile(
+            cache_dir=str(local_root), peers=(str(peer_root),)
+        )
+        peer_path = DiskTier(str(peer_root)).path_for(
+            seeded.source_hash, seeded.options.output_hash()
+        )
+        local_path = DiskTier(str(local_root)).path_for(
+            seeded.source_hash, seeded.options.output_hash()
+        )
+        assert local_path.read_bytes() == peer_path.read_bytes()
+
     def test_repeat_access_no_longer_needs_the_peer(self, tmp_path):
         peer_root = tmp_path / "peer"
         local_root = tmp_path / "local"
