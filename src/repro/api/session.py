@@ -104,6 +104,7 @@ class Session:
         backend: str = "thread",
         memory_budget: Optional[int] = None,
         disk_budget: Optional[int] = None,
+        layout: Optional[str] = None,
     ):
         base = options if options is not None else CompileOptions()
         patches = {}
@@ -117,6 +118,10 @@ class Session:
             patches["memory_budget"] = memory_budget
         if disk_budget is not None:
             patches["disk_budget"] = disk_budget
+        if layout is not None:
+            # tree layout for every compile/run this session issues
+            # ('object' | 'pooled'); participates in all cache keys
+            patches["layout"] = layout
         if patches:
             base = replace(base, **patches)
         self.options = base

@@ -89,6 +89,7 @@ def _compile(args, emit: bool):
         emit=emit,
         cache_dir=getattr(args, "cache_dir", None),
         peers=tuple(getattr(args, "peer", None) or ()),
+        layout=getattr(args, "layout", None) or "object",
     )
     if getattr(args, "flexible_source", False):
         source, name = _read_source(args.file)
@@ -228,6 +229,7 @@ def cmd_exec(args) -> int:
             "--pages and --size are the same knob; pass one of them"
         )
     size = args.size if args.size is not None else args.pages
+    layout = getattr(args, "layout", None)
     with TraversalService(
         workers=args.workers,
         backend=args.backend,
@@ -239,13 +241,21 @@ def cmd_exec(args) -> int:
             # single-tree baseline the batched mode is measured against
             results = [
                 service.executor.run(
-                    [spec.make_request(trees=1, size=size)]
+                    [
+                        spec.make_request(
+                            trees=1, size=size, layout=layout
+                        )
+                    ]
                 )[0]
                 for _ in range(args.trees)
             ]
         else:
             results = service.executor.run(
-                [spec.make_request(trees=args.trees, size=size)]
+                [
+                    spec.make_request(
+                        trees=args.trees, size=size, layout=layout
+                    )
+                ]
             )
         failed = [r for r in results if not r.ok]
         if failed:
@@ -253,8 +263,10 @@ def cmd_exec(args) -> int:
         stats = service.executor.stats()
         trees = sum(len(r.trees) for r in results)
         mode = "sequential" if args.sequential else "batched"
+        layout_note = f", {layout} layout" if layout else ""
         print(f"{args.workload}: {trees} trees executed ({mode}, "
-              f"{args.workers} workers, {args.backend} backend)")
+              f"{args.workers} workers, {args.backend} backend"
+              f"{layout_note})")
         latency = stats["tree_latency"]
         print(f"  tree latency: p50 {latency['p50'] * 1e3:.3f} ms, "
               f"p99 {latency['p99'] * 1e3:.3f} ms")
@@ -314,6 +326,7 @@ def cmd_serve(args) -> int:
         backend=args.backend,
         cache_dir=args.cache_dir,
         peers=tuple(args.peer or ()),
+        layout=getattr(args, "layout", None),
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -399,6 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
              "second store root or a running 'repro serve' base URL "
              "(repeatable; hits are promoted into local tiers; "
              "payloads are pickles — name only peers you trust)",
+    )
+    compile_cmd.add_argument(
+        "--layout", choices=["object", "pooled"], default="object",
+        help="tree layout the generated modules run against: object "
+             "(node graph, default) or pooled (structure-of-arrays "
+             "forest pools); pooled artifacts content-address "
+             "separately from object-graph artifacts",
     )
     compile_cmd.set_defaults(handler=cmd_compile)
 
@@ -488,6 +508,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sequential", action="store_true",
         help="submit one tree at a time instead of one batched forest",
     )
+    exec_cmd.add_argument(
+        "--layout", choices=["object", "pooled"], default=None,
+        help="tree layout the traversals execute against: object (node "
+             "graph, default) or pooled (structure-of-arrays forest "
+             "pools — trees are serialized into flat columns, run by "
+             "row index, and written back). Pooled artifacts "
+             "content-address separately from object-graph artifacts: "
+             "the layout participates in every compile/cache key, so a "
+             "warm object store never silently serves a pooled run (or "
+             "vice versa)",
+    )
     add_service_args(exec_cmd, workers_default=2)
     exec_cmd.set_defaults(handler=cmd_exec)
 
@@ -502,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--port", type=int, default=8177,
         help="port to listen on; 0 picks a free port (default 8177)",
+    )
+    serve_cmd.add_argument(
+        "--layout", choices=["object", "pooled"], default=None,
+        help="default tree layout for submitted requests (a request's "
+             "explicit layout field wins); pooled artifacts "
+             "content-address separately — no cache cross-hits",
     )
     add_service_args(serve_cmd, workers_default=2)
     serve_cmd.set_defaults(handler=cmd_serve)

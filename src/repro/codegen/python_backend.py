@@ -129,6 +129,11 @@ class RuntimeContext:
 
 
 class _ExprCompiler:
+    #: leading parameter/argument text before ``this``/the receiver in
+    #: generated signatures and dispatch calls — the pooled backend's
+    #: functions close over their runtime instead of threading it
+    rt_prefix = "RT, "
+
     def __init__(self, program: Program, local_prefix: str = ""):
         self.program = program
         self.prefix = local_prefix
@@ -146,9 +151,12 @@ class _ExprCompiler:
                 return f"(-{operand})"
             return f"(not {operand})"
         if isinstance(node, PureCall):
-            args = ", ".join(f"_copy({self.expr(a)})" for a in node.args)
-            return f"RT.pure[{node.func_name!r}]({args})"
+            return self.pure_call(node)
         raise ReproError(f"cannot compile expression {node!r}")
+
+    def pure_call(self, node: PureCall) -> str:
+        args = ", ".join(f"_copy({self.expr(a)})" for a in node.args)
+        return f"RT.pure[{node.func_name!r}]({args})"
 
     def _binop(self, node: BinOp) -> str:
         lhs = self.expr(node.lhs)
@@ -172,12 +180,15 @@ class _ExprCompiler:
             return _Namer.local(path.base_name, self.prefix)
         raise ReproError(f"path {path} has no node base")
 
+    def _global_text(self, path: AccessPath) -> str:
+        if not path.steps:
+            return f"RT.globals[{path.base_name!r}]"
+        member = path.steps[0].field.name
+        return f"RT.globals[{path.base_name!r}].members[{member!r}]"
+
     def read_path(self, path: AccessPath) -> str:
         if path.is_global:
-            if not path.steps:
-                return f"RT.globals[{path.base_name!r}]"
-            member = path.steps[0].field.name
-            return f"RT.globals[{path.base_name!r}].members[{member!r}]"
+            return self._global_text(path)
         if path.is_local and not self._local_is_node(path):
             text = _Namer.local(path.base_name, self.prefix)
             for step in path.steps:
@@ -208,16 +219,41 @@ class _ExprCompiler:
 
     def write_target(self, path: AccessPath) -> str:
         if path.is_global:
-            if not path.steps:
-                return f"RT.globals[{path.base_name!r}]"
-            member = path.steps[0].field.name
-            return f"RT.globals[{path.base_name!r}].members[{member!r}]"
+            return self._global_text(path)
         if path.is_local and not self._local_is_node(path):
             text = _Namer.local(path.base_name, self.prefix)
             for step in path.steps:
                 text += f".members[{step.field.name!r}]"
             return text
         return self._path_text(path)
+
+    # -- layout hooks ----------------------------------------------------
+    # the two places generated code touches the tree *representation*
+    # outside a data path: dispatch receivers and node allocation. The
+    # pooled backend overrides both; everything else in the statement
+    # compiler is layout-agnostic.
+
+    def receiver_text(self, receiver) -> str:
+        """The expression a traverse/group call dispatches on: ``this``
+        or one child access (shared by the unfused call lines, the fused
+        fallback calls, and the group calls)."""
+        if receiver.is_this:
+            return "this"
+        return f"this.fields[{receiver.child.name!r}]"
+
+    def new_node(self, type_name: str) -> str:
+        """The allocation expression a ``new`` statement compiles to."""
+        return f"RT.new_node({type_name!r})"
+
+    def dispatch_key(self, var: str) -> str:
+        """How a dispatch site reads the dynamic type of *var* (a node
+        in the object layout, a row index in the pooled layout)."""
+        return f"{var}.type_name"
+
+    def table_key(self, type_name: str) -> str:
+        """The key expression a dispatch-table literal stores a concrete
+        type under — must agree with :meth:`dispatch_key`."""
+        return repr(type_name)
 
 
 # ===========================================================================
@@ -280,7 +316,7 @@ class _StmtCompiler:
             return [f"{pad}{self.return_line}"]
         if isinstance(stmt, New):
             target = exprc._path_text(stmt.target)
-            return [f"{pad}{target} = RT.new_node({stmt.type_name!r})"]
+            return [f"{pad}{target} = {exprc.new_node(stmt.type_name)}"]
         if isinstance(stmt, Delete):
             target = exprc._path_text(stmt.target)
             return [f"{pad}{target} = None"]
@@ -312,22 +348,21 @@ def module_methods(program: Program) -> dict[str, TraversalMethod]:
     return method_names
 
 
-def emit_method_source(program: Program, method: TraversalMethod) -> str:
+def emit_method_source(
+    program: Program, method: TraversalMethod, exprc_factory=None
+) -> str:
     """Python source of one unfused method function — the unfused
     module's per-method compilation unit."""
-    return "\n".join(_emit_method(program, method))
+    return "\n".join(_emit_method(program, method, exprc_factory))
 
 
-def assemble_module(
-    program: Program, method_sources: dict[str, str]
-) -> str:
-    """Stitch per-method sources (:func:`emit_method_source`, keyed by
-    qualified name) into the full unfused module. The incremental emit
-    pass calls this with a mix of cached and fresh pieces; the result is
-    byte-identical to a monolithic :func:`emit_module`."""
-    program.finalize()
-    lines = [f'"""Generated from program {program.name!r} (unfused)."""']
-    lines.append(_PRELUDE)
+def _module_body(
+    program: Program, method_sources: dict[str, str], exprc: _ExprCompiler
+) -> list[str]:
+    """The unfused module's body lines at zero indent: method sources,
+    dispatch dictionaries, ``run_entry``. Shared between the flat object
+    module and the pooled module (which wraps it in a bind function)."""
+    lines: list[str] = []
     for qualified in module_methods(program):
         lines.append(method_sources[qualified])
         lines.append("")
@@ -340,21 +375,36 @@ def assemble_module(
                 by_name.setdefault(name, {})[type_name] = target
     for name, table in sorted(by_name.items()):
         entries = ", ".join(
-            f"{t!r}: {_Namer.method(m)}" for t, m in sorted(table.items())
+            f"{exprc.table_key(t)}: {_Namer.method(m)}"
+            for t, m in sorted(table.items())
         )
         lines.append(f"_D_{_sanitize(name)} = {{{entries}}}")
     lines.append("")
-    lines.append("def run_entry(RT, root):")
+    lines.append(f"def run_entry({exprc.rt_prefix}root):")
     if program.entry:
-        exprc = _ExprCompiler(program)
         for call in program.entry:
             args = "".join(f", {exprc.expr(a)}" for a in call.args)
             lines.append(
-                f"    _D_{_sanitize(call.method_name)}[root.type_name]"
-                f"(RT, root{args})"
+                f"    _D_{_sanitize(call.method_name)}"
+                f"[{exprc.dispatch_key('root')}]"
+                f"({exprc.rt_prefix}root{args})"
             )
     else:
         lines.append("    pass")
+    return lines
+
+
+def assemble_module(
+    program: Program, method_sources: dict[str, str]
+) -> str:
+    """Stitch per-method sources (:func:`emit_method_source`, keyed by
+    qualified name) into the full unfused module. The incremental emit
+    pass calls this with a mix of cached and fresh pieces; the result is
+    byte-identical to a monolithic :func:`emit_module`."""
+    program.finalize()
+    lines = [f'"""Generated from program {program.name!r} (unfused)."""']
+    lines.append(_PRELUDE)
+    lines.extend(_module_body(program, method_sources, _ExprCompiler(program)))
     lines.append("")
     return "\n".join(lines)
 
@@ -383,19 +433,22 @@ def _compiled_args(program, method_owner, method_name, args, exprc) -> str:
     return "".join(rendered)
 
 
-def _emit_method(program: Program, method: TraversalMethod) -> list[str]:
-    exprc = _ExprCompiler(program)
+def _emit_method(
+    program: Program, method: TraversalMethod, exprc_factory=None
+) -> list[str]:
+    exprc = (exprc_factory or _ExprCompiler)(program)
     params = "".join(
         f", {_Namer.local(p.name)}" for p in method.params
     )
-    lines = [f"def {_Namer.method(method)}(RT, this{params}):"]
+    lines = [
+        f"def {_Namer.method(method)}({exprc.rt_prefix}this{params}):"
+    ]
 
     def call_line(stmt: TraverseStmt, pad: str) -> list[str]:
+        receiver = exprc.receiver_text(stmt.receiver)
         if stmt.receiver.is_this:
-            receiver = "this"
             static_type = method.owner
         else:
-            receiver = f"this.fields[{stmt.receiver.child.name!r}]"
             static_type = stmt.receiver.child.type_name
         args = _compiled_args(
             program, static_type, stmt.method_name, stmt.args, exprc
@@ -403,7 +456,8 @@ def _emit_method(program: Program, method: TraversalMethod) -> list[str]:
         dispatch = f"_D_{_sanitize(stmt.method_name)}"
         return [
             f"{pad}_r = {receiver}",
-            f"{pad}{dispatch}[_r.type_name](RT, _r{args})",
+            f"{pad}{dispatch}[{exprc.dispatch_key('_r')}]"
+            f"({exprc.rt_prefix}_r{args})",
         ]
 
     compiler = _StmtCompiler(program, exprc, call_line, return_line="return")
@@ -417,7 +471,7 @@ def _emit_method(program: Program, method: TraversalMethod) -> list[str]:
 
 
 def emit_unit_source(
-    program: Program, unit: FusedUnit
+    program: Program, unit: FusedUnit, exprc_factory=None
 ) -> tuple[str, list[str]]:
     """(function source, dispatch-table lines) of one fused unit — the
     fused module's per-unit compilation unit. The table lines are
@@ -425,8 +479,48 @@ def emit_unit_source(
     the function definitions (the targets must exist before the dicts
     reference them)."""
     group_tables: list[str] = []
-    lines = _emit_unit(program, unit, group_tables)
+    lines = _emit_unit(program, unit, group_tables, exprc_factory)
     return "\n".join(lines), group_tables
+
+
+def _fused_body(
+    fused: FusedProgram,
+    unit_sources: dict[tuple[str, ...], tuple[str, list[str]]],
+    exprc: _ExprCompiler,
+) -> list[str]:
+    """The fused module's body lines at zero indent: unit sources, the
+    hoisted group dispatch tables, ``run_fused``. Shared between the
+    flat object module and the pooled bind function."""
+    program = fused.program
+    lines: list[str] = []
+    group_tables: list[str] = []
+    for key in sorted(fused.units):
+        text, tables = unit_sources[key]
+        lines.append(text)
+        lines.append("")
+        group_tables.extend(tables)
+    lines.extend(group_tables)
+    lines.append("")
+    lines.append(f"def run_fused({exprc.rt_prefix}root):")
+    if not fused.entry_groups:
+        lines.append("    pass")
+    for index, group in enumerate(fused.entry_groups):
+        table = ", ".join(
+            f"{exprc.table_key(t)}: {_Namer.unit(u)}"
+            for t, u in sorted(group.dispatch.items())
+        )
+        lines.append(f"    _e = {{{table}}}")
+        flat_args = "".join(
+            f", {exprc.expr(a)}"
+            for args in group.args_per_member
+            for a in args
+        )
+        width = len(group.method_names)
+        lines.append(
+            f"    _e[{exprc.dispatch_key('root')}]"
+            f"({exprc.rt_prefix}root, {(1 << width) - 1}{flat_args})"
+        )
+    return lines
 
 
 def assemble_fused_module(
@@ -438,32 +532,7 @@ def assemble_fused_module(
     program = fused.program
     lines = [f'"""Generated from program {program.name!r} (fused)."""']
     lines.append(_PRELUDE)
-    group_tables: list[str] = []
-    for key in sorted(fused.units):
-        text, tables = unit_sources[key]
-        lines.append(text)
-        lines.append("")
-        group_tables.extend(tables)
-    lines.extend(group_tables)
-    lines.append("")
-    lines.append("def run_fused(RT, root):")
-    exprc = _ExprCompiler(program)
-    if not fused.entry_groups:
-        lines.append("    pass")
-    for index, group in enumerate(fused.entry_groups):
-        table = ", ".join(
-            f"{t!r}: {_Namer.unit(u)}" for t, u in sorted(group.dispatch.items())
-        )
-        lines.append(f"    _e = {{{table}}}")
-        flat_args = "".join(
-            f", {exprc.expr(a)}"
-            for args in group.args_per_member
-            for a in args
-        )
-        width = len(group.method_names)
-        lines.append(
-            f"    _e[root.type_name](RT, root, {(1 << width) - 1}{flat_args})"
-        )
+    lines.extend(_fused_body(fused, unit_sources, _ExprCompiler(program)))
     lines.append("")
     return "\n".join(lines)
 
@@ -490,19 +559,27 @@ def _unit_param_names(unit: FusedUnit) -> list[str]:
 
 
 def _emit_unit(
-    program: Program, unit: FusedUnit, group_tables: list[str]
+    program: Program,
+    unit: FusedUnit,
+    group_tables: list[str],
+    exprc_factory=None,
 ) -> list[str]:
+    factory = exprc_factory or _ExprCompiler
     name = _Namer.unit(unit)
     params = "".join(f", {p}=0" for p in _unit_param_names(unit))
-    lines = [f"def {name}(RT, this, flags{params}):"]
+    lines = [
+        f"def {name}({factory(program).rt_prefix}this, flags{params}):"
+    ]
     body_lines: list[str] = []
     group_index = 0
     for item in unit.body:
         if isinstance(item, GuardedStmt):
-            body_lines.extend(_emit_guarded(program, item))
+            body_lines.extend(_emit_guarded(program, item, factory))
         elif isinstance(item, GroupCall):
             body_lines.extend(
-                _emit_group_call(program, unit, item, group_index, group_tables)
+                _emit_group_call(
+                    program, unit, item, group_index, group_tables, factory
+                )
             )
             group_index += 1
     if not body_lines:
@@ -511,9 +588,11 @@ def _emit_unit(
     return lines
 
 
-def _emit_guarded(program: Program, item: GuardedStmt) -> list[str]:
+def _emit_guarded(
+    program: Program, item: GuardedStmt, exprc_factory=None
+) -> list[str]:
     prefix = f"m{item.member}_"
-    exprc = _ExprCompiler(program, local_prefix=prefix)
+    exprc = (exprc_factory or _ExprCompiler)(program, local_prefix=prefix)
 
     def call_line(stmt: TraverseStmt, pad: str) -> list[str]:
         # unfusable leftover calls fall back to the unfused dispatch —
@@ -535,14 +614,12 @@ def _emit_guarded(program: Program, item: GuardedStmt) -> list[str]:
         def fallback_call(stmt: TraverseStmt, pad: str) -> list[str]:
             exprc_local = compiler.exprc
             args = "".join(f", {exprc_local.expr(a)}" for a in stmt.args)
-            if stmt.receiver.is_this:
-                receiver = "this"
-            else:
-                receiver = f"this.fields[{stmt.receiver.child.name!r}]"
+            receiver = exprc_local.receiver_text(stmt.receiver)
             return [
                 f"{pad}_r = {receiver}",
                 f"{pad}_D_{_sanitize(stmt.method_name)}"
-                f"[_r.type_name](RT, _r{args})",
+                f"[{exprc_local.dispatch_key('_r')}]"
+                f"({exprc_local.rt_prefix}_r{args})",
             ]
 
         compiler.call_line = fallback_call
@@ -563,10 +640,14 @@ def _emit_group_call(
     group: GroupCall,
     group_index: int,
     group_tables: list[str],
+    exprc_factory=None,
 ) -> list[str]:
+    factory = exprc_factory or _ExprCompiler
     table_name = f"_G_{_Namer.unit(unit)}_{group_index}"
+    table_exprc = factory(program)
     entries = ", ".join(
-        f"{t!r}: {_Namer.unit(u)}" for t, u in sorted(group.dispatch.items())
+        f"{table_exprc.table_key(t)}: {_Namer.unit(u)}"
+        for t, u in sorted(group.dispatch.items())
     )
     group_tables.append(f"{table_name} = {{{entries}}}")
     # the child units all share one flattened parameter layout; compute
@@ -579,7 +660,7 @@ def _emit_group_call(
     cursor = 0
     for slot, call in enumerate(group.calls):
         prefix = f"m{call.member}_"
-        exprc = _ExprCompiler(program, local_prefix=prefix)
+        exprc = factory(program, local_prefix=prefix)
         target = target_unit.members[slot]
         slot_locals = [
             f"_ga{cursor + offset}" for offset in range(len(target.params))
@@ -605,14 +686,10 @@ def _emit_group_call(
     assert len(arg_locals) == len(target_params)
     call_args = "".join(f", {local}" for local in arg_locals)
     lines.append("    if _cf:")
-    if group.receiver.is_this:
-        lines.append("        _r = this")
-    else:
-        lines.append(
-            f"        _r = this.fields[{group.receiver.child.name!r}]"
-        )
+    lines.append(f"        _r = {table_exprc.receiver_text(group.receiver)}")
     lines.append(
-        f"        {table_name}[_r.type_name](RT, _r, _cf{call_args})"
+        f"        {table_name}[{table_exprc.dispatch_key('_r')}]"
+        f"({table_exprc.rt_prefix}_r, _cf{call_args})"
     )
     return lines
 

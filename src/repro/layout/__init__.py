@@ -1,0 +1,20 @@
+"""Tree layouts: object graphs and structure-of-arrays forest pools."""
+
+from repro.layout.base import (
+    LAYOUT_NAMES,
+    ObjectGraphLayout,
+    PooledLayout,
+    TreeLayout,
+    layout_for,
+)
+from repro.layout.pool import ForestPool, column_names
+
+__all__ = [
+    "LAYOUT_NAMES",
+    "ForestPool",
+    "ObjectGraphLayout",
+    "PooledLayout",
+    "TreeLayout",
+    "column_names",
+    "layout_for",
+]

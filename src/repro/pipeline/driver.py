@@ -106,6 +106,12 @@ def compile(
             "bundle the program and its impls in a repro.Workload"
         )
     options = options if options is not None else CompileOptions()
+    # fail a typo'd layout before any hashing or tier traffic — the
+    # knob participates in every cache key, so an unknown name would
+    # otherwise pollute the stores before the emit pass rejects it
+    from repro.layout import layout_for
+
+    layout_for(options.layout)
     start = time.perf_counter()
     if isinstance(source, Program):
         program: Optional[Program] = source

@@ -128,6 +128,15 @@ class CompileOptions:
       disk (:class:`repro.storage.PeerTier`): each is a second store
       root or the base URL of a running ``repro serve``; hits are
       promoted into the local tiers. Order is lookup order.
+    * ``layout`` — the tree representation generated code runs against:
+      ``"object"`` (default) walks the ``Node`` object graph,
+      ``"pooled"`` compiles index-based traversals over a
+      :class:`~repro.layout.ForestPool` (structure-of-arrays columns,
+      children as integer indices). The two backends emit different
+      module text, so the knob is output-affecting: pooled and
+      object-graph artifacts content-address separately in every
+      storage tier — switching layouts can never cross-hit a cached
+      artifact.
     * ``memory_budget`` / ``disk_budget`` — byte budgets for the tiers
       a compile under these options administers: ``memory_budget``
       resizes a *privately owned* memory tier (``Session`` builds one;
@@ -152,6 +161,7 @@ class CompileOptions:
     peers: tuple[str, ...] = ()
     memory_budget: Optional[int] = None
     disk_budget: Optional[int] = None
+    layout: str = "object"
 
     @property
     def language_mode(self) -> LanguageMode:

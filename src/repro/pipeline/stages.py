@@ -952,13 +952,20 @@ class EmitPass:
     method and every fused unit emits (or reloads) its own source text;
     ``finish`` stitches the pieces into the two modules. After an edit
     only the dirtied functions re-emit — the rest come from the unit
-    store byte-identical."""
+    store byte-identical.
+
+    ``CompileOptions(layout='pooled')`` swaps in the pooled backend:
+    its pieces cache under an ``emit:pooled`` salt and its modules under
+    ``pooled-*`` artifact keys, so the two layouts never alias in any
+    storage tier (the unit index's schema hash does not see the layout
+    knob — the salt carries it)."""
 
     name = "emit"
     persist_units = True
 
     def __init__(self):
         self.skipped = False
+        self.pooled = False
         self.method_sources: dict[str, str] = {}
         self.unit_sources: dict[SequenceKey, tuple[str, list[str]]] = {}
         self.fresh_units = 0
@@ -972,10 +979,12 @@ class EmitPass:
         # would be circular
         from repro.codegen.python_backend import module_methods
 
+        self.pooled = pctx.options.layout == "pooled"
+        salt = "emit:pooled" if self.pooled else "emit"
         units = []
         for qualified, method in module_methods(pctx.program).items():
             key = (
-                pctx.unit_index.method_key(method, "emit")
+                pctx.unit_index.method_key(method, salt)
                 if pctx.units is not None
                 else None
             )
@@ -985,7 +994,7 @@ class EmitPass:
         for seq_key in sorted(pctx.fused.units):
             fused_unit = pctx.fused.units[seq_key]
             key = (
-                pctx.unit_index.sequence_key(fused_unit.members, "emit")
+                pctx.unit_index.sequence_key(fused_unit.members, salt)
                 if pctx.units is not None
                 else None
             )
@@ -1000,10 +1009,16 @@ class EmitPass:
         return units
 
     def compute(self, pctx: PassContext, unit: Unit):
-        from repro.codegen.python_backend import (
-            emit_method_source,
-            emit_unit_source,
-        )
+        if self.pooled:
+            from repro.codegen.pooled_backend import (
+                emit_pooled_method_source as emit_method_source,
+                emit_pooled_unit_source as emit_unit_source,
+            )
+        else:
+            from repro.codegen.python_backend import (
+                emit_method_source,
+                emit_unit_source,
+            )
 
         self.fresh_units += 1
         if unit.kind == "method":
@@ -1019,14 +1034,44 @@ class EmitPass:
     def finish(self, pctx: PassContext) -> dict[str, int]:
         if self.skipped:
             return {"skipped": 1}
-        from repro.codegen.python_backend import (
-            CompiledFused,
-            CompiledProgram,
-            assemble_fused_module,
-            assemble_module,
-        )
         from repro.fusion.fused_ir import print_fused_program
         from repro.pipeline.options import hash_program
+
+        if self.pooled:
+            from repro.codegen.pooled_backend import (
+                CompiledPooledFused as fused_class,
+                CompiledPooledProgram as unfused_class,
+                assemble_pooled_fused_module,
+                assemble_pooled_module,
+            )
+
+            unfused_source = assemble_pooled_module(
+                pctx.program, self.method_sources
+            )
+            # the pooled fused module is self-contained (fallback
+            # dispatch tables live in the same bind closure), so no
+            # module concatenation happens below
+            fused_source = assemble_pooled_fused_module(
+                pctx.fused, self.method_sources, self.unit_sources
+            )
+            full_fused_source = fused_source
+            module_prefix = "pooled-"
+        else:
+            from repro.codegen.python_backend import (
+                CompiledFused as fused_class,
+                CompiledProgram as unfused_class,
+                assemble_fused_module,
+                assemble_module,
+            )
+
+            unfused_source = assemble_module(
+                pctx.program, self.method_sources
+            )
+            fused_source = assemble_fused_module(
+                pctx.fused, self.unit_sources
+            )
+            full_fused_source = unfused_source + "\n" + fused_source
+            module_prefix = ""
 
         cache = pctx.cache
         # module artifacts are keyed on the *program* hash (not the
@@ -1035,13 +1080,11 @@ class EmitPass:
         # content; unlike unit keys, the program hash includes the
         # pure-impl signature — a module object binds its program (and
         # through it the impls), so impl rebindings must not share one
-        unfused_source = assemble_module(pctx.program, self.method_sources)
-        fused_source = assemble_fused_module(pctx.fused, self.unit_sources)
         program_hash = hash_program(pctx.program)
-        unfused_key = ("unfused-module", program_hash)
+        unfused_key = (f"{module_prefix}unfused-module", program_hash)
         compiled = cache.get_artifact(unfused_key) if cache else None
         if compiled is None:
-            compiled = CompiledProgram.from_source(
+            compiled = unfused_class.from_source(
                 pctx.program, unfused_source
             )
             if pctx.units is None:
@@ -1056,14 +1099,14 @@ class EmitPass:
         pctx.unfused_source = compiled.source
 
         fused_key = (
-            "fused-module",
+            f"{module_prefix}fused-module",
             program_hash,
             hash_text(print_fused_program(pctx.fused)),
         )
         compiled_fused = cache.get_artifact(fused_key) if cache else None
         if compiled_fused is None:
-            compiled_fused = CompiledFused.from_source(
-                pctx.fused, unfused_source + "\n" + fused_source
+            compiled_fused = fused_class.from_source(
+                pctx.fused, full_fused_source
             )
             if pctx.units is None:
                 compiled_fused.namespace

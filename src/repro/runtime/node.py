@@ -10,6 +10,25 @@ from repro.runtime.heap import Heap
 from repro.runtime.values import ObjectValue, default_value
 
 
+def default_fields(program: Program, type_name: str) -> dict:
+    """A fresh field dict for one node of *type_name*: children ``None``,
+    data fields at their declared or zero defaults. Shared between
+    :meth:`Node.new` and the pooled layout's row allocator
+    (:meth:`repro.layout.ForestPool.new`) so both backends agree on what
+    a default-constructed node holds."""
+    fields: dict = {}
+    for field_name, field in program.fields_of(type_name).items():
+        if field.is_child:
+            fields[field_name] = None
+        else:
+            declared_default = _declared_default(program, type_name, field_name)
+            if declared_default is not None:
+                fields[field_name] = declared_default
+            else:
+                fields[field_name] = default_value(program, field.type_name)
+    return fields
+
+
 class Node:
     """One tree node: dynamic type, field values, heap address.
 
@@ -31,16 +50,7 @@ class Node:
             raise RuntimeFailure(f"cannot instantiate unknown type {type_name!r}")
         if program.tree_types[type_name].abstract:
             raise RuntimeFailure(f"cannot instantiate abstract type {type_name}")
-        fields: dict = {}
-        for field_name, field in program.fields_of(type_name).items():
-            if field.is_child:
-                fields[field_name] = None
-            else:
-                declared_default = _declared_default(program, type_name, field_name)
-                if declared_default is not None:
-                    fields[field_name] = declared_default
-                else:
-                    fields[field_name] = default_value(program, field.type_name)
+        fields = default_fields(program, type_name)
         for key, value in overrides.items():
             if key not in fields:
                 raise RuntimeFailure(f"{type_name} has no field {key!r}")
@@ -65,32 +75,57 @@ class Node:
     # -- tree utilities (used by workloads/tests) -------------------------
 
     def walk(self, program: Program) -> Iterator["Node"]:
-        """Preorder walk of the subtree under this node."""
-        yield self
-        for field_name, field in program.fields_of(self.type_name).items():
-            if field.is_child:
-                child = self.fields[field_name]
-                if child is not None:
-                    yield from child.walk(program)
+        """Preorder walk of the subtree under this node. Iterative — a
+        degenerate chain deeper than the interpreter's recursion limit
+        (deep kd-trees) must still walk."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            children = [
+                node.fields[field_name]
+                for field_name, field in program.fields_of(
+                    node.type_name
+                ).items()
+                if field.is_child and node.fields[field_name] is not None
+            ]
+            stack.extend(reversed(children))
 
     def count_nodes(self, program: Program) -> int:
         return sum(1 for _ in self.walk(program))
 
     def snapshot(self, program: Program) -> dict:
         """A structural copy of the subtree's data (for differential
-        testing of fused vs unfused executions)."""
-        data = {"__type__": self.type_name}
-        for field_name, field in program.fields_of(self.type_name).items():
-            value = self.fields[field_name]
-            if field.is_child:
-                data[field_name] = (
-                    None if value is None else value.snapshot(program)
-                )
-            elif isinstance(value, ObjectValue):
-                data[field_name] = (value.class_name, dict(value.members))
-            else:
-                data[field_name] = value
-        return data
+        testing of fused vs unfused executions). Iterative, like
+        :meth:`walk`: children are snapshotted bottom-up through an
+        explicit stack so arbitrarily deep trees never hit the
+        recursion limit."""
+        done: dict[int, dict] = {}
+        stack: list[tuple["Node", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for field_name, field in program.fields_of(
+                    node.type_name
+                ).items():
+                    child = node.fields[field_name] if field.is_child else None
+                    if field.is_child and child is not None:
+                        stack.append((child, False))
+                continue
+            data = {"__type__": node.type_name}
+            for field_name, field in program.fields_of(node.type_name).items():
+                value = node.fields[field_name]
+                if field.is_child:
+                    data[field_name] = (
+                        None if value is None else done[id(value)]
+                    )
+                elif isinstance(value, ObjectValue):
+                    data[field_name] = (value.class_name, dict(value.members))
+                else:
+                    data[field_name] = value
+            done[id(node)] = data
+        return done[id(self)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.type_name}@{self.address:#x})"

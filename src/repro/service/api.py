@@ -16,7 +16,11 @@ reproduction must not grow dependencies. Endpoints::
                                 workload, e.g. {"workload": "render",
                                 "trees": 64, "pages": 4} or any
                                 registered name with its size knob
-                                ({"workload": "kdtree", "depth": 5})
+                                ({"workload": "kdtree", "depth": 5});
+                                an optional "layout" field picks the
+                                tree layout ("object" | "pooled") —
+                                per-layout submit counts appear under
+                                "layouts" in /stats
     GET  /result/<id>        -> completion state / summaries of one id
     GET  /artifact/result/<source>/<output>
     GET  /artifact/unit/<pass>/<key>
@@ -46,7 +50,7 @@ import functools
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
@@ -95,13 +99,19 @@ class WorkloadSpec:
         fused: bool = True,
         options: Optional[CompileOptions] = None,
         size: Optional[int] = None,
+        layout: Optional[str] = None,
         **spec_kwargs,
     ) -> ExecRequest:
         if size is not None:
             spec_kwargs.setdefault(self.size_kwarg, size)
+        effective = options if options is not None else CompileOptions()
+        if layout is not None:
+            # per-request tree layout ('object' | 'pooled') — the
+            # /submit body's "layout" field lands here
+            effective = replace(effective, layout=layout)
         return self.workload().request(
             trees,
-            options=options if options is not None else CompileOptions(),
+            options=effective,
             fused=fused,
             **spec_kwargs,
         )
@@ -187,9 +197,11 @@ class TraversalService:
         cache_dir: Optional[str] = None,
         max_tickets: int = 1024,
         peers: tuple = (),
+        layout: Optional[str] = None,
     ):
         self.cache_dir = cache_dir
         self.peers = tuple(peers)
+        self.layout = layout
         self.store = store_for(cache_dir) if cache_dir else None
         # the service's storage stack: the process memory tier, its
         # store (when persistent), and any read-only peers — what /gc
@@ -203,16 +215,27 @@ class TraversalService:
             backend=backend,
             cache_dir=cache_dir,
             peers=self.peers,
+            layout=layout,
         )
         self.max_tickets = max_tickets
         self._tickets: "OrderedDict[int, object]" = OrderedDict()
         self._lock = threading.Lock()
+        # per-layout submission counters (reported under /stats
+        # "layouts"); counted at submit time from the request the
+        # executor will actually run, defaults applied
+        self._layout_counts: dict[str, int] = {}
 
     # -- submission -----------------------------------------------------
 
     def submit(self, request: ExecRequest) -> int:
+        effective_layout = request.options.layout
+        if self.layout is not None and effective_layout == "object":
+            effective_layout = self.layout
         ticket = self.executor.submit(request)
         with self._lock:
+            self._layout_counts[effective_layout] = (
+                self._layout_counts.get(effective_layout, 0) + 1
+            )
             self._tickets[request.request_id] = ticket
             # bounded retention: results are held for polling, not
             # forever — a long-lived server must not accumulate every
@@ -301,10 +324,13 @@ class TraversalService:
                 ),
                 None,
             ) or self.store.stats()
+        with self._lock:
+            layouts = dict(sorted(self._layout_counts.items()))
         return {
             "executor": self.executor.stats(),
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
+            "layouts": layouts,
             "store": store,
             "storage": storage,
         }

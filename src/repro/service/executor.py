@@ -156,6 +156,7 @@ class BatchExecutor:
         shards_per_worker: int = 2,
         linger_seconds: float = 0.005,
         peers: tuple = (),
+        layout: Optional[str] = None,
     ):
         if backend not in _BACKENDS:
             raise ValueError(
@@ -165,6 +166,7 @@ class BatchExecutor:
         self.backend = backend
         self.cache_dir = cache_dir
         self.peers = tuple(peers)
+        self.layout = layout
         self.shards_per_worker = shards_per_worker
         self.linger_seconds = linger_seconds
         self._pool = None
@@ -327,13 +329,17 @@ class BatchExecutor:
             return error
 
     def _effective(self, request: ExecRequest) -> ExecRequest:
-        """Apply executor-level defaults (the artifact cache dir and
-        any read-only peer stores)."""
+        """Apply executor-level defaults (the artifact cache dir, any
+        read-only peer stores, and the executor's tree layout)."""
         patches = {}
         if self.cache_dir and request.options.cache_dir is None:
             patches["cache_dir"] = self.cache_dir
         if self.peers and not request.options.peers:
             patches["peers"] = self.peers
+        if self.layout is not None and request.options.layout == "object":
+            # requests that picked a layout explicitly keep it; the
+            # executor default only fills the options default
+            patches["layout"] = self.layout
         if patches:
             # dataclasses.replace re-runs __post_init__; this is the
             # executor's own copy, not a user construction

@@ -1,0 +1,111 @@
+"""Differential tests: object-graph vs pooled backends must agree.
+
+Every workload, fused and unfused, runs once per layout on identical
+trees; results (snapshot hash + heap footprint via ``default_collect``)
+and globals must match exactly. A separate test pins the storage
+contract: pooled and object artifacts never collide in any cache tier.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline import CompileOptions
+from repro.pipeline import compile as pipeline_compile
+from repro.runtime.heap import Heap
+from repro.service.batching import default_collect
+from repro.workloads.astlang import astlang_workload
+from repro.workloads.fmm import fmm_workload
+from repro.workloads.kdtree import kdtree_workload
+from repro.workloads.render import render_workload
+
+CASES = [
+    ("render", render_workload, {"pages": 2}),
+    ("astlang", astlang_workload, {"functions": 6}),
+    ("kdtree", kdtree_workload, {"depth": 4}),
+    ("fmm", fmm_workload, {"particles": 48}),
+]
+
+
+def _compiled(workload, layout):
+    result = pipeline_compile(
+        workload, options=CompileOptions(layout=layout)
+    )
+    return result
+
+
+def _run(workload, compiled_result, spec_kwargs, fused):
+    program = compiled_result.program
+    heap = Heap(program)
+    root = workload.build_tree(
+        program, heap, workload.make_spec(**spec_kwargs)
+    )
+    globals_map = dict(workload.globals_map or {})
+    module = (
+        compiled_result.compiled_fused
+        if fused
+        else compiled_result.compiled_unfused
+    )
+    runner = module.run_fused if fused else module.run_entry
+    runner(heap, root, globals_map)
+    return default_collect(program, heap, root), globals_map
+
+
+@pytest.mark.parametrize(
+    "name,factory,spec_kwargs",
+    CASES,
+    ids=[case[0] for case in CASES],
+)
+@pytest.mark.parametrize("fused", [True, False], ids=["fused", "unfused"])
+class TestLayoutsAgree:
+    def test_results_and_writes_match(
+        self, name, factory, spec_kwargs, fused
+    ):
+        workload = factory()
+        object_result = _compiled(workload, "object")
+        pooled_result = _compiled(workload, "pooled")
+        object_summary, object_globals = _run(
+            workload, object_result, spec_kwargs, fused
+        )
+        pooled_summary, pooled_globals = _run(
+            workload, pooled_result, spec_kwargs, fused
+        )
+        # snapshot hash covers every field of every node (the write
+        # set); tree_bytes covers allocation behaviour
+        assert pooled_summary == object_summary
+        assert pooled_globals == object_globals
+
+
+class TestArtifactsNeverCollide:
+    def test_layouts_use_disjoint_cache_keys(self, tmp_path):
+        workload = render_workload()
+        base = CompileOptions(cache_dir=str(tmp_path))
+        object_cold = pipeline_compile(workload, options=base)
+        pooled_cold = pipeline_compile(
+            workload,
+            options=dataclasses.replace(base, layout="pooled"),
+        )
+        # a warm object store must not satisfy the pooled compile
+        assert not pooled_cold.cache_hit
+        assert pooled_cold.fused_source != object_cold.fused_source
+        assert "bind_fused" in pooled_cold.fused_source
+        assert "bind_fused" not in object_cold.fused_source
+        # warm recompiles hit per layout and stay byte-stable
+        object_warm = pipeline_compile(workload, options=base)
+        pooled_warm = pipeline_compile(
+            workload,
+            options=dataclasses.replace(base, layout="pooled"),
+        )
+        assert object_warm.cache_hit
+        assert pooled_warm.cache_hit
+        assert object_warm.fused_source == object_cold.fused_source
+        assert pooled_warm.fused_source == pooled_cold.fused_source
+
+    def test_unknown_layout_fails_before_compiling(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown tree layout"):
+            pipeline_compile(
+                render_workload(),
+                options=CompileOptions(layout="columnar"),
+            )

@@ -1,0 +1,209 @@
+"""ForestPool unit tests: round-trips, accessors, clone/pickle value
+semantics, integer type tags."""
+
+import pickle
+
+import pytest
+
+from repro.errors import RuntimeFailure
+from repro.layout import ForestPool, column_names
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+from repro.runtime.values import ObjectValue
+from repro.workloads.render import render_workload
+
+
+@pytest.fixture(scope="module")
+def render():
+    w = render_workload()
+    program = w.source
+    heap = Heap(program)
+    root = w.build_tree(program, heap, w.make_spec(pages=2))
+    return program, heap, root
+
+
+class TestConstruction:
+    def test_columns_cover_every_field_name(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        assert sorted(pool.columns) == column_names(program)
+        for column in pool.columns.values():
+            assert len(column) == len(pool)
+
+    def test_rows_cover_every_node(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        assert len(pool) == root.count_nodes(program)
+        assert pool.roots == [0]  # DFS preorder: root first
+
+    def test_tags_are_indices_into_sorted_type_table(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        assert pool.type_table == sorted(program.tree_types)
+        assert all(isinstance(tag, int) for tag in pool.tags)
+        assert pool.type_name(0) == root.type_name
+        assert pool.type_id(root.type_name) == pool.tags[0]
+
+    def test_from_forest_keeps_trees_apart(self, render):
+        program, heap, root = render
+        w = render_workload()
+        other = w.build_tree(program, heap, w.make_spec(pages=1))
+        pool = ForestPool.from_forest(program, [root, other])
+        assert len(pool.roots) == 2
+        assert pool.snapshot(pool.roots[0]) == root.snapshot(program)
+        assert pool.snapshot(pool.roots[1]) == other.snapshot(program)
+
+    def test_new_rejects_unknown_and_abstract_types(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        with pytest.raises(RuntimeFailure):
+            pool.new("NoSuchType")
+        abstract = [
+            name
+            for name, t in program.tree_types.items()
+            if t.abstract
+        ]
+        if abstract:
+            with pytest.raises(RuntimeFailure):
+                pool.new(abstract[0])
+
+    def test_new_appends_default_row(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        before = len(pool)
+        index = pool.new(root.type_name)
+        assert index == before
+        assert len(pool) == before + 1
+        assert pool.nodes[index] is None
+        assert pool.type_name(index) == root.type_name
+
+
+class TestRoundTrips:
+    def test_snapshot_matches_node_snapshot(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        assert pool.snapshot(pool.roots[0]) == root.snapshot(program)
+
+    def test_to_tree_rebuilds_equal_tree(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        heap = Heap(program)
+        rebuilt = pool.to_tree(heap, pool.roots[0])
+        assert rebuilt is not root
+        assert rebuilt.snapshot(program) == root.snapshot(program)
+
+    def test_write_back_restores_original_nodes(self, render):
+        program, heap, _ = render
+        w = render_workload()
+        scratch = Heap(program)
+        root = w.build_tree(program, scratch, w.make_spec(pages=1))
+        reference = root.snapshot(program)
+        pool = ForestPool.from_tree(program, root)
+        nodes = pool.write_back(scratch)
+        assert nodes[pool.roots[0]] is root
+        assert root.snapshot(program) == reference
+
+    def test_write_back_materializes_pool_allocated_rows(self, render):
+        program, _, _ = render
+        w = render_workload()
+        heap = Heap(program)
+        root = w.build_tree(program, heap, w.make_spec(pages=1))
+        pool = ForestPool.from_tree(program, root)
+        index = pool.new(root.type_name)
+        before = heap.footprint_bytes
+        nodes = pool.write_back(heap)
+        assert isinstance(nodes[index], Node)
+        assert heap.footprint_bytes > before
+
+
+class TestValueSemantics:
+    def test_clone_shares_no_mutable_state(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        reference = pool.snapshot(pool.roots[0])
+        twin = pool.clone()
+        assert twin.snapshot(twin.roots[0]) == reference
+        # mutate every kind of column slot in the clone
+        for name, column in twin.columns.items():
+            for i, value in enumerate(column):
+                if isinstance(value, ObjectValue):
+                    value.members = {
+                        k: "mutated" for k in value.members
+                    }
+                elif isinstance(value, (int, float)):
+                    column[i] = value + 1
+        twin.tags[0] = (twin.tags[0] + 1) % len(twin.type_table)
+        assert pool.snapshot(pool.roots[0]) == reference
+
+    def test_clone_drops_backing_nodes(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        twin = pool.clone()
+        assert twin.nodes == [None] * len(pool)
+
+    def test_pickle_round_trip_is_a_value(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root)
+        restored = pickle.loads(pickle.dumps(pool))
+        assert restored.nodes == [None] * len(pool)
+        assert restored.snapshot(restored.roots[0]) == pool.snapshot(
+            pool.roots[0]
+        )
+
+
+class TestAccessors:
+    def test_make_indexer_and_writer(self, render):
+        program, _, root = render
+        pool = ForestPool.from_tree(program, root).clone()
+        name = column_names(program)[0]
+        read = pool.make_indexer(name)
+        write = pool.make_writer(name)
+        original = read(0)
+        write(0, "sentinel")
+        assert read(0) == "sentinel"
+        assert pool.columns[name][0] == "sentinel"
+        write(0, original)
+
+    def test_deep_chain_round_trips_iteratively(self):
+        # pools must survive trees deeper than the recursion limit too
+        program = render_workload().source
+        heap = Heap(program)
+        type_name, child = _chain_field(program)
+        root = Node.new(program, heap, type_name)
+        tip = root
+        for _ in range(2500 - 1):
+            nxt = Node.new(program, heap, type_name)
+            tip.set(child, nxt)
+            tip = nxt
+        pool = ForestPool.from_tree(program, root)
+        assert len(pool) == 2500
+        reference = root.snapshot(program)
+        _assert_deep_equal(pool.snapshot(pool.roots[0]), reference, child)
+        rebuilt = pool.to_tree(Heap(program), pool.roots[0])
+        _assert_deep_equal(rebuilt.snapshot(program), reference, child)
+
+
+def _assert_deep_equal(left, right, child):
+    # `==` on a 2500-deep nested dict itself hits the recursion limit,
+    # so walk the chain with an explicit stack like the code under test
+    depth = 0
+    while left is not None or right is not None:
+        assert left is not None and right is not None, depth
+        left_flat = {k: v for k, v in left.items() if k != child}
+        right_flat = {k: v for k, v in right.items() if k != child}
+        assert left_flat == right_flat, depth
+        left, right = left[child], right[child]
+        depth += 1
+    assert depth == 2500
+
+
+def _chain_field(program):
+    for type_name in sorted(program.tree_types):
+        if program.tree_types[type_name].abstract:
+            continue
+        for name, field in program.fields_of(type_name).items():
+            if field.is_child and type_name in program.concrete_subtypes(
+                field.type_name
+            ):
+                return type_name, name
+    raise AssertionError("schema has no self-chaining type")

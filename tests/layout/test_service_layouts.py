@@ -1,0 +1,37 @@
+"""Service-level layout plumbing: per-request layout selection, the
+service-wide default, and the /stats ``layouts`` counters."""
+
+from repro.service.api import TraversalService
+
+
+def _submit_and_wait(service, **kwargs):
+    request_id = service.submit_workload(
+        "render", trees=2, size=1, **kwargs
+    )
+    result = service.result(request_id, timeout=60)
+    assert result.ok, result.error
+    return [t.summary for t in result.trees]
+
+
+class TestLayoutCounters:
+    def test_counts_follow_explicit_request_layouts(self):
+        with TraversalService(workers=1, backend="inline") as service:
+            object_summaries = _submit_and_wait(service)
+            pooled_summaries = _submit_and_wait(service, layout="pooled")
+            assert pooled_summaries == object_summaries
+            assert service.stats()["layouts"] == {
+                "object": 1,
+                "pooled": 1,
+            }
+
+    def test_service_default_fills_unspecified_requests(self):
+        with TraversalService(workers=1, backend="inline") as baseline:
+            expected = _submit_and_wait(baseline)
+        with TraversalService(
+            workers=1, backend="inline", layout="pooled"
+        ) as service:
+            # no layout in the request: the service default applies —
+            # and the pooled run still produces object-identical results
+            assert _submit_and_wait(service) == expected
+            _submit_and_wait(service, layout="pooled")
+            assert service.stats()["layouts"] == {"pooled": 2}

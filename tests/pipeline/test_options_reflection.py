@@ -32,6 +32,8 @@ def _variant(name: str, value):
         return value + ("/definitely/not/the/default",)
     if name == "mode":
         return "treefuser" if value != "treefuser" else "grafter"
+    if name == "layout":
+        return "pooled" if value != "pooled" else "object"
     if isinstance(value, str) or value is None:
         return "/definitely/not/the/default"
     raise AssertionError(
@@ -75,6 +77,22 @@ class TestEveryFieldParticipates:
             )
             changed = dataclasses.replace(base, limits=bumped)
             assert changed.options_hash() != base.options_hash(), limit.name
+
+
+class TestLayoutSeparation:
+    """``layout`` must split every key space: the session/in-memory key
+    (``options_hash``) *and* the on-disk store's key (``output_hash``) —
+    pooled modules are different code, not a different view of the same
+    artifact."""
+
+    def test_layout_changes_both_hashes(self):
+        base = CompileOptions()
+        pooled = dataclasses.replace(base, layout="pooled")
+        assert pooled.options_hash() != base.options_hash()
+        assert pooled.output_hash() != base.output_hash()
+
+    def test_layout_is_an_output_field(self):
+        assert "layout" not in CompileOptions.NON_OUTPUT_FIELDS
 
 
 class TestCanonicalStability:
