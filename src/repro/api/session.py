@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence, Union
 
+from repro import obs
 from repro.api.workload import Workload
 from repro.pipeline import CompileOptions, CompileResult
 from repro.pipeline import compile as pipeline_compile
@@ -167,13 +168,25 @@ class Session:
                 source=workload,
                 build_tree=_no_build_tree,
             )
-        result = pipeline_compile(
-            workload,
-            options=effective,
-            cache=self._memory,
-            incremental=incremental,
-            reuse_result=reuse_result,
-        )
+        # the trace root for an API-driven compile (mirrors the
+        # service's /submit root); CompileOptions(trace=True) forces
+        # recording even with the process tracer off
+        with obs.span(
+            "session.compile",
+            force=bool(effective.trace),
+            workload=workload.name,
+        ) as span:
+            result = pipeline_compile(
+                workload,
+                options=effective,
+                cache=self._memory,
+                incremental=incremental,
+                reuse_result=reuse_result,
+            )
+            span.set(
+                cache_hit=result.cache_hit,
+                source_hash=result.source_hash[:12],
+            )
         return CompiledWorkload(
             session=self, workload=workload, result=result
         )
@@ -258,7 +271,16 @@ class Session:
             collect=collect,
             **spec_kwargs,
         )
-        result = self.executor.run([request])[0]
+        effective = request.options
+        with obs.span(
+            "session.run",
+            force=bool(effective.trace),
+            workload=workload.name,
+            trees=len(request.trees),
+        ) as span:
+            if request.trace_context is None and span.recorded:
+                request.trace_context = span.context
+            result = self.executor.run([request])[0]
         if not result.ok:
             raise RuntimeError(
                 f"workload {workload.name!r} failed: {result.error}"

@@ -227,13 +227,18 @@ def run_forest(
             workers=workers, backend=backend, cache_dir=cache_dir
         )
     try:
+        from repro import obs
+
         start = time.perf_counter()
-        if sequential:
-            results = [
-                executor.run([request([spec])])[0] for spec in trees
-            ]
-        else:
-            results = executor.run([request(trees)])
+        with obs.span(
+            "bench.run_forest", label=label, backend=backend
+        ):
+            if sequential:
+                results = [
+                    executor.run([request([spec])])[0] for spec in trees
+                ]
+            else:
+                results = executor.run([request(trees)])
         wall = time.perf_counter() - start
         failed = [r for r in results if not r.ok]
         if failed:

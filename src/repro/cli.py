@@ -12,6 +12,10 @@ Usage (also via ``python -m repro``)::
                                                 # full staged pipeline
     python -m repro exec  --workload render --trees 64 --workers 2
                                                 # one-shot batch execution
+    python -m repro trace render --trees 4      # traced compile+exec:
+                                                # span flame summary
+                                                # (--out writes Chrome
+                                                # trace JSON)
     python -m repro serve --port 8177 --cache-dir ./artifacts
                                                 # HTTP traversal service
     python -m repro store gc --cache-dir ./artifacts --pass fusion
@@ -33,9 +37,10 @@ calls them.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import __version__
+from repro import __version__, obs
 from repro.analysis.call_automata import AnalysisContext
 from repro.analysis.dependence import build_dependence_graph
 from repro.errors import ReproError
@@ -187,6 +192,36 @@ def cmd_compile(args) -> int:
         raise ReproError("--emit-python requires emission; drop --no-emit")
     result = _compile(args, emit=not args.no_emit)
     stats = result.fused.stats()
+    if args.emit_python:
+        with open(args.emit_python, "w") as handle:
+            handle.write(result.fused_source or "")
+    if args.json:
+        doc = {
+            "file": args.display_name,
+            "cache_hit": result.cache_hit,
+            "source_hash": result.source_hash,
+            "fused_units": stats["units"],
+            "max_width": stats["max_width"],
+            "fused_call_sites": stats["group_calls"],
+        }
+        if not args.no_emit and result.fused_source is not None:
+            doc["generated_lines"] = {
+                "unfused": len(result.unfused_source.splitlines()),
+                "fused": len(result.fused_source.splitlines()),
+            }
+        if args.timings:
+            doc["timings"] = [
+                {
+                    "pass": t.name,
+                    "seconds": t.seconds,
+                    "detail": t.detail,
+                }
+                for t in result.timings
+            ]
+        if args.explain:
+            doc["unit_summary"] = result.unit_summary()
+        print(json.dumps(doc, indent=2))
+        return 0
     status = "cache hit" if result.cache_hit else "cold"
     print(f"{args.display_name}: compiled ({status})")
     print(f"  fused units: {stats['units']}, "
@@ -199,8 +234,6 @@ def cmd_compile(args) -> int:
               f"{len(result.unfused_source.splitlines())} lines unfused, "
               f"{len(result.fused_source.splitlines())} lines fused")
     if args.emit_python:
-        with open(args.emit_python, "w") as handle:
-            handle.write(result.fused_source or "")
         print(f"  fused module written to {args.emit_python}")
     if args.timings:
         print(result.timings_report())
@@ -230,39 +263,76 @@ def cmd_exec(args) -> int:
         )
     size = args.size if args.size is not None else args.pages
     layout = getattr(args, "layout", None)
+    tracing = bool(getattr(args, "trace_out", None))
+    if tracing:
+        obs.enable()
+    trace_id = None
     with TraversalService(
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
         peers=tuple(args.peer or ()),
     ) as service:
-        if args.sequential:
-            # one request per tree, executed one wave at a time — the
-            # single-tree baseline the batched mode is measured against
-            results = [
-                service.executor.run(
+        # one root span for the whole invocation: executor.run is
+        # synchronous on this thread, so every wave/group/shard span
+        # nests under it (shards via the serialized context)
+        with obs.span(
+            "cli.exec", force=tracing, workload=args.workload
+        ) as root:
+            trace_id = root.trace_id
+            if args.sequential:
+                # one request per tree, executed one wave at a time —
+                # the single-tree baseline the batched mode is
+                # measured against
+                results = [
+                    service.executor.run(
+                        [
+                            spec.make_request(
+                                trees=1, size=size, layout=layout
+                            )
+                        ]
+                    )[0]
+                    for _ in range(args.trees)
+                ]
+            else:
+                results = service.executor.run(
                     [
                         spec.make_request(
-                            trees=1, size=size, layout=layout
+                            trees=args.trees, size=size, layout=layout
                         )
                     ]
-                )[0]
-                for _ in range(args.trees)
-            ]
-        else:
-            results = service.executor.run(
-                [
-                    spec.make_request(
-                        trees=args.trees, size=size, layout=layout
-                    )
-                ]
-            )
+                )
         failed = [r for r in results if not r.ok]
         if failed:
             raise ReproError(failed[0].error or "execution failed")
         stats = service.executor.stats()
         trees = sum(len(r.trees) for r in results)
+        if tracing:
+            spans = obs.get_tracer().spans(trace_id)
+            obs.write_chrome_trace(spans, args.trace_out)
         mode = "sequential" if args.sequential else "batched"
+        if getattr(args, "json", False):
+            doc = {
+                "workload": args.workload,
+                "trees": trees,
+                "mode": mode,
+                "backend": args.backend,
+                "workers": args.workers,
+                "layout": layout,
+                "tree_latency": stats["tree_latency"],
+                "shard_latency": stats["shard_latency"],
+                "batches": stats["batches"],
+                "waves": stats["waves"],
+                "completed_requests": stats["completed_requests"],
+                "failed_requests": stats["failed_requests"],
+            }
+            if args.cache_dir:
+                doc["store"] = service.stats()["store"]
+            if tracing:
+                doc["trace_id"] = trace_id
+                doc["trace_out"] = args.trace_out
+            print(json.dumps(doc, indent=2))
+            return 0
         layout_note = f", {layout} layout" if layout else ""
         print(f"{args.workload}: {trees} trees executed ({mode}, "
               f"{args.workers} workers, {args.backend} backend"
@@ -276,6 +346,56 @@ def cmd_exec(args) -> int:
             store = service.stats()["store"]
             print(f"  store: {store['entries']} entries, "
                   f"{store['loads']} loads, {store['spills']} spills")
+        if tracing:
+            print(f"  chrome trace ({trace_id}) written to "
+                  f"{args.trace_out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace one workload end to end (compile + batched execution) and
+    print the indented flame summary of every recorded span."""
+    from repro.service.api import WORKLOADS, TraversalService
+
+    if args.workload not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; "
+            f"have {', '.join(sorted(WORKLOADS))}"
+        )
+    spec = WORKLOADS[args.workload]
+    obs.enable()
+    with TraversalService(
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+    ) as service:
+        with obs.span(
+            "cli.trace", force=True, workload=args.workload
+        ) as root:
+            trace_id = root.trace_id
+            results = service.executor.run(
+                [
+                    spec.make_request(
+                        trees=args.trees,
+                        size=args.size,
+                        layout=args.layout,
+                    )
+                ]
+            )
+        failed = [r for r in results if not r.ok]
+        if failed:
+            raise ReproError(failed[0].error or "execution failed")
+    spans = obs.get_tracer().spans(trace_id)
+    print(f"trace {trace_id}: {len(spans)} spans ({args.workload}, "
+          f"{args.trees} trees, {args.backend} backend)")
+    print(obs.render_tree(spans))
+    if args.out:
+        obs.write_chrome_trace(spans, args.out)
+        print(f"chrome trace written to {args.out} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        obs.write_jsonl(spans, args.jsonl)
+        print(f"span records written to {args.jsonl}")
     return 0
 
 
@@ -321,6 +441,10 @@ def cmd_serve(args) -> int:
     """Run the HTTP traversal service until /shutdown or Ctrl-C."""
     from repro.service.api import TraversalService, make_server
 
+    if getattr(args, "trace", False):
+        # every sampled /submit then mints a trace (its id comes back
+        # in the submit response; spans serve at GET /trace/<id>)
+        obs.enable(sample=args.trace_sample)
     service = TraversalService(
         workers=args.workers,
         backend=args.backend,
@@ -383,6 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print the per-pass wall-time and IR-size report",
+    )
+    compile_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one JSON document with the "
+             "compile summary (plus timings under --timings and the "
+             "unit-reuse summary under --explain)",
     )
     compile_cmd.add_argument(
         "--explain",
@@ -519,8 +650,65 @@ def build_parser() -> argparse.ArgumentParser:
              "warm object store never silently serves a pooled run (or "
              "vice versa)",
     )
+    exec_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one JSON document with the "
+             "execution and latency summary",
+    )
+    exec_cmd.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="trace the run and write a Chrome trace_event JSON file "
+             "to PATH (load in chrome://tracing or ui.perfetto.dev)",
+    )
     add_service_args(exec_cmd, workers_default=2)
     exec_cmd.set_defaults(handler=cmd_exec)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="trace one workload (compile + execution) and print the "
+             "span flame summary",
+    )
+    trace_cmd.add_argument(
+        "workload",
+        help="registered workload name (render, astlang, kdtree, fmm)",
+    )
+    trace_cmd.add_argument(
+        "--trees", type=int, default=4,
+        help="forest size (default 4)",
+    )
+    trace_cmd.add_argument(
+        "--size", type=int, default=None,
+        help="per-tree size knob (same meaning as exec --size)",
+    )
+    trace_cmd.add_argument(
+        "--layout", choices=["object", "pooled"], default=None,
+        help="tree layout to execute against",
+    )
+    trace_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker pool size (default 1 — serial traces read best)",
+    )
+    trace_cmd.add_argument(
+        "--backend", choices=["thread", "process", "inline"],
+        default="inline",
+        help="worker pool backend (default inline; process "
+             "demonstrates cross-pool span propagation)",
+    )
+    trace_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent artifact store directory (adds storage-tier "
+             "spans for the disk store)",
+    )
+    trace_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write Chrome trace_event JSON to PATH",
+    )
+    trace_cmd.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also write raw span records to PATH, one JSON per line",
+    )
+    trace_cmd.set_defaults(handler=cmd_trace)
 
     serve_cmd = sub.add_parser(
         "serve",
@@ -539,6 +727,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="default tree layout for submitted requests (a request's "
              "explicit layout field wins); pooled artifacts "
              "content-address separately — no cache cross-hits",
+    )
+    serve_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing: /submit responses carry a "
+             "trace_id and GET /trace/<id> serves the spans",
+    )
+    serve_cmd.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of submits to trace when --trace is on "
+             "(default 1.0)",
     )
     add_service_args(serve_cmd, workers_default=2)
     serve_cmd.set_defaults(handler=cmd_serve)

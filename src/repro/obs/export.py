@@ -1,0 +1,124 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, JSONL, and the CLI's
+indented flame summary.
+
+All exporters consume the plain finished-span dicts the tracer buffers
+(:meth:`repro.obs.trace.Span.export`), so anything that can hand over a
+list of spans — the process ring buffer, a ``/trace/<id>`` response
+body, a JSONL file read back — can be exported again.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (complete ``"ph": "X"`` events, microsecond
+  timestamps): load the file at ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the request as a flame chart, one
+  track per pid/tid — process-pool shards land on their own track.
+* :func:`write_jsonl` / :func:`read_jsonl` — one span dict per line,
+  the archival/streaming form.
+* :func:`span_tree` / :func:`render_tree` — parent/child reassembly
+  and the indented per-span ms summary ``repro trace`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+
+def to_chrome_trace(spans: Iterable[dict]) -> dict:
+    """Spans as a Chrome ``trace_event`` document (see module doc)."""
+    events = []
+    for record in spans:
+        args = {
+            "trace_id": record["trace_id"],
+            "span_id": record["span_id"],
+            "parent_id": record["parent_id"],
+        }
+        args.update(record.get("attrs") or {})
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": record["start"] * 1e6,
+                "dur": max(record["duration"], 0.0) * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("tid", 0),
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[dict], path: str) -> None:
+    """Write the Chrome trace JSON for ``chrome://tracing``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(spans), handle)
+
+
+def write_jsonl(spans: Iterable[dict], path: str) -> None:
+    """One span dict per line."""
+    with open(path, "w") as handle:
+        for record in spans:
+            handle.write(json.dumps(record))
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load spans written by :func:`write_jsonl`."""
+    out = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def span_tree(spans: Iterable[dict]) -> list[dict]:
+    """Reassemble parent/child structure: a list of root nodes, each
+    ``{"span": record, "children": [nodes sorted by start]}``. A span
+    whose parent is absent (e.g. the buffer evicted it, or only one
+    trace's spans were passed) becomes a root."""
+    records = list(spans)
+    by_id = {r["span_id"]: {"span": r, "children": []} for r in records}
+    roots = []
+    for record in records:
+        node = by_id[record["span_id"]]
+        parent = record.get("parent_id")
+        if parent is not None and parent in by_id:
+            by_id[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    for node in by_id.values():
+        node["children"].sort(key=lambda n: n["span"]["start"])
+    roots.sort(key=lambda n: n["span"]["start"])
+    return roots
+
+
+def render_tree(spans: Iterable[dict], max_attrs: int = 4) -> str:
+    """The indented flame summary ``repro trace`` prints: one line per
+    span, depth-indented, with duration in ms and the first few
+    attributes inline."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        record = node["span"]
+        attrs = record.get("attrs") or {}
+        shown = ", ".join(
+            f"{key}={value}"
+            for key, value in list(attrs.items())[:max_attrs]
+        )
+        if len(attrs) > max_attrs:
+            shown += ", ..."
+        indent = "  " * depth
+        label = f"{indent}{record['name']}"
+        lines.append(
+            f"{label:<44} {record['duration'] * 1e3:>9.2f} ms"
+            + (f"    {shown}" if shown else "")
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        walk(root, 0)
+    return "\n".join(lines)

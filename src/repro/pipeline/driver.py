@@ -17,6 +17,7 @@ import time
 from dataclasses import replace
 from typing import Optional, Union
 
+from repro import obs
 from repro._compat import warn_legacy
 from repro.ir.program import Program
 from repro.pipeline.cache import GLOBAL_CACHE
@@ -112,73 +113,90 @@ def compile(
     from repro.layout import layout_for
 
     layout_for(options.layout)
-    start = time.perf_counter()
-    if isinstance(source, Program):
-        program: Optional[Program] = source
-        source_text = None
-        source_hash = hash_program(source)
-        name = source.name
-    else:
-        program = None
-        source_text = source
-        source_hash = hash_source(source, pure_impls)
-    key = ResultKey.of(source_hash, options)
+    # one span per compile: the trace root when this is the outermost
+    # recorded operation (a bare pipeline.compile() call), otherwise a
+    # child of session.compile / exec.group. options.trace=True forces
+    # recording for this compile even with the process tracer off.
+    with obs.span(
+        "pipeline.compile",
+        force=bool(options.trace),
+        workload=name,
+        layout=options.layout,
+    ) as span:
+        start = time.perf_counter()
+        if isinstance(source, Program):
+            program: Optional[Program] = source
+            source_text = None
+            source_hash = hash_program(source)
+            name = source.name
+        else:
+            program = None
+            source_text = source
+            source_hash = hash_source(source, pure_impls)
+        key = ResultKey.of(source_hash, options)
+        span.set(source_hash=source_hash[:12])
 
-    store = _tiers_for(cache, options)
-    if store is not None and reuse_result:
-        hit = store.get_result(key)
-        if hit is None and not options.emit:
-            # an emit=True result for the same source strictly contains
-            # the emit=False one — serve it rather than re-fusing
-            emitting = replace(options, emit=True)
-            hit = store.get_result(ResultKey.of(source_hash, emitting))
-        if hit is not None:
-            lookup = PassTiming(
-                name="cache-lookup",
-                seconds=time.perf_counter() - start,
-                detail={"hit": 1},
-            )
-            return replace(
-                hit,
-                cache_hit=True,
-                timings=[lookup],
-                cold_timings=hit.timings,
-            )
+        store = _tiers_for(cache, options)
+        if store is not None and reuse_result:
+            hit = store.get_result(key)
+            if hit is None and not options.emit:
+                # an emit=True result for the same source strictly
+                # contains the emit=False one — serve it over re-fusing
+                emitting = replace(options, emit=True)
+                hit = store.get_result(
+                    ResultKey.of(source_hash, emitting)
+                )
+            if hit is not None:
+                span.set(cache_hit=True)
+                lookup = PassTiming(
+                    name="cache-lookup",
+                    seconds=time.perf_counter() - start,
+                    detail={"hit": 1},
+                )
+                return replace(
+                    hit,
+                    cache_hit=True,
+                    timings=[lookup],
+                    cold_timings=hit.timings,
+                )
 
-    units = None
-    if incremental and store is not None:
-        from repro.pipeline.units import UnitArtifacts
+        units = None
+        if incremental and store is not None:
+            from repro.pipeline.units import UnitArtifacts
 
-        units = UnitArtifacts(tiers=store)
-    pctx = PassContext(
-        options,
-        source_text=source_text,
-        program=program,
-        name=name,
-        pure_impls=pure_impls,
-        source_hash=source_hash,
-        cache=cache if (cache is not None and options.use_cache) else None,
-        units=units,
-    )
-    manager = PassManager(default_passes())
-    timings = manager.run(pctx)
-    result = CompileResult(
-        source_hash=source_hash,
-        options_hash=options.options_hash(),
-        options=options,
-        program=pctx.program,
-        fused=pctx.fused,
-        timings=timings,
-        cache_hit=False,
-        unfused_source=pctx.unfused_source,
-        fused_source=pctx.fused_source,
-        compiled_unfused=pctx.compiled_unfused,
-        compiled_fused=pctx.compiled_fused,
-        lowered=pctx.lowered,
-    )
-    if store is not None:
-        store.put_result(key, result)
-    return result
+            units = UnitArtifacts(tiers=store)
+        pctx = PassContext(
+            options,
+            source_text=source_text,
+            program=program,
+            name=name,
+            pure_impls=pure_impls,
+            source_hash=source_hash,
+            cache=cache
+            if (cache is not None and options.use_cache)
+            else None,
+            units=units,
+        )
+        manager = PassManager(default_passes())
+        timings = manager.run(pctx)
+        span.set(cache_hit=False, passes=len(timings))
+        result = CompileResult(
+            source_hash=source_hash,
+            options_hash=options.options_hash(),
+            options=options,
+            program=pctx.program,
+            fused=pctx.fused,
+            timings=timings,
+            cache_hit=False,
+            unfused_source=pctx.unfused_source,
+            fused_source=pctx.fused_source,
+            compiled_unfused=pctx.compiled_unfused,
+            compiled_fused=pctx.compiled_fused,
+            lowered=pctx.lowered,
+        )
+        if store is not None:
+            store.put_result(key, result)
+        return result
 
 
 def _tiers_for(

@@ -34,7 +34,21 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional, Protocol, runtime_checkable
 
+from repro import obs
 from repro.pipeline.options import CompileOptions, PassTiming
+
+# one queryable namespace for what PassTiming.detail has always
+# recorded per compile: wall time per pass, unit reuse by outcome
+_PASS_SECONDS = obs.REGISTRY.histogram(
+    "repro_pass_seconds",
+    "wall time per pipeline pass",
+    labels=("pass_name",),
+)
+_PASS_UNITS = obs.REGISTRY.counter(
+    "repro_pass_units_total",
+    "compilation units per pass by cache outcome",
+    labels=("pass_name", "outcome"),
+)
 
 
 @dataclass
@@ -153,8 +167,26 @@ class PassManager:
         timings: list[PassTiming] = []
         for stage in self.passes:
             start = time.perf_counter()
-            detail = self._run_stage(stage, pctx)
-            elapsed = time.perf_counter() - start
+            with obs.span(f"pass.{stage.name}") as span:
+                detail = self._run_stage(stage, pctx)
+                elapsed = time.perf_counter() - start
+                span.set(
+                    **{
+                        key: value
+                        for key, value in detail.items()
+                        if isinstance(value, (int, float))
+                    }
+                )
+            _PASS_SECONDS.labels(pass_name=stage.name).observe(elapsed)
+            for outcome, key in (
+                ("hit", "unit_hits"),
+                ("miss", "unit_misses"),
+            ):
+                count = detail.get(key)
+                if count:
+                    _PASS_UNITS.labels(
+                        pass_name=stage.name, outcome=outcome
+                    ).inc(count)
             timings.append(
                 PassTiming(name=stage.name, seconds=elapsed, detail=detail)
             )
@@ -166,20 +198,28 @@ class PassManager:
         spill = getattr(stage, "persist_units", False)
         while worklist:
             unit = worklist.popleft()
-            artifact = None
-            if unit.key is not None and pctx.units is not None:
-                artifact = pctx.units.lookup(stage.name, unit.key)
-            if artifact is None:
-                artifact = stage.compute(pctx, unit)
-                if (
-                    unit.key is not None
-                    and pctx.units is not None
-                    and artifact is not None
-                ):
-                    pctx.units.publish(
-                        stage.name, unit.key, artifact, spill=spill
-                    )
-            stage.install(pctx, unit, artifact)
+            # one span per unit covering lookup + compute + install;
+            # `hit` records whether the unit layer served the artifact
+            with obs.span(
+                f"unit.{unit.kind}", label=unit.label
+            ) as span:
+                artifact = None
+                cached = False
+                if unit.key is not None and pctx.units is not None:
+                    artifact = pctx.units.lookup(stage.name, unit.key)
+                    cached = artifact is not None
+                if artifact is None:
+                    artifact = stage.compute(pctx, unit)
+                    if (
+                        unit.key is not None
+                        and pctx.units is not None
+                        and artifact is not None
+                    ):
+                        pctx.units.publish(
+                            stage.name, unit.key, artifact, spill=spill
+                        )
+                stage.install(pctx, unit, artifact)
+                span.set(hit=cached)
         detail = dict(stage.finish(pctx) or {})
         if pctx.units is not None:
             detail.update(pctx.units.counters(stage.name))

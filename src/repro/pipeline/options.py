@@ -137,6 +137,12 @@ class CompileOptions:
       object-graph artifacts content-address separately in every
       storage tier — switching layouts can never cross-hit a cached
       artifact.
+    * ``trace`` — span-recording knob for this compile: ``None``
+      (default) follows the process tracer (``repro.obs.enable()`` /
+      ``REPRO_TRACE``); ``True`` force-records this compile's spans
+      even with the tracer off. Pure observability — it never changes
+      what the pipeline produces, so like the storage knobs it stays
+      out of the on-disk/output key.
     * ``memory_budget`` / ``disk_budget`` — byte budgets for the tiers
       a compile under these options administers: ``memory_budget``
       resizes a *privately owned* memory tier (``Session`` builds one;
@@ -162,6 +168,7 @@ class CompileOptions:
     memory_budget: Optional[int] = None
     disk_budget: Optional[int] = None
     layout: str = "object"
+    trace: Optional[bool] = None
 
     @property
     def language_mode(self) -> LanguageMode:
@@ -185,6 +192,7 @@ class CompileOptions:
             "peers",
             "memory_budget",
             "disk_budget",
+            "trace",
         }
     )
 

@@ -10,7 +10,12 @@ reported by the benchmark harness are apples-to-apples.
 from repro.runtime.values import ObjectValue, default_value
 from repro.runtime.heap import Heap, TypeLayout
 from repro.runtime.node import Node
-from repro.runtime.stats import CostModel, ExecStats, LatencySeries
+from repro.runtime.stats import (
+    CostModel,
+    ExecStats,
+    LatencyHistogram,
+    LatencySeries,
+)
 from repro.runtime.interpreter import Interpreter
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "Node",
     "CostModel",
     "ExecStats",
+    "LatencyHistogram",
     "LatencySeries",
     "Interpreter",
 ]

@@ -96,9 +96,12 @@ class LatencySeries:
 
     The service's batch executor records one sample per executed tree
     (and per shard) and reports p50/p99 — the quantities a production
-    traffic dashboard watches. Percentiles use the nearest-rank method
-    on a sorted copy, which is exact for the sample counts involved
-    (no streaming sketch needed at this scale).
+    traffic dashboard watches. Percentiles interpolate linearly
+    between the two nearest order statistics (the numpy default), so
+    p50 of an even-count series is the midpoint of the middle pair and
+    summaries vary smoothly as samples arrive — the earlier
+    nearest-rank method jumped a whole sample at a time and pinned
+    every percentile of a two-sample series to its extremes.
     """
 
     samples: list[float] = field(default_factory=list)
@@ -110,12 +113,20 @@ class LatencySeries:
         self.samples.extend(other.samples)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]; 0.0 when empty."""
+        """Linearly interpolated percentile, ``p`` in [0, 100]; 0.0
+        when empty. ``p=0`` is the minimum, ``p=100`` the maximum, and
+        a single-sample series answers that sample for every ``p``."""
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
-        return ordered[min(len(ordered), int(rank)) - 1]
+        if len(ordered) == 1:
+            return ordered[0]
+        p = min(max(p, 0.0), 100.0)
+        rank = (len(ordered) - 1) * p / 100.0
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
     def summary(self) -> dict[str, float]:
         if not self.samples:
@@ -128,3 +139,8 @@ class LatencySeries:
             "p99": self.percentile(99),
             "max": max(self.samples),
         }
+
+
+#: Historical name for :class:`LatencySeries` (the original docs called
+#: the per-tree latency record a histogram; the summaries are the same).
+LatencyHistogram = LatencySeries

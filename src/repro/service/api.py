@@ -11,7 +11,15 @@ reproduction must not grow dependencies. Endpoints::
 
     GET  /healthz            -> {"ok": true}
     GET  /stats              -> executor + tier-labelled storage +
-                                legacy cache/store statistics
+                                legacy cache/store statistics, plus
+                                version / uptime_seconds /
+                                requests_total service identity
+    GET  /metrics            -> the obs registry in Prometheus text
+                                exposition format (text/plain)
+    GET  /trace/<trace_id>   -> every buffered span of one trace as
+                                JSON (404 when the id is unknown);
+                                /submit returns the trace_id when the
+                                request was traced
     POST /submit             -> {"request_id": N}; JSON body names a
                                 workload, e.g. {"workload": "render",
                                 "trees": 64, "pages": 4} or any
@@ -49,11 +57,13 @@ from __future__ import annotations
 import functools
 import json
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
+from repro import __version__, obs
 from repro.pipeline import GLOBAL_CACHE, CompileOptions
 from repro.pipeline import compile as pipeline_compile
 from repro.service.batching import ExecRequest
@@ -224,6 +234,33 @@ class TraversalService:
         # "layouts"); counted at submit time from the request the
         # executor will actually run, defaults applied
         self._layout_counts: dict[str, int] = {}
+        # service identity for /stats: when it started, how many
+        # submits it has ever accepted (monotonic — unlike the
+        # executor's completed/failed split, this counts acceptance)
+        self.started = time.time()
+        self._requests_total = 0
+        # request id -> trace id for traced submits, bounded like the
+        # ticket table so /trace stays answerable for recent work
+        self._trace_ids: "OrderedDict[int, str]" = OrderedDict()
+        # expose the legacy stats() dicts through the metrics registry
+        # as scrape-time views: /metrics carries the same numbers
+        # /stats always has, without double bookkeeping
+        obs.REGISTRY.register_view(
+            "repro_cache", GLOBAL_CACHE.stats
+        )
+        if self.store is not None:
+            obs.REGISTRY.register_view("repro_store", self.store.stats)
+        obs.REGISTRY.register_view(
+            "repro_service", self._identity_view
+        )
+
+    def _identity_view(self) -> dict:
+        with self._lock:
+            total = self._requests_total
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "requests_total": total,
+        }
 
     # -- submission -----------------------------------------------------
 
@@ -231,8 +268,25 @@ class TraversalService:
         effective_layout = request.options.layout
         if self.layout is not None and effective_layout == "object":
             effective_layout = self.layout
-        ticket = self.executor.submit(request)
+        # the trace root for this request (when tracing is on): the
+        # executor's group/shard spans reparent under it via the
+        # context stamped onto the request, even though execution
+        # happens later, on other threads/processes
+        with obs.span(
+            "service.submit",
+            request_id=request.request_id,
+            trees=len(request.trees),
+            layout=effective_layout,
+        ) as span:
+            if request.trace_context is None and span.recorded:
+                request.trace_context = span.context
+            ticket = self.executor.submit(request)
         with self._lock:
+            self._requests_total += 1
+            if span.recorded:
+                self._trace_ids[request.request_id] = span.trace_id
+                while len(self._trace_ids) > self.max_tickets:
+                    self._trace_ids.popitem(last=False)
             self._layout_counts[effective_layout] = (
                 self._layout_counts.get(effective_layout, 0) + 1
             )
@@ -279,8 +333,13 @@ class TraversalService:
             ticket = self._tickets.get(request_id)
         if ticket is None:
             return {"request_id": request_id, "state": "unknown"}
+        trace_id = self.trace_id_for(request_id)
         if not ticket.done():
-            return {"request_id": request_id, "state": "pending"}
+            return {
+                "request_id": request_id,
+                "state": "pending",
+                "trace_id": trace_id,
+            }
         try:
             result = ticket.result(0)
         except Exception as error:
@@ -288,6 +347,7 @@ class TraversalService:
                 "request_id": request_id,
                 "state": "failed",
                 "error": str(error),
+                "trace_id": trace_id,
             }
         return {
             "request_id": request_id,
@@ -296,7 +356,27 @@ class TraversalService:
             "trees": len(result.trees),
             "wall_seconds": result.wall_seconds,
             "summaries": [t.summary for t in result.trees[:3]],
+            "trace_id": trace_id,
         }
+
+    # -- observability --------------------------------------------------
+
+    def trace_id_for(self, request_id: int) -> Optional[str]:
+        """The trace id minted for one submit, or ``None`` when the
+        request wasn't traced (tracing off, root not sampled, or the
+        id has aged out of the bounded table)."""
+        with self._lock:
+            return self._trace_ids.get(request_id)
+
+    def trace_spans(self, trace_id: str) -> list[dict]:
+        """Every buffered span of one trace (oldest first) — the
+        ``GET /trace/<id>`` body."""
+        return obs.get_tracer().spans(trace_id)
+
+    def metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format —
+        the ``GET /metrics`` body."""
+        return obs.REGISTRY.render_prometheus()
 
     # -- stats ----------------------------------------------------------
 
@@ -326,7 +406,11 @@ class TraversalService:
             ) or self.store.stats()
         with self._lock:
             layouts = dict(sorted(self._layout_counts.items()))
+            requests_total = self._requests_total
         return {
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started,
+            "requests_total": requests_total,
             "executor": self.executor.stats(),
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
@@ -456,6 +540,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(blob)
 
+    def _reply_text(self, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def log_message(self, *args) -> None:  # quiet by default
         pass
 
@@ -466,6 +558,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, {"ok": True})
         elif self.path == "/stats":
             self._reply(200, self.service.stats())
+        elif self.path == "/metrics":
+            self._reply_text(
+                self.service.metrics_text(),
+                "text/plain; version=0.0.4",
+            )
+        elif self.path.startswith("/trace/"):
+            trace_id = self.path.rsplit("/", 1)[1]
+            spans = self.service.trace_spans(trace_id)
+            if not spans:
+                self._reply(404, {"error": f"no trace {trace_id!r}"})
+                return
+            self._reply(
+                200, {"trace_id": trace_id, "spans": spans}
+            )
         elif self.path.startswith("/result/"):
             try:
                 request_id = int(self.path.rsplit("/", 1)[1])
@@ -540,7 +646,13 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:
             self._reply(400, {"error": str(error)})
             return
-        self._reply(200, {"request_id": request_id})
+        self._reply(
+            200,
+            {
+                "request_id": request_id,
+                "trace_id": self.service.trace_id_for(request_id),
+            },
+        )
 
     def _json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)

@@ -74,6 +74,10 @@ class ExecRequest:
     collect: Optional[Callable] = None
     workload: Optional["Workload"] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    # the submitting span's (trace_id, span_id) — picklable, so the
+    # executor can reparent worker-side spans under the request's trace
+    # even across the process pool. None = no active trace at submit.
+    trace_context: Optional[tuple] = None
 
     def __post_init__(self):
         if self.workload is not None:

@@ -44,6 +44,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro import obs
 from repro._compat import suppress_legacy_warnings
 from repro.pipeline import compile as pipeline_compile
 from repro.runtime import Heap
@@ -60,41 +61,89 @@ from repro.service.batching import (
 
 _BACKENDS = ("thread", "process", "inline")
 
+# the registry face of stats(): totals survive executor turnover and
+# are scrapeable (/metrics) without walking BatchMetrics records
+_EXEC_REQUESTS = obs.REGISTRY.counter(
+    "repro_exec_requests_total",
+    "executor requests by final status",
+    labels=("status",),
+)
+_EXEC_TREES = obs.REGISTRY.counter(
+    "repro_exec_trees_total", "trees executed to completion"
+)
+_EXEC_WAVES = obs.REGISTRY.counter(
+    "repro_exec_waves_total", "coalesced dispatch waves executed"
+)
+_TREE_SECONDS = obs.REGISTRY.histogram(
+    "repro_exec_tree_seconds", "per-tree traversal wall time"
+)
 
-def _execute_shard(request: ExecRequest, indexes: list[int]) -> list[TreeResult]:
+
+@dataclass
+class ShardRun:
+    """One shard's outcome: its tree results plus any spans the worker
+    recorded (shipped back across the pool boundary so the submitting
+    request's trace stays whole — see :func:`repro.obs.collect_spans`)."""
+
+    trees: list[TreeResult]
+    spans: Optional[list] = None
+
+
+def _execute_shard(
+    request: ExecRequest,
+    indexes: list[int],
+    trace_ctx: Optional[tuple] = None,
+) -> ShardRun:
     """Run one shard: compile (warm in every interesting case — see the
     pre-resolve in ``BatchExecutor._run_group``) then build and traverse
-    each tree. Module-level so the process backend can pickle it."""
-    with suppress_legacy_warnings():
-        result = pipeline_compile(
-            request.source,
-            options=request.options,
-            pure_impls=request.pure_impls,
-        )
-    program = result.program
-    compiled = (
-        result.compiled_fused if request.fused else result.compiled_unfused
-    )
-    collect = request.collect or default_collect
-    out: list[TreeResult] = []
-    for index in indexes:
-        start = time.perf_counter()
-        heap = Heap(program)
-        root = request.build_tree(program, heap, request.trees[index])
-        if request.fused:
-            compiled.run_fused(heap, root, request.globals_map)
-        else:
-            compiled.run_entry(heap, root, request.globals_map)
-        summary = collect(program, heap, root)
-        out.append(
-            TreeResult(
-                request_id=request.request_id,
-                index=index,
-                summary=summary,
-                seconds=time.perf_counter() - start,
+    each tree. Module-level so the process backend can pickle it.
+
+    ``trace_ctx`` is the dispatching group span's serialized context;
+    when set, the shard records a reparented ``exec.shard`` span (and
+    any child spans the warm compile emits) into a local bucket that
+    rides home in the :class:`ShardRun` — a fresh worker process has
+    its own tracer, so spans must travel with the result."""
+    with obs.collect_spans(trace_ctx is not None) as bucket:
+        with obs.span_from(
+            trace_ctx,
+            "exec.shard",
+            request_id=request.request_id,
+            trees=len(indexes),
+        ):
+            with suppress_legacy_warnings():
+                result = pipeline_compile(
+                    request.source,
+                    options=request.options,
+                    pure_impls=request.pure_impls,
+                )
+            program = result.program
+            compiled = (
+                result.compiled_fused
+                if request.fused
+                else result.compiled_unfused
             )
-        )
-    return out
+            collect = request.collect or default_collect
+            out: list[TreeResult] = []
+            for index in indexes:
+                start = time.perf_counter()
+                heap = Heap(program)
+                root = request.build_tree(
+                    program, heap, request.trees[index]
+                )
+                if request.fused:
+                    compiled.run_fused(heap, root, request.globals_map)
+                else:
+                    compiled.run_entry(heap, root, request.globals_map)
+                summary = collect(program, heap, root)
+                out.append(
+                    TreeResult(
+                        request_id=request.request_id,
+                        index=index,
+                        summary=summary,
+                        seconds=time.perf_counter() - start,
+                    )
+                )
+    return ShardRun(trees=out, spans=bucket)
 
 
 @dataclass
@@ -217,13 +266,17 @@ class BatchExecutor:
         requests = [self._effective(r) for r in requests]
         with self._metrics_lock:
             self.waves += 1
+        _EXEC_WAVES.inc()
         by_id: dict[int, RequestResult] = {
             r.request_id: RequestResult(request_id=r.request_id)
             for r in requests
         }
         queue_depth = self._pending.qsize()
-        for group in group_requests(requests):
-            self._run_group(group, by_id, queue_depth)
+        with obs.span(
+            "exec.wave", requests=len(requests), backend=self.backend
+        ):
+            for group in group_requests(requests):
+                self._run_group(group, by_id, queue_depth)
         ordered = [by_id[r.request_id] for r in requests]
         with self._metrics_lock:
             for result in ordered:
@@ -232,6 +285,11 @@ class BatchExecutor:
                     self.completed_trees += len(result.trees)
                 else:
                     self.failed_requests += 1
+        for result in ordered:
+            status = "ok" if result.ok else "error"
+            _EXEC_REQUESTS.labels(status=status).inc()
+            if result.ok:
+                _EXEC_TREES.inc(len(result.trees))
         return ordered
 
     def _run_group(
@@ -251,69 +309,95 @@ class BatchExecutor:
             queue_depth=queue_depth,
         )
         wave_start = time.perf_counter()
-        # resolve the artifact once per group: thread/fork workers then
-        # hit the memory cache, spawned workers the disk store
-        try:
-            first = group.requests[0]
-            compile_start = time.perf_counter()
-            with suppress_legacy_warnings():
-                resolved = pipeline_compile(
-                    first.source,
-                    options=first.options,
-                    pure_impls=first.pure_impls,
+        # the group span reparents under the *submitting* request's
+        # trace (its serialized context rode in on the ExecRequest), so
+        # a /submit trace shows its dispatch even though execution
+        # happens on the dispatcher thread; with no context it falls
+        # back to the ambient exec.wave span (or a no-op)
+        first = group.requests[0]
+        with obs.span_from(
+            first.trace_context,
+            "exec.group",
+            requests=len(group.requests),
+            trees=group.tree_count,
+            shards=len(shards),
+        ) as gspan:
+            # resolve the artifact once per group: thread/fork workers
+            # then hit the memory cache, spawned workers the disk store
+            try:
+                compile_start = time.perf_counter()
+                with suppress_legacy_warnings():
+                    resolved = pipeline_compile(
+                        first.source,
+                        options=first.options,
+                        pure_impls=first.pure_impls,
+                    )
+                metrics.compile_seconds = (
+                    time.perf_counter() - compile_start
                 )
-            metrics.compile_seconds = (
-                time.perf_counter() - compile_start
-            )
-            metrics.compile_cache_hit = resolved.cache_hit
-            compiled = (
-                resolved.compiled_fused
-                if first.fused
-                else resolved.compiled_unfused
-            )
-            if compiled is None:
-                # emit=False options produce no runnable module — fail
-                # up front with a clear message instead of letting
-                # every shard die on a NoneType dereference
-                raise ValueError(
-                    "service execution needs emitted modules; compile "
-                    "with CompileOptions(emit=True)"
+                metrics.compile_cache_hit = resolved.cache_hit
+                gspan.set(compile_cache_hit=resolved.cache_hit)
+                compiled = (
+                    resolved.compiled_fused
+                    if first.fused
+                    else resolved.compiled_unfused
                 )
-        except Exception as error:  # compile failure fails the group
-            for request in group.requests:
-                by_id[request.request_id].error = (
-                    f"compile failed: {error}"
-                )
-            metrics.wall_seconds = time.perf_counter() - wave_start
-            with self._metrics_lock:
-                self.batches.append(metrics)
-            return
-        pool = self._get_pool()
-        if pool is None:
-            outcomes = [
-                self._guarded_shard(shard) for shard in shards
-            ]
-        else:
-            futures = [
-                pool.submit(_execute_shard, shard.request, shard.indexes)
-                for shard in shards
-            ]
-            outcomes = []
-            for future in futures:
-                try:
-                    outcomes.append(future.result())
-                except Exception as error:
-                    outcomes.append(error)
-        for shard, outcome in zip(shards, outcomes):
-            result = by_id[shard.request.request_id]
-            if isinstance(outcome, Exception):
-                result.error = f"shard failed: {outcome}"
-                continue
-            shard_seconds = sum(t.seconds for t in outcome)
-            metrics.shard_latency.record(shard_seconds)
-            for tree in outcome:
-                metrics.tree_latency.record(tree.seconds)
-                result.trees.append(tree)
+                if compiled is None:
+                    # emit=False options produce no runnable module —
+                    # fail up front with a clear message instead of
+                    # letting every shard die on a NoneType dereference
+                    raise ValueError(
+                        "service execution needs emitted modules; "
+                        "compile with CompileOptions(emit=True)"
+                    )
+            except Exception as error:  # compile failure fails the group
+                for request in group.requests:
+                    by_id[request.request_id].error = (
+                        f"compile failed: {error}"
+                    )
+                metrics.wall_seconds = time.perf_counter() - wave_start
+                with self._metrics_lock:
+                    self.batches.append(metrics)
+                return
+            pool = self._get_pool()
+            if pool is None:
+                outcomes = [
+                    self._guarded_shard(
+                        shard,
+                        shard.request.trace_context or gspan.context,
+                    )
+                    for shard in shards
+                ]
+            else:
+                futures = [
+                    pool.submit(
+                        _execute_shard,
+                        shard.request,
+                        shard.indexes,
+                        # multi-request groups: each shard reparents to
+                        # its own request's trace when it has one
+                        shard.request.trace_context or gspan.context,
+                    )
+                    for shard in shards
+                ]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as error:
+                        outcomes.append(error)
+            for shard, outcome in zip(shards, outcomes):
+                result = by_id[shard.request.request_id]
+                if isinstance(outcome, Exception):
+                    result.error = f"shard failed: {outcome}"
+                    continue
+                obs.ingest(outcome.spans)
+                shard_seconds = sum(t.seconds for t in outcome.trees)
+                metrics.shard_latency.record(shard_seconds)
+                for tree in outcome.trees:
+                    metrics.tree_latency.record(tree.seconds)
+                    _TREE_SECONDS.observe(tree.seconds)
+                    result.trees.append(tree)
         for request in group.requests:
             result = by_id[request.request_id]
             result.trees.sort(key=lambda t: t.index)
@@ -322,9 +406,13 @@ class BatchExecutor:
         with self._metrics_lock:
             self.batches.append(metrics)
 
-    def _guarded_shard(self, shard: Shard):
+    def _guarded_shard(
+        self, shard: Shard, trace_ctx: Optional[tuple] = None
+    ):
         try:
-            return _execute_shard(shard.request, shard.indexes)
+            return _execute_shard(
+                shard.request, shard.indexes, trace_ctx
+            )
         except Exception as error:
             return error
 
@@ -355,6 +443,11 @@ class BatchExecutor:
     def submit(self, request: ExecRequest) -> "Future[RequestResult]":
         """Queue one request; the dispatcher coalesces everything
         pending (plus a short linger window) into batched waves."""
+        if request.trace_context is None:
+            # capture the submitter's active span (if any) so the
+            # dispatcher thread — a different context — can reparent
+            # the group/shard spans under this request's trace
+            request.trace_context = obs.current_context()
         ticket: "Future[RequestResult]" = Future()
         # the closed check, the enqueue, and close()'s drain are
         # mutually exclusive — a submit racing close() either fails

@@ -28,7 +28,16 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.storage.base import ResultKey, Tier
+
+# lookup outcomes by kind (result|unit) and outcome (a tier label on a
+# hit, "miss" otherwise) — the registry face of the tiers' own stats()
+_LOOKUPS = obs.REGISTRY.counter(
+    "repro_storage_lookups_total",
+    "tiered-store lookups by artifact kind and serving tier",
+    labels=("kind", "outcome"),
+)
 
 
 class TieredStore:
@@ -67,28 +76,33 @@ class TieredStore:
         the peer's exact payload bytes — no re-pickle on the hot
         cross-process warm path (see :meth:`DiskTier.promote_result`).
         """
-        for depth, tier in enumerate(self.tiers):
-            fetch = getattr(tier, "fetch_result", None)
-            if fetch is not None:
-                got = fetch(key)
-                if got is None:
-                    continue
-                result, blob = got
-            else:
-                result = tier.get_result(key)
-                if result is None:
-                    continue
-                blob = None
-            for upper in self.tiers[:depth]:
-                if not self.writable(upper):
-                    continue
-                promote = getattr(upper, "promote_result", None)
-                if blob is not None and promote is not None:
-                    promote(key, result, blob)
+        with obs.span("storage.result") as span:
+            for depth, tier in enumerate(self.tiers):
+                fetch = getattr(tier, "fetch_result", None)
+                if fetch is not None:
+                    got = fetch(key)
+                    if got is None:
+                        continue
+                    result, blob = got
                 else:
-                    upper.put_result(key, result, promoted=True)
-            return result
-        return None
+                    result = tier.get_result(key)
+                    if result is None:
+                        continue
+                    blob = None
+                for upper in self.tiers[:depth]:
+                    if not self.writable(upper):
+                        continue
+                    promote = getattr(upper, "promote_result", None)
+                    if blob is not None and promote is not None:
+                        promote(key, result, blob)
+                    else:
+                        upper.put_result(key, result, promoted=True)
+                span.set(hit=True, tier=tier.label, depth=depth)
+                _LOOKUPS.labels(kind="result", outcome=tier.label).inc()
+                return result
+            span.set(hit=False)
+            _LOOKUPS.labels(kind="result", outcome="miss").inc()
+            return None
 
     def put_result(self, key: ResultKey, result) -> None:
         for tier in self.tiers:
@@ -104,28 +118,33 @@ class TieredStore:
         unconditional into writable tiers: a unit fetched from a peer
         belongs on the local disk so the next process doesn't re-fetch.
         """
-        for depth, tier in enumerate(self.tiers):
-            fetch = getattr(tier, "fetch_unit", None)
-            if fetch is not None:
-                got = fetch(pass_name, key)
-                if got is None:
-                    continue
-                artifact, blob = got
-            else:
-                artifact = tier.get_unit(pass_name, key)
-                if artifact is None:
-                    continue
-                blob = None
-            for upper in self.tiers[:depth]:
-                if not self.writable(upper):
-                    continue
-                promote = getattr(upper, "promote_unit", None)
-                if blob is not None and promote is not None:
-                    promote(pass_name, key, artifact, blob)
+        with obs.span("storage.unit", pass_name=pass_name) as span:
+            for depth, tier in enumerate(self.tiers):
+                fetch = getattr(tier, "fetch_unit", None)
+                if fetch is not None:
+                    got = fetch(pass_name, key)
+                    if got is None:
+                        continue
+                    artifact, blob = got
                 else:
-                    upper.put_unit(pass_name, key, artifact)
-            return artifact, tier
-        return None
+                    artifact = tier.get_unit(pass_name, key)
+                    if artifact is None:
+                        continue
+                    blob = None
+                for upper in self.tiers[:depth]:
+                    if not self.writable(upper):
+                        continue
+                    promote = getattr(upper, "promote_unit", None)
+                    if blob is not None and promote is not None:
+                        promote(pass_name, key, artifact, blob)
+                    else:
+                        upper.put_unit(pass_name, key, artifact)
+                span.set(hit=True, tier=tier.label, depth=depth)
+                _LOOKUPS.labels(kind="unit", outcome=tier.label).inc()
+                return artifact, tier
+            span.set(hit=False)
+            _LOOKUPS.labels(kind="unit", outcome="miss").inc()
+            return None
 
     def put_unit(
         self, pass_name: str, key: str, artifact, spill: bool = False

@@ -1,0 +1,103 @@
+"""Trace exporters: Chrome trace_event JSON, JSONL round-trips, and
+the parent/child tree renderer."""
+
+import json
+
+from repro.obs.export import (
+    read_jsonl,
+    render_tree,
+    span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer
+
+
+def recorded_spans():
+    tracer = Tracer()
+    with tracer.span("root", force=True, workload="render") as root:
+        with tracer.span("child-a"):
+            pass
+        with tracer.span("child-b") as b:
+            with tracer.span("grandchild"):
+                pass
+    return tracer.spans(), root, b
+
+
+def test_chrome_trace_shape():
+    spans, root, _ = recorded_spans()
+    doc = to_chrome_trace(spans)
+    events = doc["traceEvents"]
+    assert len(events) == 4
+    assert doc["displayTimeUnit"] == "ms"
+    # complete events in microseconds, sorted by start
+    assert all(e["ph"] == "X" for e in events)
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    root_event = next(e for e in events if e["name"] == "root")
+    assert root_event["args"]["trace_id"] == root.trace_id
+    assert root_event["args"]["workload"] == "render"
+    assert root_event["dur"] >= 0
+
+
+def test_chrome_trace_file_is_loadable_json(tmp_path):
+    spans, _, _ = recorded_spans()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(spans, str(path))
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == len(spans)
+
+
+def test_jsonl_round_trip(tmp_path):
+    spans, _, _ = recorded_spans()
+    path = tmp_path / "spans.jsonl"
+    write_jsonl(spans, str(path))
+    assert read_jsonl(str(path)) == spans
+
+
+def test_span_tree_reassembles_hierarchy():
+    spans, root, b = recorded_spans()
+    roots = span_tree(spans)
+    assert len(roots) == 1
+    node = roots[0]
+    assert node["span"]["span_id"] == root.span_id
+    children = [c["span"]["name"] for c in node["children"]]
+    assert children == ["child-a", "child-b"]
+    b_node = next(
+        c for c in node["children"]
+        if c["span"]["span_id"] == b.span_id
+    )
+    assert [c["span"]["name"] for c in b_node["children"]] == [
+        "grandchild"
+    ]
+
+
+def test_orphans_become_roots():
+    spans, root, _ = recorded_spans()
+    # drop the root: its children have an unresolvable parent
+    orphaned = [s for s in spans if s["span_id"] != root.span_id]
+    roots = span_tree(orphaned)
+    assert {n["span"]["name"] for n in roots} == {
+        "child-a", "child-b",
+    }
+
+
+def test_render_tree_indents_and_reports_ms():
+    spans, _, _ = recorded_spans()
+    text = render_tree(spans)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("root")
+    assert "  child-a" in text
+    assert "    grandchild" in text
+    assert all("ms" in line for line in lines)
+    assert "workload=render" in lines[0]
+
+
+def test_render_tree_truncates_attr_overflow():
+    tracer = Tracer()
+    with tracer.span("busy", force=True, a=1, b=2, c=3):
+        pass
+    text = render_tree(tracer.spans(), max_attrs=2)
+    assert "a=1, b=2, ..." in text
+    assert "c=3" not in text

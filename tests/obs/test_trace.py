@@ -1,0 +1,149 @@
+"""The span tracer: nesting, sampling, cross-context propagation,
+collection sinks, and the bounded ring buffer."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A private tracer — tests never touch the process tracer's
+    switch, so instrumented code elsewhere in the suite is unaffected."""
+    t = Tracer(capacity=64)
+    t.configure(enabled=True, sample=1.0)
+    return t
+
+
+def test_disabled_tracer_returns_noop_span():
+    t = Tracer()
+    span = t.span("anything")
+    assert span is obs.NOOP_SPAN
+    assert span.recorded is False
+    # the noop is inert: attributes and context management do nothing
+    with span as s:
+        s.set(key="value")
+    assert span.context is None
+    assert t.spans() == []
+
+
+def test_force_records_despite_disabled():
+    t = Tracer()
+    with t.span("forced", force=True) as span:
+        assert span.recorded
+    records = t.spans()
+    assert [r["name"] for r in records] == ["forced"]
+    assert records[0]["parent_id"] is None
+
+
+def test_nesting_assigns_parent_and_shares_trace(tracer):
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == middle.span_id
+            assert middle.parent_id == outer.span_id
+    by_name = {r["name"]: r for r in tracer.spans()}
+    assert set(by_name) == {"outer", "middle", "inner"}
+    # children finish (and buffer) before parents
+    assert [r["name"] for r in tracer.spans()] == [
+        "inner", "middle", "outer",
+    ]
+    assert by_name["outer"]["parent_id"] is None
+
+
+def test_span_attrs_and_duration_exported(tracer):
+    with tracer.span("op", width=3) as span:
+        span.set(hit=True)
+    record = tracer.spans()[0]
+    assert record["attrs"] == {"width": 3, "hit": True}
+    assert record["duration"] >= 0.0
+    assert record["start"] > 0.0
+
+
+def test_exception_stamps_error_attr(tracer):
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    record = tracer.spans()[0]
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_sampling_half_records_exactly_every_other_root(tracer):
+    tracer.configure(sample=0.5)
+    recorded = [tracer.span(f"r{i}").recorded for i in range(8)]
+    assert recorded.count(True) == 4
+    # deterministic accumulator, not a PRNG: strict alternation
+    # (the accumulator crosses 1.0 on the second root first)
+    assert recorded == [False, True] * 4
+
+
+def test_children_of_recorded_root_ignore_sampling(tracer):
+    tracer.configure(sample=0.5)
+    assert not tracer.span("unsampled").recorded  # burns the first slot
+    with tracer.span("root") as root:
+        assert root.recorded
+        # every descendant of a recorded root records, regardless of
+        # what the root sampler would have said
+        for _ in range(4):
+            with tracer.span("child") as child:
+                assert child.recorded
+    assert len(tracer.spans()) == 5
+
+
+def test_context_pickles_and_reparents(tracer):
+    with tracer.span("parent") as parent:
+        ctx = parent.context
+    wire = pickle.loads(pickle.dumps(ctx))
+    assert wire == (parent.trace_id, parent.span_id)
+    with tracer.span_from(wire, "remote-child") as child:
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+
+def test_span_from_none_falls_back_to_ambient(tracer):
+    with tracer.span("root") as root:
+        with tracer.span_from(None, "child") as child:
+            assert child.parent_id == root.span_id
+
+
+def test_collect_diverts_spans_from_ring(tracer):
+    with tracer.collect() as bucket:
+        with tracer.span("diverted", force=True):
+            pass
+    assert [r["name"] for r in bucket] == ["diverted"]
+    assert tracer.spans() == []  # nothing leaked into the ring
+    tracer.ingest(bucket)
+    assert [r["name"] for r in tracer.spans()] == ["diverted"]
+
+
+def test_ring_capacity_keeps_newest(tracer):
+    tracer.configure(capacity=4)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [r["name"] for r in tracer.spans()] == [
+        "s6", "s7", "s8", "s9",
+    ]
+
+
+def test_spans_filter_by_trace_and_trace_ids(tracer):
+    with tracer.span("first") as a:
+        pass
+    with tracer.span("second") as b:
+        pass
+    assert tracer.trace_ids() == [a.trace_id, b.trace_id]
+    assert [r["name"] for r in tracer.spans(a.trace_id)] == ["first"]
+    assert tracer.spans("no-such-trace") == []
+
+
+def test_module_level_current_context_tracks_active_span():
+    # the module API rides the process tracer; force avoids flipping
+    # its enabled switch
+    assert obs.current_context() is None
+    with obs.span("root", force=True) as root:
+        assert obs.current_context() == root.context
+    assert obs.current_context() is None

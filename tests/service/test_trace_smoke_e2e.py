@@ -1,0 +1,31 @@
+"""The observability layer end to end, via the CI smoke script.
+
+Runs the exact script CI uses (scripts/trace_smoke.py): a traced
+compile + execution, the Chrome trace export loads as JSON, the span
+tree covers pass -> tier -> exec under one trace id, and the
+Prometheus exposition parses.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+SCRIPT = os.path.join(REPO, "scripts", "trace_smoke.py")
+
+
+def test_trace_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "trace_smoke: OK" in proc.stdout
