@@ -261,14 +261,22 @@ class Session:
         fused: bool = True,
         collect: Optional[Callable] = None,
         options: Optional[CompileOptions] = None,
+        mode: str = "compiled",
         **spec_kwargs,
     ) -> RunOutcome:
-        """Compile-if-needed and execute a forest; raises on failure."""
+        """Compile-if-needed and execute a forest; raises on failure.
+
+        ``mode="interpret"`` skips compilation entirely and runs the
+        reference interpreter (:mod:`repro.interp`) — the
+        zero-compile-latency tier for cold programs or semantics
+        cross-checks; ``fused`` is ignored there.
+        """
         request = workload.request(
             trees,
             options=options if options is not None else self.options,
             fused=fused,
             collect=collect,
+            mode=mode,
             **spec_kwargs,
         )
         effective = request.options
@@ -277,6 +285,7 @@ class Session:
             force=bool(effective.trace),
             workload=workload.name,
             trees=len(request.trees),
+            mode=mode,
         ) as span:
             if request.trace_context is None and span.recorded:
                 request.trace_context = span.context

@@ -147,10 +147,14 @@ class Workload:
         options=None,
         fused: bool = True,
         collect: Optional[Callable] = None,
+        mode: str = "compiled",
         **spec_kwargs,
     ):
         """An :class:`~repro.service.batching.ExecRequest` running this
-        workload over a forest (an int count uses ``make_spec``)."""
+        workload over a forest (an int count uses ``make_spec``).
+        ``mode="interpret"`` runs the reference interpreter instead of a
+        compiled artifact (zero compile latency; ``fused`` is ignored).
+        """
         from repro.service.batching import ExecRequest
 
         return ExecRequest.from_workload(
@@ -159,4 +163,5 @@ class Workload:
             options=options,
             fused=fused,
             collect=collect,
+            mode=mode,
         )

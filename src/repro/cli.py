@@ -12,6 +12,13 @@ Usage (also via ``python -m repro``)::
                                                 # full staged pipeline
     python -m repro exec  --workload render --trees 64 --workers 2
                                                 # one-shot batch execution
+    python -m repro exec  --workload render --interp
+                                                # reference interpreter
+                                                # (no compilation)
+    python -m repro fuzz  --cases 200           # differential fuzzing:
+                                                # interpreter vs fused vs
+                                                # unfused, object + pooled
+    python -m repro fuzz  --replay repro.json   # replay a saved case
     python -m repro trace render --trees 4      # traced compile+exec:
                                                 # span flame summary
                                                 # (--out writes Chrome
@@ -263,6 +270,7 @@ def cmd_exec(args) -> int:
         )
     size = args.size if args.size is not None else args.pages
     layout = getattr(args, "layout", None)
+    mode = "interpret" if getattr(args, "interp", False) else None
     tracing = bool(getattr(args, "trace_out", None))
     if tracing:
         obs.enable()
@@ -288,7 +296,8 @@ def cmd_exec(args) -> int:
                     service.executor.run(
                         [
                             spec.make_request(
-                                trees=1, size=size, layout=layout
+                                trees=1, size=size, layout=layout,
+                                mode=mode,
                             )
                         ]
                     )[0]
@@ -298,7 +307,8 @@ def cmd_exec(args) -> int:
                 results = service.executor.run(
                     [
                         spec.make_request(
-                            trees=args.trees, size=size, layout=layout
+                            trees=args.trees, size=size, layout=layout,
+                            mode=mode,
                         )
                     ]
                 )
@@ -310,12 +320,13 @@ def cmd_exec(args) -> int:
         if tracing:
             spans = obs.get_tracer().spans(trace_id)
             obs.write_chrome_trace(spans, args.trace_out)
-        mode = "sequential" if args.sequential else "batched"
+        batch_mode = "sequential" if args.sequential else "batched"
         if getattr(args, "json", False):
             doc = {
                 "workload": args.workload,
                 "trees": trees,
-                "mode": mode,
+                "mode": batch_mode,
+                "execution": mode or "compiled",
                 "backend": args.backend,
                 "workers": args.workers,
                 "layout": layout,
@@ -334,9 +345,10 @@ def cmd_exec(args) -> int:
             print(json.dumps(doc, indent=2))
             return 0
         layout_note = f", {layout} layout" if layout else ""
-        print(f"{args.workload}: {trees} trees executed ({mode}, "
+        interp_note = ", interpreted" if mode == "interpret" else ""
+        print(f"{args.workload}: {trees} trees executed ({batch_mode}, "
               f"{args.workers} workers, {args.backend} backend"
-              f"{layout_note})")
+              f"{layout_note}{interp_note})")
         latency = stats["tree_latency"]
         print(f"  tree latency: p50 {latency['p50'] * 1e3:.3f} ms, "
               f"p99 {latency['p99'] * 1e3:.3f} ms")
@@ -379,6 +391,11 @@ def cmd_trace(args) -> int:
                         trees=args.trees,
                         size=args.size,
                         layout=args.layout,
+                        mode=(
+                            "interpret"
+                            if getattr(args, "interp", False)
+                            else None
+                        ),
                     )
                 ]
             )
@@ -397,6 +414,46 @@ def cmd_trace(args) -> int:
         obs.write_jsonl(spans, args.jsonl)
         print(f"span records written to {args.jsonl}")
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: seeded random programs + trees executed by
+    the reference interpreter and all four compiled forms (fused and
+    unfused, object and pooled layouts), diffed on snapshot + globals +
+    write-set. Exit status 1 on any divergence."""
+    from repro.fuzz import (
+        generate_case,
+        load_repro,
+        minimize_case,
+        run_case,
+        save_repro,
+    )
+
+    if args.replay:
+        case = load_repro(args.replay)
+        result = run_case(case)
+        print(result.report())
+        return 0 if result.ok else 1
+    failures = 0
+    for seed in range(args.seed, args.seed + args.cases):
+        result = run_case(generate_case(seed, max_depth=args.max_depth))
+        if result.ok:
+            if args.verbose:
+                print(result.report())
+            continue
+        failures += 1
+        small = minimize_case(result.case)
+        minimized = run_case(small)
+        if minimized.ok:  # shrinking lost the bug; keep the original
+            small, minimized = result.case, result
+        print(minimized.report())
+        out = args.out or f"fuzz-repro-{seed}.json"
+        save_repro(small, out)
+        print(f"minimized repro written to {out} "
+              f"(replay with: repro fuzz --replay {out})")
+    print(f"fuzz: {args.cases} cases from seed {args.seed}, "
+          f"{failures} divergence(s)")
+    return 1 if failures else 0
 
 
 def cmd_store(args) -> int:
@@ -657,12 +714,50 @@ def build_parser() -> argparse.ArgumentParser:
              "execution and latency summary",
     )
     exec_cmd.add_argument(
+        "--interp", action="store_true",
+        help="run the reference interpreter instead of compiled code: "
+             "zero compile latency, identical results (the fallback "
+             "tier for cold programs)",
+    )
+    exec_cmd.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="trace the run and write a Chrome trace_event JSON file "
              "to PATH (load in chrome://tracing or ui.perfetto.dev)",
     )
     add_service_args(exec_cmd, workers_default=2)
     exec_cmd.set_defaults(handler=cmd_exec)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs/trees run by the "
+             "reference interpreter vs all compiled forms",
+    )
+    fuzz_cmd.add_argument(
+        "--cases", type=int, default=50,
+        help="number of seeded cases to run (default 50)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="first seed; cases use seed..seed+cases-1 (default 0)",
+    )
+    fuzz_cmd.add_argument(
+        "--max-depth", type=int, default=4,
+        help="generated tree depth (default 4)",
+    )
+    fuzz_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="where to write the minimized repro of the first "
+             "divergence (default fuzz-repro-<seed>.json)",
+    )
+    fuzz_cmd.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="re-run one saved repro file instead of a campaign",
+    )
+    fuzz_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="print every case's outcome, not just divergences",
+    )
+    fuzz_cmd.set_defaults(handler=cmd_fuzz)
 
     trace_cmd = sub.add_parser(
         "trace",
@@ -684,6 +779,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument(
         "--layout", choices=["object", "pooled"], default=None,
         help="tree layout to execute against",
+    )
+    trace_cmd.add_argument(
+        "--interp", action="store_true",
+        help="trace the reference-interpreter tier (interp.* spans) "
+             "instead of the compiled path",
     )
     trace_cmd.add_argument(
         "--workers", type=int, default=1,

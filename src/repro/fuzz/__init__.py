@@ -1,0 +1,47 @@
+"""Differential fuzzing: generated programs + trees, executed by every
+backend, diffed against the reference interpreter.
+
+See :mod:`repro.fuzz.harness` for the execution matrix and
+:mod:`repro.fuzz.generators` for the seeded program/tree generators
+(including the hazard classes shared with ``tests/generators.py``).
+"""
+
+from repro.fuzz.generators import (
+    build_tree_from_dict,
+    hazard_statements,
+    random_globals,
+    random_program_source,
+    random_tree_dict,
+)
+from repro.fuzz.harness import (
+    BASELINE,
+    LABELS,
+    CaseResult,
+    FuzzCase,
+    case_diverges,
+    generate_case,
+    load_repro,
+    minimize_case,
+    run_campaign,
+    run_case,
+    save_repro,
+)
+
+__all__ = [
+    "BASELINE",
+    "CaseResult",
+    "FuzzCase",
+    "LABELS",
+    "build_tree_from_dict",
+    "case_diverges",
+    "generate_case",
+    "hazard_statements",
+    "load_repro",
+    "minimize_case",
+    "random_globals",
+    "random_program_source",
+    "random_tree_dict",
+    "run_campaign",
+    "run_case",
+    "save_repro",
+]

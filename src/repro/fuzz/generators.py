@@ -1,0 +1,237 @@
+"""Seeded random program/tree generation for differential fuzzing.
+
+Self-contained (the ``repro fuzz`` CLI must work without the test
+tree), but deliberately the same program shape as
+``tests/generators.py``: a 4-type hierarchy (abstract ``N``, concrete
+``A``/``B``/``Leaf``), data fields ``d0..d2``, children ``c0``/``c1``,
+virtual traversals ``f0..f2`` with an int parameter, globals
+``G0``/``G1``, and an entry schedule of 2–3 root calls.
+
+On top of the base shapes it *always* draws from the hazard classes
+that have actually shipped bugs:
+
+* **global-reading call arguments after a global write** — the seed-765
+  fusion soundness gap: grouping two calls on one receiver must not
+  hoist a later call's argument evaluation over an earlier member's
+  global writes (``grouping._argument_hazard``).
+* **truncation after mutation** — ``return;`` *mid-body*, after fields
+  (or topology) changed, so fused active-flag clearing must preserve
+  everything the member already did.
+
+Trees are generated as plain snapshot-style dicts (``{"__type__":
+"A", "d0": 3, "c0": {...}, ...}``) rather than built ``Node`` graphs,
+so a fuzz case serializes to JSON and replays byte-identically
+(:func:`build_tree_from_dict` realizes them — module-level, picklable,
+usable as an ``ExecRequest.build_tree``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RuntimeFailure
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+
+DATA = ("d0", "d1", "d2")
+CHILDREN = ("c0", "c1")
+METHODS = ("f0", "f1", "f2")
+CONCRETE = ("A", "B", "Leaf")
+
+
+def random_expr(rng: random.Random, extra: str, depth: int = 0) -> str:
+    atoms = [
+        f"this->{rng.choice(DATA)}",
+        f"this->{extra}",
+        "p0",
+        str(rng.randint(-3, 9)),
+        "G0",
+        "G1",
+    ]
+    if depth >= 2 or rng.random() < 0.4:
+        return rng.choice(atoms)
+    op = rng.choice(["+", "-", "*"])
+    return (
+        f"({random_expr(rng, extra, depth + 1)} {op} "
+        f"{random_expr(rng, extra, depth + 1)})"
+    )
+
+
+def hazard_statements(rng: random.Random, extra: str) -> list[str]:
+    """One statement run from a known-shipped hazard class (see module
+    doc). Shared with ``tests/generators.py`` so the test-suite
+    generator and the fuzzer cover the same bug classes."""
+    shape = rng.random()
+    if shape < 0.5:
+        # seed-765 class: write a global, then pass it (possibly inside
+        # a larger expression) as a child call's argument — unfused
+        # execution evaluates the argument only after the earlier
+        # call's whole subtree ran
+        which = rng.choice(["G0", "G1"])
+        child = rng.choice(CHILDREN)
+        method = rng.choice(METHODS)
+        arg = (
+            which
+            if rng.random() < 0.5
+            else f"({which} + {random_expr(rng, extra)})"
+        )
+        return [
+            f"{which} = {which} + {random_expr(rng, extra)};",
+            f"this->{child}->{method}({arg});",
+        ]
+    # truncation after mutation: mutate state (field, global, or
+    # topology), then conditionally return mid-body
+    target = rng.choice(DATA)
+    mutation = rng.random()
+    if mutation < 0.6:
+        mutate = f"this->{target} = {random_expr(rng, extra)};"
+    elif mutation < 0.8:
+        which = rng.choice(["G0", "G1"])
+        mutate = f"{which} = {which} + {random_expr(rng, extra)};"
+    else:
+        child = rng.choice(CHILDREN)
+        mutate = (
+            f"delete this->{child}; this->{child} = new Leaf(); "
+            f"this->{child}->d0 = {rng.randint(0, 9)};"
+        )
+    cond_field = rng.choice(DATA)
+    return [
+        mutate,
+        f"if (this->{cond_field} > {rng.randint(1, 5)}) return;",
+    ]
+
+
+def _random_body(rng: random.Random, extra: str) -> list[str]:
+    stmts: list[str] = []
+    if rng.random() < 0.25:
+        stmts.append(
+            f"if (this->{rng.choice(DATA)} > {rng.randint(2, 6)}) return;"
+        )
+    n = rng.randint(1, 4)
+    for _ in range(n):
+        kind = rng.random()
+        if kind < 0.35:
+            target = rng.choice(DATA + (extra,))
+            stmts.append(f"this->{target} = {random_expr(rng, extra)};")
+        elif kind < 0.5:
+            which = rng.choice(["G0", "G1"])
+            stmts.append(
+                f"{which} = {which} + {random_expr(rng, extra)};"
+            )
+        elif kind < 0.62:
+            cond_field = rng.choice(DATA)
+            target = rng.choice(DATA)
+            stmts.append(
+                f"if (this->{cond_field} == {rng.randint(0, 3)}) "
+                f"{{ this->{target} = {random_expr(rng, extra)}; }}"
+            )
+        elif kind < 0.78:
+            child = rng.choice(CHILDREN)
+            method = rng.choice(METHODS)
+            stmts.append(
+                f"this->{child}->{method}({random_expr(rng, extra)});"
+            )
+        elif kind < 0.88:
+            stmts.extend(hazard_statements(rng, extra))
+        else:
+            child = rng.choice(CHILDREN)
+            cond_field = rng.choice(DATA)
+            stmts.append(
+                f"if (this->{cond_field} > {rng.randint(3, 7)}) {{ "
+                f"delete this->{child}; this->{child} = new Leaf(); "
+                f"this->{child}->d0 = {rng.randint(0, 9)}; }}"
+            )
+    return stmts
+
+
+def random_program_source(rng: random.Random) -> str:
+    """A random valid Grafter program over the 4-type hierarchy, with
+    the hazard classes in the statement mix."""
+    lines = ["int G0;", "int G1;"]
+    lines.append("_abstract_ _tree_ class N {")
+    for child in CHILDREN:
+        lines.append(f"    _child_ N* {child};")
+    for data in DATA:
+        lines.append(f"    int {data} = 0;")
+    for method in METHODS:
+        lines.append(
+            f"    _traversal_ virtual void {method}(int p0) {{}}"
+        )
+    lines.append("};")
+    for type_name in ("A", "B"):
+        lines.append(f"_tree_ class {type_name} : public N {{")
+        extra = f"x{type_name}"
+        lines.append(f"    int {extra} = 0;")
+        for method in METHODS:
+            if rng.random() < 0.85:
+                body = _random_body(rng, extra)
+                lines.append(
+                    f"    _traversal_ void {method}(int p0) {{"
+                )
+                lines.extend(f"        {stmt}" for stmt in body)
+                lines.append("    }")
+        lines.append("};")
+    lines.append("_tree_ class Leaf : public N { };")
+    lines.append("int main() {")
+    lines.append("    N* root = ...;")
+    for _ in range(rng.randint(2, 3)):
+        method = rng.choice(METHODS)
+        lines.append(f"    root->{method}({rng.randint(0, 5)});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def random_tree_dict(
+    rng: random.Random, max_depth: int = 4
+) -> dict:
+    """A random full tree as a snapshot-style dict: every child slot of
+    the inner types filled, ``Leaf`` terminating every path (its
+    inherited traversals are no-ops, so its null children are never
+    dereferenced)."""
+
+    def build(depth: int) -> dict:
+        if depth >= max_depth:
+            type_name = "Leaf"
+        else:
+            type_name = rng.choice(["A", "B", "A", "Leaf"])
+        node: dict = {"__type__": type_name}
+        for data in DATA:
+            node[data] = rng.randint(0, 8)
+        if type_name in ("A", "B"):
+            node[f"x{type_name}"] = rng.randint(0, 8)
+        for child in CHILDREN:
+            node[child] = (
+                build(depth + 1) if type_name != "Leaf" else None
+            )
+        return node
+
+    return build(0)
+
+
+def build_tree_from_dict(program, heap: Heap, spec: dict) -> Node:
+    """Realize a snapshot-style dict as a ``Node`` tree (the replay
+    half of :func:`random_tree_dict`; module-level so it pickles)."""
+    type_name = spec["__type__"]
+    overrides = {}
+    children = []
+    for name, field in program.fields_of(type_name).items():
+        if name not in spec:
+            continue
+        value = spec[name]
+        if field.is_child:
+            if value is not None:
+                children.append((name, value))
+        else:
+            if isinstance(value, (list, tuple)):
+                raise RuntimeFailure(
+                    f"opaque values are not replayable: {name}"
+                )
+            overrides[name] = value
+    node = Node.new(program, heap, type_name, **overrides)
+    for name, child_spec in children:
+        node.set(name, build_tree_from_dict(program, heap, child_spec))
+    return node
+
+
+def random_globals(rng: random.Random) -> dict:
+    return {"G0": rng.randint(-2, 5), "G1": rng.randint(-2, 5)}

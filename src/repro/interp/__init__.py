@@ -1,0 +1,52 @@
+"""Reference IR interpreter: the executable specification.
+
+Nothing in this package compiles anything. A :class:`RefInterpreter`
+walks :mod:`repro.ir` programs directly — dynamic dispatch, truncation,
+topology mutation, globals, parameters, pure calls, entry schedules —
+against either tree layout (object graph or ``ForestPool`` columns, via
+:mod:`repro.interp.views`), producing the same snapshots, global
+states, and write-sets the compiled backends produce. The compiled
+fused/unfused modules are *measured against it* (:mod:`repro.fuzz`),
+and the service uses it as the zero-compile-latency fallback tier
+(``ExecRequest.mode == "interpret"``).
+"""
+
+from repro.interp.diff import (
+    Divergence,
+    ExecutionRecord,
+    diff_report,
+    first_divergence,
+    first_snapshot_divergence,
+    make_record,
+    write_set,
+)
+from repro.interp.machine import RefInterpreter
+from repro.interp.module import (
+    InterpretedModule,
+    interpret_workload,
+    interpreted_module,
+    resolve_program,
+)
+from repro.interp.views import (
+    ObjectTreeView,
+    PooledTreeView,
+    view_for,
+)
+
+__all__ = [
+    "Divergence",
+    "ExecutionRecord",
+    "InterpretedModule",
+    "ObjectTreeView",
+    "PooledTreeView",
+    "RefInterpreter",
+    "diff_report",
+    "first_divergence",
+    "first_snapshot_divergence",
+    "interpret_workload",
+    "interpreted_module",
+    "make_record",
+    "resolve_program",
+    "view_for",
+    "write_set",
+]

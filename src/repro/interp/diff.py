@@ -1,0 +1,216 @@
+"""Execution records, write-set derivation, and readable divergence
+reports.
+
+Every executor in the repository — the reference interpreter, the
+object-graph compiled modules, the pooled compiled modules — can be
+summarized as an :class:`ExecutionRecord`: the final tree snapshot
+(:meth:`repro.runtime.node.Node.snapshot` format), the final global
+state, and the **write-set** — the sorted dotted paths of everything
+the run changed, derived uniformly by diffing the before/after
+snapshots and globals (compiled code has no native write tracking, so
+deriving the set the same way for every executor is what makes it
+comparable across them).
+
+:func:`diff_report` is the shared divergence printer: instead of a bare
+``assert snap_a == snap_b`` it names the first diverging node path,
+field, or global and shows both values — used by the fuzzer
+(:mod:`repro.fuzz`), the interpreter parity tests, and the layout
+differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed difference between two executions."""
+
+    kind: str  # 'type' | 'field' | 'shape' | 'global' | 'write_set'
+    path: str  # dotted node path, e.g. 'root.c0.c1'
+    name: str  # field or global name ('' for whole-node differences)
+    left: object
+    right: object
+
+    def describe(self, left_label: str = "left",
+                 right_label: str = "right") -> str:
+        where = f"{self.path}.{self.name}" if self.name else self.path
+        return (
+            f"first divergence at {where} ({self.kind}): "
+            f"{left_label}={self.left!r} vs {right_label}={self.right!r}"
+        )
+
+
+@dataclass
+class ExecutionRecord:
+    """One execution's observable outcome."""
+
+    label: str
+    snapshot: dict
+    globals: dict
+    write_set: tuple[str, ...] = field(default_factory=tuple)
+
+
+def make_record(
+    label: str,
+    before_snapshot: dict,
+    after_snapshot: dict,
+    globals_before: dict,
+    globals_after: dict,
+) -> ExecutionRecord:
+    """Bundle a run's outcome, deriving its write-set from the
+    before/after states."""
+    return ExecutionRecord(
+        label=label,
+        snapshot=after_snapshot,
+        globals=dict(globals_after),
+        write_set=write_set(
+            before_snapshot, after_snapshot, globals_before, globals_after
+        ),
+    )
+
+
+# ===========================================================================
+# snapshot walking
+# ===========================================================================
+
+
+def _is_node(value) -> bool:
+    return isinstance(value, dict)
+
+
+def _fields_of(snapshot: dict) -> list[str]:
+    return sorted(name for name in snapshot if name != "__type__")
+
+
+def first_snapshot_divergence(
+    left: dict, right: dict, path: str = "root"
+) -> Optional[Divergence]:
+    """The first place two snapshots disagree, in deterministic
+    (preorder, sorted-field) order — or ``None`` when identical.
+    Iterative, like the snapshot builders, so deep trees never hit the
+    recursion limit."""
+    stack: list[tuple[dict, dict, str]] = [(left, right, path)]
+    while stack:
+        a, b, where = stack.pop()
+        if a.get("__type__") != b.get("__type__"):
+            return Divergence(
+                "type", where, "__type__",
+                a.get("__type__"), b.get("__type__"),
+            )
+        names = sorted(set(_fields_of(a)) | set(_fields_of(b)))
+        children: list[tuple[dict, dict, str]] = []
+        for name in names:
+            va, vb = a.get(name), b.get(name)
+            if _is_node(va) and _is_node(vb):
+                children.append((va, vb, f"{where}.{name}"))
+            elif _is_node(va) or _is_node(vb):
+                return Divergence(
+                    "shape", where, name,
+                    _shape_of(va), _shape_of(vb),
+                )
+            elif va != vb:
+                return Divergence("field", where, name, va, vb)
+        stack.extend(reversed(children))
+    return None
+
+
+def _shape_of(value) -> str:
+    if value is None:
+        return "<null child>"
+    if _is_node(value):
+        return f"<{value.get('__type__')} subtree>"
+    return repr(value)
+
+
+def first_divergence(
+    left: ExecutionRecord, right: ExecutionRecord
+) -> Optional[Divergence]:
+    """The first divergence between two execution records: snapshot
+    first (node paths read best), then globals, then the derived
+    write-sets (a redundancy check over the same data — it can only
+    fire independently if recording itself went wrong)."""
+    snap = first_snapshot_divergence(left.snapshot, right.snapshot)
+    if snap is not None:
+        return snap
+    for name in sorted(set(left.globals) | set(right.globals)):
+        if left.globals.get(name) != right.globals.get(name):
+            return Divergence(
+                "global", "globals", name,
+                left.globals.get(name), right.globals.get(name),
+            )
+    if tuple(left.write_set) != tuple(right.write_set):
+        only_left = sorted(set(left.write_set) - set(right.write_set))
+        only_right = sorted(set(right.write_set) - set(left.write_set))
+        return Divergence(
+            "write_set", "write_set", "",
+            f"extra={only_left}", f"extra={only_right}",
+        )
+    return None
+
+
+def diff_report(
+    left: ExecutionRecord, right: ExecutionRecord
+) -> Optional[str]:
+    """A readable one-stop divergence report, or ``None`` when the two
+    executions agree on snapshot, globals, and write-set."""
+    divergence = first_divergence(left, right)
+    if divergence is None:
+        return None
+    lines = [
+        f"{left.label} and {right.label} diverged:",
+        "  " + divergence.describe(left.label, right.label),
+        f"  {left.label} write-set ({len(left.write_set)}): "
+        f"{_preview(left.write_set)}",
+        f"  {right.label} write-set ({len(right.write_set)}): "
+        f"{_preview(right.write_set)}",
+    ]
+    return "\n".join(lines)
+
+
+def _preview(paths: tuple[str, ...], limit: int = 12) -> str:
+    shown = ", ".join(paths[:limit])
+    if len(paths) > limit:
+        shown += f", ... +{len(paths) - limit} more"
+    return shown or "(empty)"
+
+
+# ===========================================================================
+# write-set derivation
+# ===========================================================================
+
+
+def write_set(
+    before: dict,
+    after: dict,
+    globals_before: Optional[dict] = None,
+    globals_after: Optional[dict] = None,
+) -> tuple[str, ...]:
+    """Sorted dotted paths of everything that changed between two tree
+    states (plus changed globals, reported by bare name).
+
+    Topology changes report the whole slot: a replaced or newly
+    allocated subtree contributes ``<path>.<field>`` (and nothing
+    beneath it — its interior is new, not written), a type change
+    contributes ``<path>.__type__``.
+    """
+    writes: set[str] = set()
+    stack: list[tuple[dict, dict, str]] = [(before, after, "root")]
+    while stack:
+        a, b, where = stack.pop()
+        if a.get("__type__") != b.get("__type__"):
+            writes.add(f"{where}.__type__")
+        for name in set(_fields_of(a)) | set(_fields_of(b)):
+            va, vb = a.get(name), b.get(name)
+            if _is_node(va) and _is_node(vb):
+                stack.append((va, vb, f"{where}.{name}"))
+            elif va != vb:
+                writes.add(f"{where}.{name}")
+    for name in set(globals_before or {}) | set(globals_after or {}):
+        if (globals_before or {}).get(name) != (
+            globals_after or {}
+        ).get(name):
+            writes.add(name)
+    return tuple(sorted(writes))

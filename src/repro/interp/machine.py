@@ -1,0 +1,361 @@
+"""The reference IR interpreter: direct, layout-agnostic execution of
+*original* (unfused) traversal semantics.
+
+This is the repository's executable specification. It walks the
+:mod:`repro.ir` statement and expression forms directly — dynamic
+dispatch on each node's runtime type, truncation via ``return;``,
+topology mutation (``new``/``delete``), globals, by-value parameters,
+pure calls, and the entry schedule — with no cost metering, no fusion
+awareness, and no generated code. Fusion is an optimization whose
+correctness claim is observational equivalence with exactly this
+execution, so the fused and unfused compiled backends are both measured
+against it (see :mod:`repro.fuzz`).
+
+It differs from :class:`repro.runtime.interpreter.Interpreter` (the
+paper's cost-model stand-in) in three ways: it charges nothing, it runs
+against any :mod:`repro.interp.views` layout view (object graph or
+``ForestPool`` columns) rather than ``Node`` + ``Heap`` addresses, and
+it counts its writes so the serving tier can report
+``repro_interp_*`` metrics.
+
+C++ value semantics match the other executors exactly: ``/`` truncates
+toward zero, ``%`` takes the dividend's sign, ``&&``/``||``
+short-circuit to bools, and object values copy on assignment and
+parameter passing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeFailure
+from repro.ir.access import AccessPath
+from repro.ir.exprs import BinOp, Const, DataAccess, Expr, PureCall, UnaryOp
+from repro.ir.program import Program
+from repro.ir.stmts import (
+    AliasDef,
+    Assign,
+    Delete,
+    If,
+    LocalDef,
+    New,
+    PureStmt,
+    Return,
+    Stmt,
+    TraverseStmt,
+    While,
+)
+from repro.runtime.interpreter import _cxx_div, _cxx_mod
+from repro.runtime.values import copy_value, default_value
+
+
+class _ReturnSignal(Exception):
+    """Raised by ``return;`` — truncates the current traversal frame."""
+
+
+_RETURN = _ReturnSignal()
+
+# same non-termination backstop as the metering interpreter: traversal
+# loops iterate over bounded local computations, so a huge trip count is
+# an input-program bug, not a workload
+_LOOP_LIMIT = 1_000_000
+
+
+class _Frame:
+    """One method activation: local values plus which names are tree
+    aliases. Aliases are tracked explicitly (by ``_alias_`` definition)
+    rather than sniffed with ``isinstance`` because pooled-view node
+    references are plain ints — indistinguishable from data locals."""
+
+    __slots__ = ("vars", "aliases")
+
+    def __init__(self):
+        self.vars: dict[str, object] = {}
+        self.aliases: set[str] = set()
+
+
+class RefInterpreter:
+    """Execute a program's original entry schedule against a layout view.
+
+    ``globals`` is shared with the caller (typically a
+    :class:`repro.codegen.python_backend.RuntimeContext`'s dict) so the
+    final global state is observable the same way compiled runs expose
+    it. ``stats`` counts node visits, truncations, and writes (tree
+    fields, topology slots, and globals) for the interp metrics.
+    """
+
+    def __init__(self, program: Program, view, globals_dict: dict):
+        program.finalize()
+        self.program = program
+        self.view = view
+        self.globals = globals_dict
+        self.node_visits = 0
+        self.truncations = 0
+        self.writes = 0
+
+    # ==================================================================
+    # entry
+    # ==================================================================
+
+    def run_entry(self, root) -> None:
+        """The original entry sequence: each call in ``main`` runs to
+        completion over the whole tree before the next starts."""
+        for call in self.program.entry:
+            frame = _Frame()
+            args = [self.eval_expr(a, root, frame) for a in call.args]
+            self.call_method(root, call.method_name, args)
+
+    def call_method(self, node, method_name: str, args: list) -> None:
+        if node is None:
+            raise RuntimeFailure(
+                f"traversal {method_name!r} called on null"
+            )
+        method = self.program.resolve_method(
+            self.view.type_of(node), method_name
+        )
+        self.node_visits += 1
+        frame = _Frame()
+        for param, value in zip(method.params, args):
+            frame.vars[param.name] = copy_value(value)
+        try:
+            for stmt in method.body:
+                self.exec_stmt(stmt, node, frame)
+        except _ReturnSignal:
+            self.truncations += 1
+
+    # ==================================================================
+    # statements
+    # ==================================================================
+
+    def exec_stmt(self, stmt: Stmt, this, frame: _Frame) -> None:
+        if isinstance(stmt, Assign):
+            value = self.eval_expr(stmt.value, this, frame)
+            self.write_path(stmt.target, this, frame, value)
+        elif isinstance(stmt, If):
+            branch = (
+                stmt.then_body
+                if self.eval_expr(stmt.cond, this, frame)
+                else stmt.else_body
+            )
+            for sub in branch:
+                self.exec_stmt(sub, this, frame)
+        elif isinstance(stmt, While):
+            iterations = 0
+            while self.eval_expr(stmt.cond, this, frame):
+                for sub in stmt.body:
+                    self.exec_stmt(sub, this, frame)
+                iterations += 1
+                if iterations > _LOOP_LIMIT:
+                    raise RuntimeFailure(
+                        f"while loop exceeded {_LOOP_LIMIT} iterations "
+                        "(likely non-terminating)"
+                    )
+        elif isinstance(stmt, TraverseStmt):
+            args = [self.eval_expr(a, this, frame) for a in stmt.args]
+            if stmt.receiver.is_this:
+                target = this
+            else:
+                target = self.view.get(this, stmt.receiver.child.name)
+            self.call_method(target, stmt.method_name, args)
+        elif isinstance(stmt, LocalDef):
+            if stmt.init is not None:
+                frame.vars[stmt.name] = copy_value(
+                    self.eval_expr(stmt.init, this, frame)
+                )
+            else:
+                frame.vars[stmt.name] = default_value(
+                    self.program, stmt.type_name
+                )
+            frame.aliases.discard(stmt.name)
+        elif isinstance(stmt, AliasDef):
+            frame.vars[stmt.name] = self._walk_tree_node(
+                stmt.target, this, frame
+            )
+            frame.aliases.add(stmt.name)
+        elif isinstance(stmt, Return):
+            raise _RETURN
+        elif isinstance(stmt, New):
+            parent, field_name = self._locate_child_slot(
+                stmt.target, this, frame
+            )
+            self.writes += 1
+            self.view.set(parent, field_name, self.view.new(stmt.type_name))
+        elif isinstance(stmt, Delete):
+            parent, field_name = self._locate_child_slot(
+                stmt.target, this, frame
+            )
+            self.writes += 1
+            self.view.set(parent, field_name, None)
+        elif isinstance(stmt, PureStmt):
+            self.eval_expr(stmt.call, this, frame)
+        else:  # pragma: no cover - defensive
+            raise RuntimeFailure(
+                f"unknown statement {type(stmt).__name__}"
+            )
+
+    # ==================================================================
+    # paths
+    # ==================================================================
+
+    def _read_child(self, node, field_name: str):
+        child = self.view.get(node, field_name)
+        if child is None:
+            raise RuntimeFailure(
+                f"null child {field_name!r} on "
+                f"{self.view.type_of(node)}"
+            )
+        return child
+
+    def _walk_tree_node(self, path: AccessPath, this, frame: _Frame):
+        node = self._base_node(path, this, frame)
+        for step in path.steps:
+            node = self._read_child(node, step.field.name)
+        return node
+
+    def _locate_child_slot(
+        self, path: AccessPath, this, frame: _Frame
+    ) -> tuple[object, str]:
+        node = self._base_node(path, this, frame)
+        for step in path.steps[:-1]:
+            node = self._read_child(node, step.field.name)
+        return node, path.steps[-1].field.name
+
+    def _base_node(self, path: AccessPath, this, frame: _Frame):
+        if path.base == "this":
+            return this
+        if path.is_local:
+            if path.base_name not in frame.aliases:
+                raise RuntimeFailure(
+                    f"local {path.base_name!r} is not a tree alias"
+                )
+            return frame.vars[path.base_name]
+        raise RuntimeFailure(f"path {path} cannot start at a global")
+
+    def read_path(self, path: AccessPath, this, frame: _Frame):
+        if path.is_global:
+            value = self.globals[path.base_name]
+            for step in path.steps:
+                value = value.get(step.field.name)
+            return value
+        if path.is_local and path.base_name not in frame.aliases:
+            value = frame.vars[path.base_name]
+            for step in path.steps:
+                value = value.get(step.field.name)
+            return value
+        # on-tree: this-based or through an alias
+        node = self._base_node(path, this, frame)
+        index = 0
+        steps = path.steps
+        while index < len(steps) and steps[index].field.is_child:
+            node = self._read_child(node, steps[index].field.name)
+            index += 1
+        remaining = steps[index:]
+        if not remaining:
+            return node
+        value = self.view.get(node, remaining[0].field.name)
+        for step in remaining[1:]:
+            value = value.get(step.field.name)
+        return value
+
+    def write_path(
+        self, path: AccessPath, this, frame: _Frame, value
+    ) -> None:
+        if path.is_global:
+            self.writes += 1
+            if not path.steps:
+                self.globals[path.base_name] = copy_value(value)
+                return
+            container = self.globals[path.base_name]
+            for step in path.steps[:-1]:
+                container = container.get(step.field.name)
+            container.set(path.steps[-1].field.name, value)
+            return
+        if path.is_local and path.base_name not in frame.aliases:
+            if not path.steps:
+                frame.vars[path.base_name] = copy_value(value)
+                return
+            container = frame.vars[path.base_name]
+            for step in path.steps[:-1]:
+                container = container.get(step.field.name)
+            container.set(path.steps[-1].field.name, value)
+            return
+        node = self._base_node(path, this, frame)
+        index = 0
+        steps = path.steps
+        while index < len(steps) and steps[index].field.is_child:
+            if index == len(steps) - 1:
+                raise RuntimeFailure(f"assignment to tree node {path}")
+            node = self._read_child(node, steps[index].field.name)
+            index += 1
+        remaining = steps[index:]
+        self.writes += 1
+        if len(remaining) == 1:
+            self.view.set(node, remaining[0].field.name, copy_value(value))
+            return
+        container = self.view.get(node, remaining[0].field.name)
+        for step in remaining[1:-1]:
+            container = container.get(step.field.name)
+        container.set(remaining[-1].field.name, value)
+
+    # ==================================================================
+    # expressions
+    # ==================================================================
+
+    def eval_expr(self, expr: Expr, this, frame: _Frame):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, DataAccess):
+            return self.read_path(expr.path, this, frame)
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, this, frame)
+        if isinstance(expr, UnaryOp):
+            operand = self.eval_expr(expr.operand, this, frame)
+            if expr.op == "-":
+                return -operand
+            return not operand
+        if isinstance(expr, PureCall):
+            func = self.program.pure_functions[expr.func_name]
+            args = [
+                copy_value(self.eval_expr(a, this, frame))
+                for a in expr.args
+            ]
+            return func(*args)
+        raise RuntimeFailure(
+            f"unknown expression {type(expr).__name__}"
+        )
+
+    def _eval_binop(self, expr: BinOp, this, frame: _Frame):
+        op = expr.op
+        if op == "&&":
+            return bool(
+                self.eval_expr(expr.lhs, this, frame)
+                and self.eval_expr(expr.rhs, this, frame)
+            )
+        if op == "||":
+            return bool(
+                self.eval_expr(expr.lhs, this, frame)
+                or self.eval_expr(expr.rhs, this, frame)
+            )
+        lhs = self.eval_expr(expr.lhs, this, frame)
+        rhs = self.eval_expr(expr.rhs, this, frame)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return _cxx_div(lhs, rhs)
+        if op == "%":
+            return _cxx_mod(lhs, rhs)
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        raise RuntimeFailure(f"unknown operator {op!r}")

@@ -1,0 +1,163 @@
+"""The interpreter packaged like a compiled module.
+
+:class:`InterpretedModule` exposes the compiled backends' external
+contract — ``run_entry(heap, root, globals_map) -> RuntimeContext`` —
+so the executor, the session, and the service can treat "interpret" as
+just another execution tier: zero compile latency (resolving a program
+is a parse, not a pipeline run), identical observable results.
+
+Observability: every run records an ``interp.run`` span (nested under
+whatever request trace is active) and bumps the ``repro_interp_*``
+registry metrics, keeping the fallback tier inside the same
+tracing/metrics layer the compiled path uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro import obs
+from repro.codegen.python_backend import RuntimeContext
+from repro.interp.machine import RefInterpreter
+from repro.interp.views import view_for
+from repro.ir.program import Program
+from repro.ir.validate import LanguageMode
+from repro.runtime.heap import Heap
+from repro.runtime.node import Node
+
+_INTERP_RUNS = obs.REGISTRY.counter(
+    "repro_interp_runs_total",
+    "reference-interpreter entry runs (one per tree)",
+    labels=("layout",),
+)
+_INTERP_WRITES = obs.REGISTRY.counter(
+    "repro_interp_writes_total",
+    "tree/global writes performed by the reference interpreter",
+)
+_INTERP_SECONDS = obs.REGISTRY.histogram(
+    "repro_interp_run_seconds",
+    "per-tree reference-interpreter wall time",
+)
+
+
+def resolve_program(
+    source: Union[str, Program],
+    *,
+    name: str = "program",
+    pure_impls: Optional[dict] = None,
+    mode: LanguageMode = LanguageMode.GRAFTER,
+) -> Program:
+    """The interpret tier's whole 'compile': parse (binding pure impls)
+    when given source text, finalize when given a built program. No
+    analysis, fusion, or emission runs — this is what makes the tier's
+    first-request latency negligible."""
+    if isinstance(source, Program):
+        return source.finalize()
+    from repro.frontend import parse_program
+
+    with obs.span("interp.parse", name=name):
+        return parse_program(
+            source, name=name, pure_impls=pure_impls, mode=mode
+        )
+
+
+class InterpretedModule:
+    """A drop-in execution module backed by :class:`RefInterpreter`.
+
+    Mirrors ``CompiledProgram``/``CompiledPooledProgram`` externally:
+    ``run_entry`` takes ``(heap, root, globals_map)`` and returns the
+    :class:`RuntimeContext` holding the final globals; with
+    ``layout='pooled'`` the tree round-trips through a
+    :class:`~repro.layout.pool.ForestPool` (ingest → interpret over
+    columns → write back), exactly like the pooled compiled modules.
+    Always original (unfused) semantics — the spec both compiled forms
+    must match.
+    """
+
+    def __init__(self, program: Program, layout: str = "object"):
+        self.program = program.finalize()
+        self.layout = layout
+        # fail on unknown layout names at construction, not first run
+        view_for(layout, program, None)
+        self.last_stats: Optional[dict] = None
+
+    def run_entry(
+        self, heap: Heap, root: Node, globals_map=None
+    ) -> RuntimeContext:
+        context = RuntimeContext(self.program, heap, globals_map)
+        start = time.perf_counter()
+        with obs.span(
+            "interp.run",
+            program=self.program.name,
+            layout=self.layout,
+        ) as span:
+            view = view_for(self.layout, self.program, heap)
+            ref = view.ingest(root)
+            machine = RefInterpreter(self.program, view, context.globals)
+            machine.run_entry(ref)
+            view.finish()
+            span.set(
+                node_visits=machine.node_visits,
+                truncations=machine.truncations,
+                writes=machine.writes,
+            )
+        seconds = time.perf_counter() - start
+        _INTERP_RUNS.labels(layout=self.layout).inc()
+        _INTERP_WRITES.inc(machine.writes)
+        _INTERP_SECONDS.observe(seconds)
+        self.last_stats = {
+            "node_visits": machine.node_visits,
+            "truncations": machine.truncations,
+            "writes": machine.writes,
+            "seconds": seconds,
+        }
+        return context
+
+
+def interpreted_module(
+    source: Union[str, Program],
+    *,
+    layout: str = "object",
+    name: str = "program",
+    pure_impls: Optional[dict] = None,
+    mode: LanguageMode = LanguageMode.GRAFTER,
+) -> InterpretedModule:
+    """Resolve + wrap in one call (the ``repro exec --interp`` path)."""
+    return InterpretedModule(
+        resolve_program(
+            source, name=name, pure_impls=pure_impls, mode=mode
+        ),
+        layout=layout,
+    )
+
+
+def interpret_workload(
+    workload,
+    *,
+    layout: str = "object",
+    spec=None,
+    globals_map: Optional[dict] = None,
+    **spec_kwargs,
+):
+    """Run one workload tree through the reference interpreter.
+
+    Returns ``(program, heap, root, context)`` — the same handles a
+    compiled run leaves behind, so callers can snapshot/collect
+    identically. ``spec_kwargs`` feed the workload's ``make_spec``
+    (``pages=2``, ``depth=4``, ...) when no explicit ``spec`` is given.
+    """
+    program = resolve_program(
+        workload.source,
+        name=workload.name,
+        pure_impls=dict(workload.pure_impls or {}) or None,
+    )
+    heap = Heap(program)
+    tree_spec = spec if spec is not None else workload.spec(**spec_kwargs)
+    root = workload.build_tree(program, heap, tree_spec)
+    module = InterpretedModule(program, layout=layout)
+    merged_globals = dict(workload.globals_map or {})
+    if globals_map:
+        merged_globals.update(globals_map)
+    context = module.run_entry(heap, root, merged_globals)
+    return program, heap, root, context

@@ -28,7 +28,13 @@ reproduction must not grow dependencies. Endpoints::
                                 an optional "layout" field picks the
                                 tree layout ("object" | "pooled") —
                                 per-layout submit counts appear under
-                                "layouts" in /stats
+                                "layouts" in /stats; an optional
+                                "mode" field picks the execution tier
+                                ("compiled" | "interpret" — the
+                                reference interpreter, zero compile
+                                latency), counted per mode in /stats
+                                ("modes", interpreted/
+                                compiled_requests_total)
     GET  /result/<id>        -> completion state / summaries of one id
     GET  /artifact/result/<source>/<output>
     GET  /artifact/unit/<pass>/<key>
@@ -110,6 +116,7 @@ class WorkloadSpec:
         options: Optional[CompileOptions] = None,
         size: Optional[int] = None,
         layout: Optional[str] = None,
+        mode: Optional[str] = None,
         **spec_kwargs,
     ) -> ExecRequest:
         if size is not None:
@@ -123,6 +130,9 @@ class WorkloadSpec:
             trees,
             options=effective,
             fused=fused,
+            # per-request execution tier ('compiled' | 'interpret') —
+            # the /submit body's "mode" field lands here
+            mode=mode if mode is not None else "compiled",
             **spec_kwargs,
         )
 
@@ -234,6 +244,9 @@ class TraversalService:
         # "layouts"); counted at submit time from the request the
         # executor will actually run, defaults applied
         self._layout_counts: dict[str, int] = {}
+        # per-mode counters (compiled vs interpreted), surfaced in
+        # /stats as modes + interpreted/compiled_requests_total
+        self._mode_counts: dict[str, int] = {}
         # service identity for /stats: when it started, how many
         # submits it has ever accepted (monotonic — unlike the
         # executor's completed/failed split, this counts acceptance)
@@ -277,6 +290,7 @@ class TraversalService:
             request_id=request.request_id,
             trees=len(request.trees),
             layout=effective_layout,
+            mode=request.mode,
         ) as span:
             if request.trace_context is None and span.recorded:
                 request.trace_context = span.context
@@ -289,6 +303,9 @@ class TraversalService:
                     self._trace_ids.popitem(last=False)
             self._layout_counts[effective_layout] = (
                 self._layout_counts.get(effective_layout, 0) + 1
+            )
+            self._mode_counts[request.mode] = (
+                self._mode_counts.get(request.mode, 0) + 1
             )
             self._tickets[request.request_id] = ticket
             # bounded retention: results are held for polling, not
@@ -406,6 +423,7 @@ class TraversalService:
             ) or self.store.stats()
         with self._lock:
             layouts = dict(sorted(self._layout_counts.items()))
+            modes = dict(sorted(self._mode_counts.items()))
             requests_total = self._requests_total
         return {
             "version": __version__,
@@ -415,6 +433,9 @@ class TraversalService:
             "compile_cache": GLOBAL_CACHE.stats(),
             "workloads": sorted(WORKLOADS),
             "layouts": layouts,
+            "modes": modes,
+            "interpreted_requests_total": modes.get("interpret", 0),
+            "compiled_requests_total": modes.get("compiled", 0),
             "store": store,
             "storage": storage,
         }

@@ -62,6 +62,10 @@ class ExecRequest:
       unfused baseline.
     * ``collect`` — optional ``(program, heap, root) -> picklable``
       per-tree summary; defaults to :func:`default_collect`.
+    * ``mode`` — ``"compiled"`` (the pipeline artifact) or
+      ``"interpret"`` (the reference interpreter: zero compile latency,
+      original semantics; ``fused`` is ignored). Interpret requests
+      group under their own key so they never wait on a compile.
     """
 
     source: Union[str, Program, None] = None
@@ -73,6 +77,7 @@ class ExecRequest:
     fused: bool = True
     collect: Optional[Callable] = None
     workload: Optional["Workload"] = None
+    mode: str = "compiled"
     request_id: int = field(default_factory=lambda: next(_request_ids))
     # the submitting span's (trace_id, span_id) — picklable, so the
     # executor can reparent worker-side spans under the request's trace
@@ -100,6 +105,11 @@ class ExecRequest:
                 "ExecRequest needs a workload or explicit "
                 "source + build_tree"
             )
+        if self.mode not in ("compiled", "interpret"):
+            raise ValueError(
+                f"unknown execution mode {self.mode!r}; "
+                "pick 'compiled' or 'interpret'"
+            )
 
     @classmethod
     def from_workload(
@@ -110,6 +120,7 @@ class ExecRequest:
         options: Optional[CompileOptions] = None,
         fused: bool = True,
         collect: Optional[Callable] = None,
+        mode: str = "compiled",
     ) -> "ExecRequest":
         """The canonical constructor: everything program-shaped comes
         from the workload bundle; only the forest and execution knobs
@@ -120,15 +131,22 @@ class ExecRequest:
             fused=fused,
             collect=collect,
             workload=workload,
+            mode=mode,
         )
 
     def compile_key(self) -> tuple[str, str]:
-        """The cache key this request's artifact lives under."""
+        """The cache key this request's artifact lives under. Interpret
+        requests get a distinct key (prefixed options hash) so a wave
+        never groups them with compiled requests for the same source —
+        their whole point is not waiting on that compile."""
         if isinstance(self.source, Program):
             source_hash = hash_program(self.source)
         else:
             source_hash = hash_source(self.source, self.pure_impls)
-        return (source_hash, self.options.options_hash())
+        options_hash = self.options.options_hash()
+        if self.mode == "interpret":
+            return (source_hash, f"interp:{options_hash}")
+        return (source_hash, options_hash)
 
 
 @dataclass

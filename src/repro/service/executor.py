@@ -77,6 +77,11 @@ _EXEC_WAVES = obs.REGISTRY.counter(
 _TREE_SECONDS = obs.REGISTRY.histogram(
     "repro_exec_tree_seconds", "per-tree traversal wall time"
 )
+_EXEC_MODES = obs.REGISTRY.counter(
+    "repro_exec_mode_total",
+    "executor requests by execution mode",
+    labels=("mode",),
+)
 
 
 @dataclass
@@ -109,41 +114,86 @@ def _execute_shard(
             "exec.shard",
             request_id=request.request_id,
             trees=len(indexes),
+            mode=request.mode,
         ):
-            with suppress_legacy_warnings():
-                result = pipeline_compile(
-                    request.source,
-                    options=request.options,
-                    pure_impls=request.pure_impls,
-                )
-            program = result.program
-            compiled = (
-                result.compiled_fused
-                if request.fused
-                else result.compiled_unfused
-            )
-            collect = request.collect or default_collect
-            out: list[TreeResult] = []
-            for index in indexes:
-                start = time.perf_counter()
-                heap = Heap(program)
-                root = request.build_tree(
-                    program, heap, request.trees[index]
-                )
-                if request.fused:
-                    compiled.run_fused(heap, root, request.globals_map)
-                else:
-                    compiled.run_entry(heap, root, request.globals_map)
-                summary = collect(program, heap, root)
-                out.append(
-                    TreeResult(
-                        request_id=request.request_id,
-                        index=index,
-                        summary=summary,
-                        seconds=time.perf_counter() - start,
+            if request.mode == "interpret":
+                out = _interpret_trees(request, indexes)
+            else:
+                with suppress_legacy_warnings():
+                    result = pipeline_compile(
+                        request.source,
+                        options=request.options,
+                        pure_impls=request.pure_impls,
                     )
+                program = result.program
+                compiled = (
+                    result.compiled_fused
+                    if request.fused
+                    else result.compiled_unfused
                 )
+                collect = request.collect or default_collect
+                out = []
+                for index in indexes:
+                    start = time.perf_counter()
+                    heap = Heap(program)
+                    root = request.build_tree(
+                        program, heap, request.trees[index]
+                    )
+                    if request.fused:
+                        compiled.run_fused(
+                            heap, root, request.globals_map
+                        )
+                    else:
+                        compiled.run_entry(
+                            heap, root, request.globals_map
+                        )
+                    summary = collect(program, heap, root)
+                    out.append(
+                        TreeResult(
+                            request_id=request.request_id,
+                            index=index,
+                            summary=summary,
+                            seconds=time.perf_counter() - start,
+                        )
+                    )
     return ShardRun(trees=out, spans=bucket)
+
+
+def _interpret_trees(
+    request: ExecRequest, indexes: list[int]
+) -> list[TreeResult]:
+    """The interpret-mode shard body: resolve (parse, not compile) the
+    program and run the reference interpreter over each tree. Same
+    result contract as the compiled path — summaries come from the same
+    ``collect`` on the same post-run heap/root — so callers can't tell
+    the tiers apart except by latency. Module-level and closure-free so
+    the process backend can pickle its way here too."""
+    from repro.interp import InterpretedModule, resolve_program
+
+    program = resolve_program(
+        request.source,
+        name=f"req-{request.request_id}",
+        pure_impls=request.pure_impls,
+        mode=request.options.language_mode,
+    )
+    module = InterpretedModule(program, layout=request.options.layout)
+    collect = request.collect or default_collect
+    out: list[TreeResult] = []
+    for index in indexes:
+        start = time.perf_counter()
+        heap = Heap(program)
+        root = request.build_tree(program, heap, request.trees[index])
+        module.run_entry(heap, root, request.globals_map)
+        summary = collect(program, heap, root)
+        out.append(
+            TreeResult(
+                request_id=request.request_id,
+                index=index,
+                summary=summary,
+                seconds=time.perf_counter() - start,
+            )
+        )
+    return out
 
 
 @dataclass
@@ -285,9 +335,10 @@ class BatchExecutor:
                     self.completed_trees += len(result.trees)
                 else:
                     self.failed_requests += 1
-        for result in ordered:
+        for request, result in zip(requests, ordered):
             status = "ok" if result.ok else "error"
             _EXEC_REQUESTS.labels(status=status).inc()
+            _EXEC_MODES.labels(mode=request.mode).inc()
             if result.ok:
                 _EXEC_TREES.inc(len(result.trees))
         return ordered
@@ -323,33 +374,50 @@ class BatchExecutor:
             shards=len(shards),
         ) as gspan:
             # resolve the artifact once per group: thread/fork workers
-            # then hit the memory cache, spawned workers the disk store
+            # then hit the memory cache, spawned workers the disk store.
+            # interpret-mode groups only parse — their whole point is
+            # that nothing waits on the pipeline
             try:
                 compile_start = time.perf_counter()
-                with suppress_legacy_warnings():
-                    resolved = pipeline_compile(
+                if first.mode == "interpret":
+                    from repro.interp import resolve_program
+
+                    resolve_program(
                         first.source,
-                        options=first.options,
+                        name=f"req-{first.request_id}",
                         pure_impls=first.pure_impls,
+                        mode=first.options.language_mode,
                     )
-                metrics.compile_seconds = (
-                    time.perf_counter() - compile_start
-                )
-                metrics.compile_cache_hit = resolved.cache_hit
-                gspan.set(compile_cache_hit=resolved.cache_hit)
-                compiled = (
-                    resolved.compiled_fused
-                    if first.fused
-                    else resolved.compiled_unfused
-                )
-                if compiled is None:
-                    # emit=False options produce no runnable module —
-                    # fail up front with a clear message instead of
-                    # letting every shard die on a NoneType dereference
-                    raise ValueError(
-                        "service execution needs emitted modules; "
-                        "compile with CompileOptions(emit=True)"
+                    metrics.compile_seconds = (
+                        time.perf_counter() - compile_start
                     )
+                    gspan.set(mode="interpret")
+                else:
+                    with suppress_legacy_warnings():
+                        resolved = pipeline_compile(
+                            first.source,
+                            options=first.options,
+                            pure_impls=first.pure_impls,
+                        )
+                    metrics.compile_seconds = (
+                        time.perf_counter() - compile_start
+                    )
+                    metrics.compile_cache_hit = resolved.cache_hit
+                    gspan.set(compile_cache_hit=resolved.cache_hit)
+                    compiled = (
+                        resolved.compiled_fused
+                        if first.fused
+                        else resolved.compiled_unfused
+                    )
+                    if compiled is None:
+                        # emit=False options produce no runnable module
+                        # — fail up front with a clear message instead
+                        # of letting every shard die on a NoneType
+                        # dereference
+                        raise ValueError(
+                            "service execution needs emitted modules; "
+                            "compile with CompileOptions(emit=True)"
+                        )
             except Exception as error:  # compile failure fails the group
                 for request in group.requests:
                     by_id[request.request_id].error = (

@@ -8,12 +8,21 @@ executions, and compare full tree snapshots and global states.
 
 Programs are generated as *source text* and parsed — exercising the whole
 pipeline exactly like a user would.
+
+``hazards=True`` additionally injects the bug-class shapes from
+:func:`repro.fuzz.generators.hazard_statements` (global-write followed by
+a global-reading call argument — the seed-765 class — and truncation
+after mutation). The flag defaults to off and its extra draws happen
+*after* every existing draw for a method body, so the pinned seeds in
+``tests/fusion/test_soundness.py`` keep producing byte-identical
+programs.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.fuzz.generators import hazard_statements
 from repro.runtime import Heap, Node
 
 # data fields available on the base type
@@ -23,7 +32,9 @@ _METHODS = ["f0", "f1", "f2"]
 _CONCRETE = ["A", "B", "Leaf"]
 
 
-def random_program_source(rng: random.Random) -> str:
+def random_program_source(
+    rng: random.Random, hazards: bool = False
+) -> str:
     """A random valid Grafter program over a 4-type hierarchy."""
     lines = ["int G0;", "int G1;"]
     lines.append("_abstract_ _tree_ class N {")
@@ -42,7 +53,7 @@ def random_program_source(rng: random.Random) -> str:
         lines.append(f"    int {extra} = 0;")
         for method in _METHODS:
             if rng.random() < 0.8:
-                body = _random_body(rng, extra)
+                body = _random_body(rng, extra, hazards=hazards)
                 lines.append(
                     f"    _traversal_ void {method}(int p0) {{"
                 )
@@ -77,7 +88,9 @@ def _random_expr(rng: random.Random, extra: str, depth: int = 0) -> str:
     )
 
 
-def _random_body(rng: random.Random, extra: str) -> list[str]:
+def _random_body(
+    rng: random.Random, extra: str, hazards: bool = False
+) -> list[str]:
     stmts: list[str] = []
     # optional truncation guard first (conditional return)
     if rng.random() < 0.3:
@@ -115,6 +128,11 @@ def _random_body(rng: random.Random, extra: str) -> list[str]:
                 f"delete this->{child}; this->{child} = new Leaf(); "
                 f"this->{child}->d0 = {rng.randint(0, 9)}; }}"
             )
+    # hazard draws come strictly AFTER the base draws: with
+    # hazards=False this function consumes the identical rng sequence
+    # it always has, so pinned-seed tests stay stable
+    if hazards and rng.random() < 0.6:
+        stmts.extend(hazard_statements(rng, extra))
     return stmts
 
 

@@ -1,19 +1,23 @@
 """Differential tests: object-graph vs pooled backends must agree.
 
 Every workload, fused and unfused, runs once per layout on identical
-trees; results (snapshot hash + heap footprint via ``default_collect``)
-and globals must match exactly. A separate test pins the storage
-contract: pooled and object artifacts never collide in any cache tier.
+trees; the full execution records — tree snapshot, final globals (read
+from the returned :class:`RuntimeContext`, which is where compiled runs
+actually expose them), and derived write-set — are diffed through the
+shared :func:`repro.interp.diff_report` helper, so a failure names the
+first diverging node path/field/global instead of dumping two hashes. A
+separate test pins the storage contract: pooled and object artifacts
+never collide in any cache tier.
 """
 
 import dataclasses
 
 import pytest
 
+from repro.interp import diff_report, make_record
 from repro.pipeline import CompileOptions
 from repro.pipeline import compile as pipeline_compile
 from repro.runtime.heap import Heap
-from repro.service.batching import default_collect
 from repro.workloads.astlang import astlang_workload
 from repro.workloads.fmm import fmm_workload
 from repro.workloads.kdtree import kdtree_workload
@@ -34,12 +38,13 @@ def _compiled(workload, layout):
     return result
 
 
-def _run(workload, compiled_result, spec_kwargs, fused):
+def _run(workload, compiled_result, spec_kwargs, fused, label):
     program = compiled_result.program
     heap = Heap(program)
     root = workload.build_tree(
         program, heap, workload.make_spec(**spec_kwargs)
     )
+    before = root.snapshot(program)
     globals_map = dict(workload.globals_map or {})
     module = (
         compiled_result.compiled_fused
@@ -47,8 +52,14 @@ def _run(workload, compiled_result, spec_kwargs, fused):
         else compiled_result.compiled_unfused
     )
     runner = module.run_fused if fused else module.run_entry
-    runner(heap, root, globals_map)
-    return default_collect(program, heap, root), globals_map
+    context = runner(heap, root, globals_map)
+    return make_record(
+        label,
+        before,
+        root.snapshot(program),
+        globals_map,
+        context.globals,
+    )
 
 
 @pytest.mark.parametrize(
@@ -64,16 +75,18 @@ class TestLayoutsAgree:
         workload = factory()
         object_result = _compiled(workload, "object")
         pooled_result = _compiled(workload, "pooled")
-        object_summary, object_globals = _run(
-            workload, object_result, spec_kwargs, fused
+        object_record = _run(
+            workload, object_result, spec_kwargs, fused, "object"
         )
-        pooled_summary, pooled_globals = _run(
-            workload, pooled_result, spec_kwargs, fused
+        pooled_record = _run(
+            workload, pooled_result, spec_kwargs, fused, "pooled"
         )
-        # snapshot hash covers every field of every node (the write
-        # set); tree_bytes covers allocation behaviour
-        assert pooled_summary == object_summary
-        assert pooled_globals == object_globals
+        # the record covers every field of every node plus the final
+        # globals and the derived write-set; on divergence the report
+        # names the first differing path
+        report = diff_report(object_record, pooled_record)
+        assert report is None, report
+        assert object_record.write_set  # the traversals wrote something
 
 
 class TestArtifactsNeverCollide:
